@@ -1,0 +1,58 @@
+// Ablation: privacy-budget split (α1, α2, α3). The paper fixes
+// 0.1/0.4/0.5 and notes the choice "was not tuned and may not be
+// optimal". This bench sweeps alternative splits on mushroom (single-
+// basis regime) and kosarak (multi-basis regime) at k = 100.
+#include "bench_common.h"
+
+namespace privbasis {
+namespace {
+
+struct Split {
+  double a1, a2, a3;
+};
+
+void RunOn(const SyntheticProfile& profile, size_t k) {
+  TransactionDatabase db = bench::MakeDataset(profile);
+  GroundTruth truth =
+      bench::Unwrap(ComputeGroundTruth(db, k), "ComputeGroundTruth");
+  SweepConfig config;
+  config.epsilons = {0.5};
+  config.repeats = BenchRepeats();
+
+  std::printf("Ablation: budget split (%s, k=%zu, eps=0.5)\n",
+              profile.name.c_str(), k);
+  TextTable table({"a1", "a2", "a3", "FNR", "+/-", "RE", "+/-"});
+  for (const Split& s : std::vector<Split>{{0.1, 0.4, 0.5},  // paper default
+                                           {0.1, 0.2, 0.7},
+                                           {0.1, 0.6, 0.3},
+                                           {0.2, 0.4, 0.4},
+                                           {0.05, 0.45, 0.5},
+                                           {0.33, 0.33, 0.34}}) {
+    PrivBasisOptions options;
+    options.alpha1 = s.a1;
+    options.alpha2 = s.a2;
+    options.alpha3 = s.a3;
+    SweepSeries series = bench::Unwrap(
+        RunEpsilonSweep("split", bench::PbMethod(db, k, truth, options),
+                        truth, config),
+        "sweep");
+    const auto& p = series.points.front();
+    table.AddRow({TextTable::Num(s.a1, 2), TextTable::Num(s.a2, 2),
+                  TextTable::Num(s.a3, 2), TextTable::Num(p.fnr_mean, 4),
+                  TextTable::Num(p.fnr_stderr, 4),
+                  TextTable::Num(p.re_mean, 4),
+                  TextTable::Num(p.re_stderr, 4)});
+  }
+  table.Print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace privbasis
+
+int main() {
+  using namespace privbasis;
+  RunOn(SyntheticProfile::Mushroom(BenchScale()), 100);
+  RunOn(SyntheticProfile::Kosarak(BenchScale()), 100);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: the λ2 heuristic. §4.4 argues that the naive λ2 = η·k − λ
+// requests far too many pairs (thinning the pair budget and inflating the
+// bases) and proposes λ2' / sqrt(max(1, λ2'/λ)). This bench compares both
+// on kosarak, the dataset with the richest pair structure.
+#include "bench_common.h"
+
+namespace privbasis {
+namespace {
+
+void Run() {
+  auto profile = SyntheticProfile::Kosarak(BenchScale());
+  TransactionDatabase db = bench::MakeDataset(profile);
+  const size_t k = 200;
+  GroundTruth truth =
+      bench::Unwrap(ComputeGroundTruth(db, k), "ComputeGroundTruth");
+  SweepConfig config;
+  config.epsilons = {0.3, 0.5, 1.0};
+  config.repeats = BenchRepeats();
+
+  std::printf("Ablation: lambda2 heuristic vs naive (kosarak, k=%zu)\n", k);
+  std::vector<SweepSeries> all;
+  for (bool naive : {false, true}) {
+    PrivBasisOptions options;
+    options.naive_lambda2 = naive;
+    all.push_back(bench::Unwrap(
+        RunEpsilonSweep(naive ? "naive:eta*k-lam" : "paper:sqrt-damped",
+                        bench::PbMethod(db, k, truth, options), truth,
+                        config),
+        "sweep"));
+  }
+  PrintFigure(std::cout, "lambda2 heuristic ablation", all);
+}
+
+}  // namespace
+}  // namespace privbasis
+
+int main() {
+  privbasis::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the TF baseline's two selection mechanisms. Bhaskar et al.
+// propose both (i) Laplace-perturbed truncated frequencies and (ii)
+// repeated exponential-mechanism sampling; the figures use one method per
+// plot. This bench runs both on mushroom to confirm the choice does not
+// change the comparison against PrivBasis.
+#include "bench_common.h"
+
+namespace privbasis {
+namespace {
+
+void Run() {
+  auto profile = SyntheticProfile::Mushroom(BenchScale());
+  TransactionDatabase db = bench::MakeDataset(profile);
+  const size_t k = 100;
+  GroundTruth truth =
+      bench::Unwrap(ComputeGroundTruth(db, k), "ComputeGroundTruth");
+  SweepConfig config;
+  config.epsilons = {0.2, 0.5, 1.0};
+  config.repeats = BenchRepeats();
+
+  std::vector<SweepSeries> series;
+  for (auto selection : {TfOptions::Selection::kExponentialMechanism,
+                         TfOptions::Selection::kLaplaceNoise}) {
+    TfOptions options;
+    options.m = 2;
+    options.selection = selection;
+    auto runner = std::make_shared<TfRunner>(
+        bench::Unwrap(TfRunner::Create(db, k, options), "TfRunner"));
+    const char* label =
+        selection == TfOptions::Selection::kExponentialMechanism
+            ? "TF-EM"
+            : "TF-Laplace";
+    series.push_back(bench::Unwrap(
+        RunEpsilonSweep(label, bench::TfMethod(runner), truth, config),
+        "sweep"));
+  }
+  // PrivBasis reference line.
+  series.push_back(bench::Unwrap(
+      RunEpsilonSweep("PB", bench::PbMethod(db, k, truth), truth, config),
+      "sweep"));
+  PrintFigure(std::cout, "TF selection-variant ablation (mushroom, k=100)",
+              series);
+}
+
+}  // namespace
+}  // namespace privbasis
+
+int main() {
+  privbasis::Run();
+  return 0;
+}

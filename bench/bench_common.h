@@ -1,0 +1,144 @@
+// Shared helpers for the bench binaries: dataset generation + ground
+// truth with progress logging, and method adapters for the sweep harness.
+#ifndef PRIVBASIS_BENCH_BENCH_COMMON_H_
+#define PRIVBASIS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baseline/tf.h"
+#include "common/env.h"
+#include "common/timer.h"
+#include "core/privbasis.h"
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/ground_truth.h"
+#include "eval/table_printer.h"
+
+namespace privbasis::bench {
+
+/// Dies with a message on error — bench binaries have no recovery path.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void UnwrapStatus(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Generates a profile's dataset with a fixed per-profile seed and prints
+/// generation stats.
+inline TransactionDatabase MakeDataset(const SyntheticProfile& profile,
+                                       uint64_t seed = 42) {
+  WallTimer timer;
+  TransactionDatabase db =
+      Unwrap(GenerateDataset(profile, seed), "GenerateDataset");
+  std::printf("[data] %-11s %s  (%.2fs)\n", profile.name.c_str(),
+              ComputeDatasetStats(db).ToString().c_str(),
+              timer.ElapsedSeconds());
+  std::fflush(stdout);
+  return db;
+}
+
+/// PrivBasis as a ReleaseMethod, with the fk1 hint wired from ground
+/// truth.
+inline ReleaseMethod PbMethod(const TransactionDatabase& db, size_t k,
+                              const GroundTruth& truth,
+                              PrivBasisOptions options = {}) {
+  options.fk1_support_hint = (options.eta >= 1.15)
+                                 ? truth.fk1_support_eta12
+                                 : truth.fk1_support_eta11;
+  return [&db, k,
+          options](double epsilon,
+                   Rng& rng) -> Result<std::vector<NoisyItemset>> {
+    auto result = RunPrivBasis(db, k, epsilon, rng, options);
+    if (!result.ok()) return result.status();
+    return std::move(result).value().topk;
+  };
+}
+
+/// TF as a ReleaseMethod, reusing one TfRunner across the sweep.
+inline ReleaseMethod TfMethod(std::shared_ptr<TfRunner> runner) {
+  return [runner](double epsilon,
+                  Rng& rng) -> Result<std::vector<NoisyItemset>> {
+    auto result = runner->Run(epsilon, rng);
+    if (!result.ok()) return result.status();
+    return std::move(result).value().released;
+  };
+}
+
+/// One (k, TF-m) configuration of a figure: the paper plots PB and TF at
+/// the same k, with m the best-precision TF length cap it reports.
+struct FigureCurve {
+  size_t k;
+  size_t tf_m;
+  double eta = 1.1;  ///< PB safety margin (paper: 1.1 or 1.2 by k)
+};
+
+/// Runs one full figure: generate the dataset, then for each curve mine
+/// ground truth and sweep PB and TF over the ε grid; print both panels.
+inline void RunFigure(const std::string& title,
+                      const SyntheticProfile& profile,
+                      const std::vector<FigureCurve>& curves,
+                      const std::vector<double>& eps_grid) {
+  TransactionDatabase db = MakeDataset(profile);
+  SweepConfig config;
+  config.epsilons = eps_grid;
+  config.repeats = BenchRepeats();
+
+  std::vector<SweepSeries> all_series;
+  for (const auto& curve : curves) {
+    WallTimer timer;
+    GroundTruth truth =
+        Unwrap(ComputeGroundTruth(db, curve.k), "ComputeGroundTruth");
+    TopKStats stats = truth.stats;
+    std::printf("[truth] k=%zu lambda=%u lambda2=%u lambda3=%u fk*N=%llu "
+                "(%.2fs)\n",
+                curve.k, stats.lambda, stats.lambda2, stats.lambda3,
+                static_cast<unsigned long long>(stats.fk_count),
+                timer.ElapsedSeconds());
+    std::fflush(stdout);
+
+    PrivBasisOptions pb_options;
+    pb_options.eta = curve.eta;
+    std::string pb_label = "PB,k=" + std::to_string(curve.k) +
+                           ",lam=" + std::to_string(stats.lambda);
+    all_series.push_back(Unwrap(
+        RunEpsilonSweep(pb_label, PbMethod(db, curve.k, truth, pb_options),
+                        truth, config),
+        "PB sweep"));
+
+    timer.Reset();
+    TfOptions tf_options;
+    tf_options.m = curve.tf_m;
+    auto tf_runner = std::make_shared<TfRunner>(
+        Unwrap(TfRunner::Create(db, curve.k, tf_options), "TfRunner"));
+    std::printf("[tf] k=%zu m=%zu explicit=%zu floor=%llu (%.2fs)\n",
+                curve.k, curve.tf_m, tf_runner->num_explicit(),
+                static_cast<unsigned long long>(tf_runner->floor_support()),
+                timer.ElapsedSeconds());
+    std::fflush(stdout);
+    std::string tf_label = "TF,k=" + std::to_string(curve.k) +
+                           ",m=" + std::to_string(curve.tf_m);
+    all_series.push_back(Unwrap(
+        RunEpsilonSweep(tf_label, TfMethod(tf_runner), truth, config),
+        "TF sweep"));
+  }
+  PrintFigure(std::cout, title, all_series);
+}
+
+}  // namespace privbasis::bench
+
+#endif  // PRIVBASIS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,15 @@
+// Figure 1: PB vs TF on the Mushroom dataset, k = 50 and k = 100, FNR and
+// relative error over ε ∈ [0.1, 1.0]. Paper: PB λ = 8 / 11 (single-basis
+// regime), TF at its best m (4 and 2); PB's FNR stays near 0 from ε = 0.5
+// while TF exceeds 0.6 FNR at k = 100 even at ε = 1.
+#include "bench_common.h"
+
+int main() {
+  using namespace privbasis;
+  bench::RunFigure("Figure 1: Mushroom (dense, small lambda, single basis)",
+                   SyntheticProfile::Mushroom(BenchScale()),
+                   {{/*k=*/50, /*tf_m=*/4, /*eta=*/1.2},
+                    {/*k=*/100, /*tf_m=*/2, /*eta=*/1.1}},
+                   PaperEpsilonGridDense());
+  return 0;
+}

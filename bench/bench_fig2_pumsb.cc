@@ -1,0 +1,14 @@
+// Figure 2: PB vs TF on the Pumsb-star dataset, k = 50 and k = 150, over
+// ε ∈ [0.1, 1.0]. Paper: PB λ = 11 / 12 (single basis), TF m = 4 / 2;
+// TF's FNR is above 0.7 at k = 150 even at ε = 1 while PB stays near 0.
+#include "bench_common.h"
+
+int main() {
+  using namespace privbasis;
+  bench::RunFigure("Figure 2: Pumsb-star (dense census, single basis)",
+                   SyntheticProfile::PumsbStar(BenchScale()),
+                   {{/*k=*/50, /*tf_m=*/4, /*eta=*/1.2},
+                    {/*k=*/150, /*tf_m=*/2, /*eta=*/1.1}},
+                   PaperEpsilonGridDense());
+  return 0;
+}

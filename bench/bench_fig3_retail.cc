@@ -1,0 +1,15 @@
+// Figure 3: PB vs TF on the Retail dataset, k = 50 and k = 100, over
+// ε ∈ [0.2, 1.0]. Paper: PB λ = 20 / 40 (several bases of length ≈ 7),
+// TF m = 1. Retail's dense near-ties below fk make FNR worse than on the
+// other datasets for both methods — the shape to check here.
+#include "bench_common.h"
+
+int main() {
+  using namespace privbasis;
+  bench::RunFigure("Figure 3: Retail (sparse, larger lambda, few bases)",
+                   SyntheticProfile::Retail(BenchScale()),
+                   {{/*k=*/50, /*tf_m=*/1, /*eta=*/1.2},
+                    {/*k=*/100, /*tf_m=*/1, /*eta=*/1.1}},
+                   PaperEpsilonGridSparse());
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 4: PB vs TF on the Kosarak dataset, k ∈ {100, 200, 300, 400},
+// over ε ∈ [0.2, 1.0]. Paper: PB λ = 24/44/50/60 (multiple bases), TF
+// m = 4/2/2/2; PB stays accurate through k = 400 while TF is acceptable
+// only at k = 100 with ε ≥ 0.5.
+#include "bench_common.h"
+
+int main() {
+  using namespace privbasis;
+  bench::RunFigure("Figure 4: Kosarak (sparse clickstream, many bases)",
+                   SyntheticProfile::Kosarak(BenchScale()),
+                   {{/*k=*/100, /*tf_m=*/4, /*eta=*/1.2},
+                    {/*k=*/200, /*tf_m=*/2, /*eta=*/1.1},
+                    {/*k=*/300, /*tf_m=*/2, /*eta=*/1.1},
+                    {/*k=*/400, /*tf_m=*/2, /*eta=*/1.1}},
+                   PaperEpsilonGridSparse());
+  return 0;
+}

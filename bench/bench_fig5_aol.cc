@@ -1,0 +1,15 @@
+// Figure 5: PB vs TF on the AOL search-log dataset, k = 100 and k = 200,
+// over ε ∈ [0.5, 1.0]. Paper: λ ≈ k (171 singletons + 29 pairs in the
+// top 200, no triples) — the regime where TF degenerates into frequent-
+// item mining (m = 1) and comes closest to PB; the gap should be small.
+#include "bench_common.h"
+
+int main() {
+  using namespace privbasis;
+  bench::RunFigure("Figure 5: AOL (lambda ~ k, many singleton bases)",
+                   SyntheticProfile::Aol(BenchScale()),
+                   {{/*k=*/100, /*tf_m=*/1, /*eta=*/1.1},
+                    {/*k=*/200, /*tf_m=*/1, /*eta=*/1.1}},
+                   PaperEpsilonGridAol());
+  return 0;
+}

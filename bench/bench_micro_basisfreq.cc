@@ -1,0 +1,86 @@
+// Microbenchmarks for Algorithm 1 (BasisFreq), validating the paper's
+// running-time analysis O(w·|D| + w·3^ℓ): runtime should scale linearly
+// in the width w and exponentially in the length ℓ, and the zeta-
+// transform superset sum should beat the naive O(3^ℓ) enumeration.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/basis_freq.h"
+#include "data/synthetic.h"
+
+namespace privbasis {
+namespace {
+
+TransactionDatabase MakeDb() {
+  SyntheticProfile profile = SyntheticProfile::Kosarak(0.05);
+  auto db = GenerateDataset(profile, 42);
+  if (!db.ok()) std::abort();
+  return std::move(db).value();
+}
+
+const TransactionDatabase& Db() {
+  static TransactionDatabase db = MakeDb();
+  return db;
+}
+
+/// Bases of the given width and length over the most frequent items.
+BasisSet MakeBasis(const TransactionDatabase& db, size_t width,
+                   size_t length) {
+  std::vector<Item> order = db.ItemsByFrequency();
+  BasisSet basis;
+  size_t cursor = 0;
+  for (size_t i = 0; i < width; ++i) {
+    std::vector<Item> items;
+    for (size_t j = 0; j < length; ++j) {
+      items.push_back(order[cursor++ % order.size()]);
+    }
+    basis.Add(Itemset(std::move(items)));
+  }
+  return basis;
+}
+
+void BM_BasisFreqWidth(benchmark::State& state) {
+  const auto& db = Db();
+  BasisSet basis = MakeBasis(db, static_cast<size_t>(state.range(0)), 6);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto result = BasisFreq(db, basis, 100, 1.0, rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BasisFreqWidth)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Complexity(benchmark::oN);
+
+void BM_BasisFreqLength(benchmark::State& state) {
+  const auto& db = Db();
+  BasisSet basis = MakeBasis(db, 4, static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    auto result = BasisFreq(db, basis, 100, 1.0, rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BasisFreqLength)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_SupersetSum(benchmark::State& state) {
+  const auto& db = Db();
+  BasisSet basis = MakeBasis(db, 4, static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  BasisFreqOptions options;
+  options.use_fast_superset_sum = state.range(1) != 0;
+  for (auto _ : state) {
+    auto result = BasisFreq(db, basis, 100, 1.0, rng, nullptr, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SupersetSum)
+    ->Args({10, 0})  // naive O(3^l)
+    ->Args({10, 1})  // zeta O(l 2^l)
+    ->Args({12, 0})
+    ->Args({12, 1});
+
+}  // namespace
+}  // namespace privbasis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Privacy amplification by subsampling: spend a larger mechanism budget
+// on a Poisson q-subsample while meeting the same end-to-end ε.
+//
+// On large datasets the subsample's binomial error can be much smaller
+// than the Laplace noise the amplified budget saves — this example
+// measures the trade on a kosarak-style clickstream.
+//
+//   ./amplification
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/amplified.h"
+#include "core/privbasis.h"
+#include "data/synthetic.h"
+#include "dp/amplification.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace privbasis;
+  const size_t k = 100;
+  const double epsilon = 0.4;
+
+  auto db = GenerateDataset(SyntheticProfile::Kosarak(/*scale=*/0.2), 88);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Clickstream: %zu sessions; end-to-end budget epsilon=%.2f\n\n",
+              db->NumTransactions(), epsilon);
+
+  auto truth = ComputeGroundTruth(*db, k);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-22s %-10s %-8s %-8s\n", "configuration", "mech eps",
+              "FNR", "RE");
+  // Baseline: the whole dataset at epsilon.
+  {
+    PrivBasisOptions options;
+    options.fk1_support_hint = truth->fk1_support_eta11;
+    Rng rng(1);
+    auto result = RunPrivBasis(*db, k, epsilon, rng, options);
+    if (!result.ok()) return 1;
+    UtilityMetrics m =
+        ComputeUtility(truth->topk.itemsets, result->topk, *truth->index);
+    std::printf("%-22s %-10.3f %-8.3f %-8.3f\n", "full data", epsilon,
+                m.fnr, m.relative_error);
+  }
+  // Subsampled variants: smaller q buys a bigger mechanism budget.
+  for (double q : {0.75, 0.5, 0.25}) {
+    AmplifiedOptions options;
+    options.sampling_rate = q;
+    Rng rng(static_cast<uint64_t>(q * 1000));
+    auto result = RunPrivBasisSubsampled(*db, k, epsilon, rng, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    UtilityMetrics m =
+        ComputeUtility(truth->topk.itemsets, result->topk, *truth->index);
+    char label[32];
+    std::snprintf(label, sizeof(label), "q=%.2f subsample", q);
+    std::printf("%-22s %-10.3f %-8.3f %-8.3f\n", label,
+                MechanismEpsilonForTarget(q, epsilon), m.fnr,
+                m.relative_error);
+  }
+  std::printf(
+      "\nAll rows satisfy the same end-to-end %.2f-DP guarantee; the\n"
+      "subsampled rows trade sampling error for reduced Laplace noise.\n",
+      epsilon);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Market-basket scenario (the paper's retail motivation): a store wants
+// to publish its most frequent co-purchase patterns without exposing any
+// single receipt.
+//
+// The example walks the full decision a practitioner faces:
+//   1. mine the exact (non-private) top-k as the yardstick,
+//   2. release under several privacy budgets,
+//   3. measure what each budget costs in FNR / relative error,
+//   4. inspect which co-purchase patterns survived.
+//
+//   ./market_basket
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/privbasis.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace privbasis;
+  const size_t k = 50;
+
+  auto db = GenerateDataset(SyntheticProfile::Retail(/*scale=*/0.4), 2024);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Retail-style dataset: %zu receipts, %u products\n",
+              db->NumTransactions(), db->UniverseSize());
+
+  // 1. The exact answer (what we could publish with no privacy at all).
+  auto truth = ComputeGroundTruth(*db, k);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Exact top-%zu: lambda=%u items, %u pairs, %u triples\n\n", k,
+              truth->stats.lambda, truth->stats.lambda2,
+              truth->stats.lambda3);
+
+  // 2./3. Private releases across budgets.
+  PrivBasisOptions options;
+  options.fk1_support_hint = truth->fk1_support_eta11;
+  std::printf("%-8s %-8s %-8s %-10s %s\n", "epsilon", "FNR", "RE", "basisW",
+              "basisLen");
+  for (double epsilon : {0.25, 0.5, 1.0, 2.0}) {
+    Rng rng(900 + static_cast<uint64_t>(epsilon * 100));
+    auto result = RunPrivBasis(*db, k, epsilon, rng, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    UtilityMetrics m =
+        ComputeUtility(truth->topk.itemsets, result->topk, *truth->index);
+    std::printf("%-8.2f %-8.3f %-8.3f %-10zu %zu\n", epsilon, m.fnr,
+                m.relative_error, result->basis_set.Width(),
+                result->basis_set.Length());
+  }
+
+  // 4. The patterns a moderate budget actually preserves.
+  Rng rng(4242);
+  auto release = RunPrivBasis(*db, k, 1.0, rng, options);
+  if (!release.ok()) return 1;
+  double n = static_cast<double>(db->NumTransactions());
+  std::printf("\nCo-purchase patterns (size >= 2) released at epsilon=1:\n");
+  for (const auto& itemset : release->topk) {
+    if (itemset.items.size() < 2) continue;
+    std::printf("  %-24s noisy f = %.4f  (exact %.4f)\n",
+                itemset.items.ToString().c_str(), itemset.noisy_count / n,
+                truth->index->FrequencyOf(itemset.items));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Search-log scenario (AOL-style): the λ ≈ k regime where nearly all top
+// itemsets are single keywords. This is the paper's Figure 5 setting —
+// the one place the TF baseline is competitive — so the example runs both
+// methods side by side and prints the (small) gap.
+//
+//   ./search_log
+#include <cstdio>
+#include <memory>
+
+#include "baseline/tf.h"
+#include "common/rng.h"
+#include "core/privbasis.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace privbasis;
+  const size_t k = 100;
+
+  // Note: the AOL regime needs a large N — the top-200 frequency cutoff
+  // is ~0.02, and at small scale the DP noise would swamp it entirely.
+  auto db = GenerateDataset(SyntheticProfile::Aol(/*scale=*/0.4), 555);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Search log: %zu users, %u distinct keywords\n",
+              db->NumTransactions(), db->UniverseSize());
+
+  auto truth = ComputeGroundTruth(*db, k);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Exact top-%zu: lambda = %u (nearly all singletons), "
+              "%u pairs, %u triples\n\n",
+              k, truth->stats.lambda, truth->stats.lambda2,
+              truth->stats.lambda3);
+
+  // TF degenerates gracefully here: m = 1 turns it into private frequent-
+  // keyword mining over the full 2.3M-keyword candidate space.
+  TfOptions tf_options;
+  tf_options.m = 1;
+  auto tf_runner = TfRunner::Create(*db, k, tf_options);
+  if (!tf_runner.ok()) {
+    std::fprintf(stderr, "%s\n", tf_runner.status().ToString().c_str());
+    return 1;
+  }
+
+  PrivBasisOptions pb_options;
+  pb_options.fk1_support_hint = truth->fk1_support_eta11;
+
+  std::printf("%-8s | %-10s %-10s | %-10s %-10s\n", "epsilon", "PB FNR",
+              "PB RE", "TF FNR", "TF RE");
+  for (double epsilon : {0.5, 0.75, 1.0}) {
+    Rng rng(1000 + static_cast<uint64_t>(epsilon * 100));
+    auto pb = RunPrivBasis(*db, k, epsilon, rng, pb_options);
+    if (!pb.ok()) {
+      std::fprintf(stderr, "%s\n", pb.status().ToString().c_str());
+      return 1;
+    }
+    UtilityMetrics pb_m =
+        ComputeUtility(truth->topk.itemsets, pb->topk, *truth->index);
+
+    auto tf = tf_runner->Run(epsilon, rng);
+    if (!tf.ok()) {
+      std::fprintf(stderr, "%s\n", tf.status().ToString().c_str());
+      return 1;
+    }
+    UtilityMetrics tf_m =
+        ComputeUtility(truth->topk.itemsets, tf->released, *truth->index);
+
+    std::printf("%-8.2f | %-10.3f %-10.3f | %-10.3f %-10.3f\n", epsilon,
+                pb_m.fnr, pb_m.relative_error, tf_m.fnr,
+                tf_m.relative_error);
+  }
+  std::printf("\nIn this regime PB's advantage narrows (paper §5, Figure 5):"
+              "\nboth methods are effectively selecting frequent keywords.\n");
+  return 0;
+}

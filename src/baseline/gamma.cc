@@ -1,0 +1,34 @@
+#include "baseline/gamma.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace privbasis {
+
+double TfLogCandidateSpace(uint64_t universe, size_t m) {
+  return LogCandidateSpaceSize(universe, m);
+}
+
+double TfGamma(uint64_t n, size_t k, double epsilon, double rho,
+               double log_u) {
+  double kd = static_cast<double>(k);
+  return 4.0 * kd / (epsilon * static_cast<double>(n)) *
+         (std::log(kd / rho) + log_u);
+}
+
+TfEffectiveness ComputeTfEffectiveness(uint64_t universe, uint64_t n,
+                                       uint64_t fk_count, size_t k, size_t m,
+                                       double epsilon, double rho) {
+  TfEffectiveness eff;
+  eff.k = k;
+  eff.fk_count = fk_count;
+  eff.m = m;
+  eff.log_u = TfLogCandidateSpace(universe, m);
+  double gamma = TfGamma(n, k, epsilon, rho, eff.log_u);
+  eff.gamma_count = gamma * static_cast<double>(n);
+  eff.degenerate = eff.gamma_count >= static_cast<double>(fk_count);
+  return eff;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,40 @@
+// The TF method's truncation parameter (Bhaskar et al., Equation 3):
+//
+//   γ = (4k / (ε·N)) · (ln(k/ρ) + ln|U|),   |U| = Σ_{i=1..m} C(|I|, i)
+//
+// Itemsets with frequency below fk − γ need not be enumerated — unless
+// γ ≥ fk, in which case truncation prunes nothing and the method
+// degenerates (the paper's §3.1 analysis and Table 2(b)).
+#ifndef PRIVBASIS_BASELINE_GAMMA_H_
+#define PRIVBASIS_BASELINE_GAMMA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace privbasis {
+
+/// ln|U| for universe size `universe` and length cap `m`.
+double TfLogCandidateSpace(uint64_t universe, size_t m);
+
+/// γ in frequency units. `epsilon` is the full TF budget (Equation 3).
+double TfGamma(uint64_t n, size_t k, double epsilon, double rho,
+               double log_u);
+
+/// One row of the paper's Table 2(b).
+struct TfEffectiveness {
+  size_t k = 0;
+  uint64_t fk_count = 0;   ///< fk·N
+  size_t m = 0;
+  double log_u = 0.0;      ///< ln|U|
+  double gamma_count = 0;  ///< γ·N
+  bool degenerate = false; ///< γ ≥ fk: truncation is completely ineffective
+};
+
+/// Evaluates TF effectiveness for a dataset configuration.
+TfEffectiveness ComputeTfEffectiveness(uint64_t universe, uint64_t n,
+                                       uint64_t fk_count, size_t k, size_t m,
+                                       double epsilon, double rho);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_BASELINE_GAMMA_H_

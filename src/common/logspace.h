@@ -1,0 +1,57 @@
+// Log-space numerics for the exponential mechanism.
+//
+// Exponential-mechanism weights look like exp(ε·N·q/2) with counts in the
+// millions; they cannot be formed in double precision. Everything here
+// operates on log-weights and stays finite.
+#ifndef PRIVBASIS_COMMON_LOGSPACE_H_
+#define PRIVBASIS_COMMON_LOGSPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace privbasis {
+
+/// log(exp(a) + exp(b)) without overflow. Handles −inf identities.
+double LogAddExp(double a, double b);
+
+/// log(Σ exp(x_i)) without overflow. Returns −inf for an empty vector.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Samples an index with P(i) ∝ exp(log_weights[i]) using the Gumbel-max
+/// trick: argmax_i (log w_i + G_i). Exact (up to floating point) and
+/// single-pass. Requires a non-empty vector with at least one finite entry.
+size_t SampleLogWeights(Rng& rng, const std::vector<double>& log_weights);
+
+/// Streaming Gumbel-max sampler: feed (key, log_weight) pairs one at a
+/// time; Winner() is distributed ∝ exp(log_weight). Lets callers sample
+/// over candidate sets too large to materialize.
+class GumbelMaxSampler {
+ public:
+  explicit GumbelMaxSampler(Rng* rng);
+
+  /// Considers one candidate. `log_weight` of −inf is skipped.
+  void Offer(size_t key, double log_weight);
+
+  /// Considers `count` candidates sharing one log-weight in aggregate: the
+  /// maximum of `count` iid Gumbels shifted by `log_weight` is a single
+  /// Gumbel shifted by `log_weight + log(count)`. The winning key is
+  /// `group_key`; the caller resolves which member won afterwards
+  /// (uniformly at random, by exchangeability).
+  void OfferGroup(size_t group_key, double log_weight, double count);
+
+  bool HasWinner() const { return has_winner_; }
+  size_t WinnerKey() const { return winner_key_; }
+  double WinnerScore() const { return best_score_; }
+
+ private:
+  Rng* rng_;
+  bool has_winner_ = false;
+  size_t winner_key_ = 0;
+  double best_score_ = 0.0;
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_COMMON_LOGSPACE_H_

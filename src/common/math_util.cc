@@ -1,0 +1,95 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace privbasis {
+
+double LogFactorial(uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+uint64_t ChooseSaturating(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    uint64_t factor = n - k + i;
+    // result = result * factor / i, guarding the multiply.
+    if (result > std::numeric_limits<uint64_t>::max() / factor) {
+      // Try dividing first; C(n,k) is an integer so result*factor/i is
+      // exact when computed as (result/g1)*(factor/g2) with gcd removal.
+      uint64_t g = std::gcd(result, i);
+      uint64_t r2 = result / g;
+      uint64_t i2 = i / g;
+      uint64_t g2 = std::gcd(factor, i2);
+      uint64_t f2 = factor / g2;
+      i2 /= g2;
+      assert(i2 == 1);
+      if (r2 > std::numeric_limits<uint64_t>::max() / f2) {
+        return std::numeric_limits<uint64_t>::max();
+      }
+      result = r2 * f2;
+    } else {
+      result = result * factor / i;
+    }
+  }
+  return result;
+}
+
+double LogCandidateSpaceSize(uint64_t n, uint64_t m) {
+  // logsumexp over log C(n, i), i = 1..m.
+  double hi = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  terms.reserve(m);
+  for (uint64_t i = 1; i <= m && i <= n; ++i) {
+    double lc = LogChoose(n, i);
+    terms.push_back(lc);
+    hi = std::max(hi, lc);
+  }
+  if (terms.empty()) return -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp(t - hi);
+  return hi + std::log(sum);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double StandardError(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return SampleStdDev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+}  // namespace privbasis

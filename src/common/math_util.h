@@ -1,0 +1,38 @@
+// Small numeric helpers shared across subsystems: log-binomials for TF's
+// candidate-space size |U| ≈ Σ C(|I|, i), summary statistics for the
+// experiment harness, and saturating integer binomials.
+#ifndef PRIVBASIS_COMMON_MATH_UTIL_H_
+#define PRIVBASIS_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace privbasis {
+
+/// log(n!) via lgamma. n ≥ 0.
+double LogFactorial(uint64_t n);
+
+/// log C(n, k); −inf when k > n.
+double LogChoose(uint64_t n, uint64_t k);
+
+/// C(n, k) saturating at UINT64_MAX on overflow.
+uint64_t ChooseSaturating(uint64_t n, uint64_t k);
+
+/// log(Σ_{i=1..m} C(n, i)) — the log-size of the TF candidate space U.
+double LogCandidateSpaceSize(uint64_t n, uint64_t m);
+
+/// Arithmetic mean. Empty input returns 0.
+double Mean(const std::vector<double>& xs);
+
+/// Median (of a copy; does not reorder the input). Empty input returns 0.
+double Median(std::vector<double> xs);
+
+/// Unbiased sample standard deviation; 0 for fewer than two samples.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Standard error of the mean: stddev / sqrt(n); 0 for fewer than two.
+double StandardError(const std::vector<double>& xs);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_COMMON_MATH_UTIL_H_

@@ -1,0 +1,35 @@
+#include "core/amplified.h"
+
+#include "dp/amplification.h"
+
+namespace privbasis {
+
+Result<PrivBasisResult> RunPrivBasisSubsampled(
+    const TransactionDatabase& db, size_t k, double epsilon, Rng& rng,
+    const AmplifiedOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  const double q = options.sampling_rate;
+  PRIVBASIS_ASSIGN_OR_RETURN(TransactionDatabase sample,
+                             PoissonSubsample(db, q, rng));
+  if (sample.NumTransactions() == 0) {
+    return Status::FailedPrecondition(
+        "subsample is empty; raise sampling_rate or dataset size");
+  }
+  const double mechanism_epsilon = MechanismEpsilonForTarget(q, epsilon);
+  PrivBasisOptions base = options.base;
+  base.fk1_support_hint = 0;  // must be computed on the subsample
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      PrivBasisResult result,
+      RunPrivBasis(sample, k, mechanism_epsilon, rng, base));
+  // Rescale counts from the subsample to the full dataset.
+  for (auto& itemset : result.topk) {
+    itemset.noisy_count /= q;
+  }
+  // Report the end-to-end guarantee, not the per-run mechanism budget.
+  result.epsilon_spent = AmplifiedEpsilon(q, result.epsilon_spent);
+  return result;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,72 @@
+#include "core/association_rules.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace privbasis {
+
+std::string AssociationRule::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (supp=%.4f, conf=%.3f)", support,
+                confidence);
+  return antecedent.ToString() + " => " + consequent.ToString() + buf;
+}
+
+Result<std::vector<AssociationRule>> ExtractRules(
+    const std::vector<NoisyItemset>& released, uint64_t num_transactions,
+    const RuleOptions& options) {
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be > 0");
+  }
+  if (options.min_confidence < 0.0 || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0, 1]");
+  }
+  const double n = static_cast<double>(num_transactions);
+
+  // Noisy frequency per released itemset, floored at 1/N (noise can push
+  // counts to or below zero; a rule denominator must stay positive).
+  std::unordered_map<Itemset, double, ItemsetHash> freq;
+  freq.reserve(released.size() * 2);
+  for (const auto& r : released) {
+    freq[r.items] = std::max(r.noisy_count, 1.0) / n;
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const auto& r : released) {
+    if (r.items.size() < 2) continue;
+    double support = std::max(r.noisy_count, 1.0) / n;
+    if (support < options.min_support) continue;
+    ForEachSubset(r.items, /*max_size=*/r.items.size() - 1,
+                  [&](const Itemset& antecedent) {
+                    if (options.max_antecedent != 0 &&
+                        antecedent.size() > options.max_antecedent) {
+                      return;
+                    }
+                    auto found = freq.find(antecedent);
+                    if (found == freq.end()) return;
+                    // Confidence capped at 1: noise can make
+                    // f(X) > f(A) even though exact frequencies are
+                    // monotone under set inclusion.
+                    double confidence = std::min(1.0, support / found->second);
+                    if (confidence < options.min_confidence) return;
+                    rules.push_back(AssociationRule{
+                        antecedent, r.items.Difference(antecedent), support,
+                        confidence});
+                  });
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+}  // namespace privbasis

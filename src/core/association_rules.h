@@ -1,0 +1,51 @@
+// Association rules from a private itemset release.
+//
+// The paper's introduction motivates frequent itemsets by association-
+// rule mining ([5]); this module closes that loop: rules A -> B with
+// support f(A ∪ B) and confidence f(A ∪ B)/f(A), computed purely from the
+// *released noisy frequencies*. Because it only post-processes a DP
+// release, it consumes no additional privacy budget (DP is closed under
+// post-processing).
+#ifndef PRIVBASIS_CORE_ASSOCIATION_RULES_H_
+#define PRIVBASIS_CORE_ASSOCIATION_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// A -> B with noisy support/confidence estimates.
+struct AssociationRule {
+  Itemset antecedent;   ///< A (non-empty)
+  Itemset consequent;   ///< B (non-empty, disjoint from A)
+  double support = 0;    ///< noisy f(A ∪ B)
+  double confidence = 0; ///< noisy f(A ∪ B) / noisy f(A)
+
+  std::string ToString() const;
+};
+
+struct RuleOptions {
+  /// Keep only rules with confidence ≥ this.
+  double min_confidence = 0.5;
+  /// Keep only rules with (noisy) support ≥ this.
+  double min_support = 0.0;
+  /// Maximum antecedent size (0 = unbounded).
+  size_t max_antecedent = 0;
+};
+
+/// Derives rules from released itemsets. For every released X with
+/// |X| ≥ 2 and every proper non-empty A ⊂ X that was *also released*
+/// (confidence needs f(A)), emits A -> X∖A when it clears the thresholds.
+/// Noisy frequencies are clamped below at 1/N to keep confidences finite.
+/// Output is sorted by descending confidence, then support.
+Result<std::vector<AssociationRule>> ExtractRules(
+    const std::vector<NoisyItemset>& released, uint64_t num_transactions,
+    const RuleOptions& options = {});
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_CORE_ASSOCIATION_RULES_H_

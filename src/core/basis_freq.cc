@@ -1,0 +1,171 @@
+#include "core/basis_freq.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/distributions.h"
+#include "core/error_variance.h"
+
+namespace privbasis {
+
+namespace {
+
+/// In-place sum-over-supersets (zeta) transform: after the call,
+/// bins[mask] = Σ_{super ⊇ mask} original bins[super]. O(len · 2^len).
+void SupersetSumFast(std::vector<double>* bins, size_t len) {
+  auto& b = *bins;
+  for (size_t bit = 0; bit < len; ++bit) {
+    const uint64_t step = uint64_t{1} << bit;
+    for (uint64_t mask = 0; mask < b.size(); ++mask) {
+      if (!(mask & step)) b[mask] += b[mask | step];
+    }
+  }
+}
+
+/// Naive superset sums, O(3^len): for each mask, enumerate supersets by
+/// iterating over submasks of the complement.
+std::vector<double> SupersetSumNaive(const std::vector<double>& bins,
+                                     size_t len) {
+  const uint64_t full = (uint64_t{1} << len) - 1;
+  std::vector<double> out(bins.size(), 0.0);
+  for (uint64_t mask = 0; mask <= full; ++mask) {
+    const uint64_t free = full & ~mask;
+    double sum = bins[mask];
+    // Enumerate non-empty submasks of `free`.
+    for (uint64_t sub = free; sub != 0; sub = (sub - 1) & free) {
+      sum += bins[mask | sub];
+    }
+    out[mask] = sum;
+  }
+  return out;
+}
+
+/// Running inverse-variance fusion state for one candidate itemset
+/// (Algorithm 1 lines 17–24).
+struct FusedEstimate {
+  double noisy_count = 0.0;
+  double variance_units = 0.0;
+};
+
+}  // namespace
+
+Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
+                                  const BasisSet& basis_set, size_t k,
+                                  double epsilon, Rng& rng,
+                                  PrivacyAccountant* accountant,
+                                  const BasisFreqOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  if (basis_set.Length() > options.max_basis_length) {
+    return Status::InvalidArgument(
+        "basis length " + std::to_string(basis_set.Length()) +
+        " exceeds cap " + std::to_string(options.max_basis_length));
+  }
+  if (accountant != nullptr) {
+    PRIVBASIS_RETURN_NOT_OK(accountant->Consume(epsilon, "BasisFreq"));
+  }
+
+  const size_t w = basis_set.Width();
+  BasisFreqResult result;
+  if (w == 0) return result;
+
+  // Per-basis bit position of each member item, plus a per-item list of
+  // (basis, bit) memberships for the single data scan.
+  std::vector<size_t> basis_len(w);
+  std::unordered_map<Item, std::vector<std::pair<uint32_t, uint32_t>>>
+      memberships;
+  for (size_t i = 0; i < w; ++i) {
+    const Itemset& b = basis_set.basis(i);
+    basis_len[i] = b.size();
+    for (uint32_t bit = 0; bit < b.size(); ++bit) {
+      memberships[b[bit]].push_back(
+          {static_cast<uint32_t>(i), bit});
+    }
+  }
+
+  // Lines 2–6: initialize bins with Lap(w/ε) noise (count domain).
+  std::vector<std::vector<double>> bins(w);
+  const double noise_scale = static_cast<double>(w) / epsilon;
+  for (size_t i = 0; i < w; ++i) {
+    bins[i].assign(uint64_t{1} << basis_len[i], 0.0);
+    if (options.inject_noise) {
+      for (auto& cell : bins[i]) cell = SampleLaplace(rng, noise_scale);
+    }
+  }
+
+  // Lines 7–11: one scan of D; each transaction lands in exactly one bin
+  // per basis (the bin of its intersection mask).
+  std::vector<uint64_t> masks(w, 0);
+  for (size_t t = 0; t < db.NumTransactions(); ++t) {
+    for (Item it : db.Transaction(t)) {
+      auto found = memberships.find(it);
+      if (found == memberships.end()) continue;
+      for (auto [basis, bit] : found->second) {
+        masks[basis] |= uint64_t{1} << bit;
+      }
+    }
+    for (size_t i = 0; i < w; ++i) {
+      bins[i][masks[i]] += 1.0;
+      masks[i] = 0;
+    }
+  }
+
+  // Lines 12–26: per basis, superset sums recover subset counts; fuse
+  // multi-basis estimates by inverse-variance weighting.
+  std::unordered_map<Itemset, FusedEstimate, ItemsetHash> candidates;
+  for (size_t i = 0; i < w; ++i) {
+    const Itemset& b = basis_set.basis(i);
+    const size_t len = basis_len[i];
+    std::vector<double> sums;
+    if (options.use_fast_superset_sum) {
+      sums = std::move(bins[i]);
+      SupersetSumFast(&sums, len);
+    } else {
+      sums = SupersetSumNaive(bins[i], len);
+    }
+    std::vector<Item> scratch;
+    const uint64_t full = (uint64_t{1} << len) - 1;
+    for (uint64_t mask = 1; mask <= full; ++mask) {
+      scratch.clear();
+      for (size_t bit = 0; bit < len; ++bit) {
+        if (mask & (uint64_t{1} << bit)) scratch.push_back(b[bit]);
+      }
+      const double nc = sums[mask];
+      const double nv = VarianceUnits(len, scratch.size());
+      auto [entry, inserted] =
+          candidates.try_emplace(Itemset::FromSorted(scratch));
+      if (inserted) {
+        entry->second = FusedEstimate{nc, nv};
+      } else {
+        double v = entry->second.variance_units;
+        entry->second.noisy_count =
+            nv / (v + nv) * entry->second.noisy_count + v / (v + nv) * nc;
+        entry->second.variance_units = v * nv / (v + nv);
+      }
+    }
+  }
+  result.num_candidates = candidates.size();
+
+  // Line 27: select the k candidates with the highest noisy counts.
+  std::vector<NoisyItemset> all;
+  all.reserve(candidates.size());
+  for (auto& [items, est] : candidates) {
+    all.push_back(NoisyItemset{items, est.noisy_count});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const NoisyItemset& a, const NoisyItemset& b) {
+              if (a.noisy_count != b.noisy_count) {
+                return a.noisy_count > b.noisy_count;
+              }
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  if (k != 0 && all.size() > k) all.resize(k);
+  result.topk = std::move(all);
+  return result;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,57 @@
+// Algorithm 1 (BasisFreq): privately releasing frequent itemsets from a
+// basis set.
+//
+// Each basis Bi partitions transactions into 2^|Bi| disjoint bins (one per
+// subset of Bi: the transactions whose intersection with Bi is exactly
+// that subset). Releasing all bin counts of all w bases has sensitivity w,
+// so Lap(w/ε) noise per bin gives ε-DP. Itemset counts are recovered as
+// superset bin-sums; itemsets covered by several bases fuse their
+// estimates with inverse-variance weights.
+#ifndef PRIVBASIS_CORE_BASIS_FREQ_H_
+#define PRIVBASIS_CORE_BASIS_FREQ_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/basis.h"
+#include "data/transaction_db.h"
+#include "dp/budget.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Tuning and test hooks of BasisFreq.
+struct BasisFreqOptions {
+  /// Test hook: false runs the identical pipeline with zero noise, turning
+  /// BasisFreq into an exact candidate-set counter.
+  bool inject_noise = true;
+  /// Superset-sum implementation: the O(ℓ·2^ℓ) zeta transform (default) or
+  /// the naive O(3^ℓ) per-subset enumeration (the test oracle; also the
+  /// complexity the paper's analysis quotes).
+  bool use_fast_superset_sum = true;
+  /// Hard cap on basis length — 2^len bins are materialized per basis.
+  size_t max_basis_length = 20;
+};
+
+/// Output of one BasisFreq invocation.
+struct BasisFreqResult {
+  /// The k itemsets of C(B) with the highest noisy counts, best first
+  /// (deterministic tie-break: count desc, length asc, items lex).
+  std::vector<NoisyItemset> topk;
+  /// Number of distinct candidate itemsets in C(B).
+  size_t num_candidates = 0;
+};
+
+/// Runs Algorithm 1 with privacy budget `epsilon`. If `accountant` is
+/// non-null, `epsilon` is charged to it (fails when the budget is
+/// exhausted). `k` = 0 returns every candidate instead of the top k.
+Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
+                                  const BasisSet& basis_set, size_t k,
+                                  double epsilon, Rng& rng,
+                                  PrivacyAccountant* accountant = nullptr,
+                                  const BasisFreqOptions& options = {});
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_CORE_BASIS_FREQ_H_

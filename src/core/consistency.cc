@@ -1,0 +1,97 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace privbasis {
+
+namespace {
+
+/// Indices of `released` sorted by ascending itemset size (subsets before
+/// supersets in every chain).
+std::vector<size_t> BySize(const std::vector<NoisyItemset>& released) {
+  std::vector<size_t> order(released.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return released[a].items.size() < released[b].items.size();
+  });
+  return order;
+}
+
+/// For each released itemset, the indices of its released *immediate-or-
+/// deeper* subsets (any released proper subset). Quadratic in the release
+/// size, which is k ≤ a few hundred — fine.
+std::vector<std::vector<size_t>> SubsetLinks(
+    const std::vector<NoisyItemset>& released) {
+  std::vector<std::vector<size_t>> links(released.size());
+  for (size_t i = 0; i < released.size(); ++i) {
+    for (size_t j = 0; j < released.size(); ++j) {
+      if (i == j) continue;
+      if (released[j].items.size() < released[i].items.size() &&
+          released[j].items.IsSubsetOf(released[i].items)) {
+        links[i].push_back(j);
+      }
+    }
+  }
+  return links;
+}
+
+}  // namespace
+
+size_t CountMonotoneViolations(const std::vector<NoisyItemset>& released,
+                               double tolerance) {
+  auto links = SubsetLinks(released);
+  size_t violations = 0;
+  for (size_t i = 0; i < released.size(); ++i) {
+    for (size_t j : links[i]) {
+      if (released[i].noisy_count > released[j].noisy_count + tolerance) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+size_t EnforceMonotoneConsistency(std::vector<NoisyItemset>* released) {
+  auto& items = *released;
+  size_t violations = CountMonotoneViolations(items);
+
+  auto links = SubsetLinks(items);
+  std::vector<size_t> order = BySize(items);
+
+  // Lower monotone envelope: sweep subsets-first, capping each itemset by
+  // the minimum of its subsets' (already-final) lower values.
+  std::vector<double> lower(items.size());
+  for (size_t idx : order) {
+    double v = std::max(0.0, items[idx].noisy_count);
+    for (size_t sub : links[idx]) v = std::min(v, lower[sub]);
+    lower[idx] = v;
+  }
+
+  // Upper monotone envelope: sweep supersets-first, raising each itemset
+  // to the maximum of its supersets' (already-final) upper values.
+  std::vector<double> upper(items.size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    upper[*it] = std::max(0.0, items[*it].noisy_count);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    size_t idx = *it;
+    // Supersets of idx are exactly the entries whose links contain idx;
+    // recompute via the reverse relation.
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i == idx) continue;
+      if (items[idx].items.size() < items[i].items.size() &&
+          items[idx].items.IsSubsetOf(items[i].items)) {
+        upper[idx] = std::max(upper[idx], upper[i]);
+      }
+    }
+  }
+
+  // Midpoint of two monotone assignments is monotone.
+  for (size_t i = 0; i < items.size(); ++i) {
+    items[i].noisy_count = 0.5 * (lower[i] + upper[i]);
+  }
+  return violations;
+}
+
+}  // namespace privbasis

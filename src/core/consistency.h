@@ -1,0 +1,41 @@
+// Consistency post-processing for released noisy frequencies.
+//
+// Exact itemset frequencies are monotone under set inclusion:
+// X ⊆ Y ⟹ f(X) ≥ f(Y). Independent noise breaks this, and inconsistent
+// releases both look wrong and measurably hurt downstream use
+// (association-rule confidences above 1, negative counts). Following the
+// constrained-inference line the paper cites for histograms (Hay et al.,
+// PVLDB'10 [23]), this module repairs a release to the nearest-ish
+// monotone assignment. Pure post-processing: no privacy cost.
+//
+// The repair runs two sweeps over the released family ordered by size:
+//   down-sweep: cap every itemset by the min of its released subsets'
+//               values (enforces X ⊆ Y ⟹ v(Y) ≤ v(X));
+//   up-sweep:   raise every itemset to the max of its released supersets'
+//               values where the down-sweep overshot;
+// then averages the two monotone envelopes — the midpoint of the upper
+// and lower monotone repairs, which is itself monotone and empirically
+// close to the L2 projection. Negative counts are clamped to 0 first.
+#ifndef PRIVBASIS_CORE_CONSISTENCY_H_
+#define PRIVBASIS_CORE_CONSISTENCY_H_
+
+#include <vector>
+
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Repairs `released` in place to a subset-monotone, non-negative
+/// assignment. Only relations among *released* itemsets are enforced
+/// (the release is all a consumer sees). Returns the number of violated
+/// pairs found before repair (diagnostic).
+size_t EnforceMonotoneConsistency(std::vector<NoisyItemset>* released);
+
+/// Counts subset/superset pairs within `released` that violate
+/// monotonicity (v(superset) > v(subset) beyond `tolerance`).
+size_t CountMonotoneViolations(const std::vector<NoisyItemset>& released,
+                               double tolerance = 1e-9);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_CORE_CONSISTENCY_H_

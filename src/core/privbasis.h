@@ -1,0 +1,102 @@
+// Algorithm 3 (PrivBasis): the end-to-end ε-DP top-k frequent itemset
+// release.
+//
+//   1. λ  <- GetLambda(D, k, α1·ε)          number of items in the top k
+//   2. F  <- GetFreqElements(items, λ, ...)  the λ most frequent items
+//   3. P  <- GetFreqElements(pairs of F, λ2, ...)   (only when λ > 12)
+//   4. B  <- ConstructBasisSet(F, P)         no privacy cost
+//   5. top-k <- BasisFreq(D, B, k, α3·ε)
+//
+// Budget split α1 + α2 + α3 = 1 (defaults 0.1 / 0.4 / 0.5 as in §4.4);
+// within step 2+3, α2·ε splits as β1 = α2·λ/(λ+λ2), β2 = α2 − β1. The λ2
+// heuristic is λ2 = λ2'/sqrt(max(1, λ2'/λ)) with λ2' = η·k − λ.
+#ifndef PRIVBASIS_CORE_PRIVBASIS_H_
+#define PRIVBASIS_CORE_PRIVBASIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/basis.h"
+#include "core/basis_freq.h"
+#include "data/transaction_db.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Tunables of Algorithm 3. Defaults follow the paper.
+struct PrivBasisOptions {
+  /// Budget split across GetLambda / item+pair selection / BasisFreq.
+  /// Must sum to ≤ 1 (the remainder is simply unspent).
+  double alpha1 = 0.1;
+  double alpha2 = 0.4;
+  double alpha3 = 0.5;
+  /// Safety margin η (paper: 1.1 or 1.2): GetLambda targets the
+  /// ⌈η·k⌉-th itemset so that underestimating λ — the costlier error —
+  /// becomes unlikely.
+  double eta = 1.1;
+  /// λ at or below this uses the single-basis fast path (paper: 12).
+  size_t single_basis_lambda_cap = 12;
+  /// Length cap handed to ConstructBasisSet (paper: 12).
+  size_t max_basis_length = 12;
+  /// Use the monotone-quality exponential mechanism (drops the 1/2 in the
+  /// exponent) in GetFreqElements, as the pseudocode's e^{f·ε/λ} does.
+  bool monotonic_em = true;
+  /// Ablation switch: use the naive λ2 = η·k − λ instead of the paper's
+  /// square-root-damped heuristic (§4.4 argues the naive choice spreads
+  /// the pair budget too thin — bench_ablation_lambda2 measures it).
+  bool naive_lambda2 = false;
+  /// Practical guard: λ samples above this are clamped (a wild λ at tiny
+  /// ε would otherwise make BasisFreq's width explode). 0 = min(3k, |I|).
+  size_t lambda_cap = 0;
+  /// Exact support of the ⌈η·k⌉-th most frequent itemset, if the caller
+  /// already mined it (experiment harnesses reuse it across repetitions);
+  /// 0 = compute internally. Using it changes nothing statistically —
+  /// it is the same data-dependent quantity either way.
+  uint64_t fk1_support_hint = 0;
+  BasisFreqOptions basis_freq;
+};
+
+/// Output of one PrivBasis run.
+struct PrivBasisResult {
+  /// The released top-k itemsets with noisy counts, best first.
+  std::vector<NoisyItemset> topk;
+  // Diagnostics (all derived from DP-released intermediates — safe to
+  // expose):
+  uint32_t lambda = 0;       ///< sampled λ
+  uint32_t lambda2 = 0;      ///< pair-selection target (0 on the fast path)
+  BasisSet basis_set;        ///< the basis set used by BasisFreq
+  double epsilon_spent = 0;  ///< total privacy budget actually consumed
+};
+
+/// Runs Algorithm 3 with total privacy budget `epsilon`.
+Result<PrivBasisResult> RunPrivBasis(const TransactionDatabase& db, size_t k,
+                                     double epsilon, Rng& rng,
+                                     const PrivBasisOptions& options = {});
+
+// --- exposed sub-steps (unit-tested individually) ----------------------
+
+/// Step 1: samples λ, the number of unique items in the top k itemsets,
+/// with the exponential mechanism over item ranks: quality of rank j is
+/// (1 − |f_itemj − f_k1|)·N (sensitivity 1). `fk1_support` is the exact
+/// support of the ⌈η·k⌉-th itemset.
+uint32_t GetLambda(const TransactionDatabase& db, uint64_t fk1_support,
+                   double epsilon, Rng& rng);
+
+/// Steps 2/3 worker: selects `count` of the candidates by repeated
+/// exponential mechanism without replacement, quality = absolute support,
+/// per-round budget epsilon/count. Returns selected candidate indices.
+Result<std::vector<size_t>> GetFreqElements(
+    std::span<const uint64_t> candidate_supports, size_t count,
+    double epsilon, bool monotonic, Rng& rng);
+
+/// Exact pair-support counting restricted to `items`: one data scan,
+/// returns the dense upper-triangular counts, pair (i, j) with i < j at
+/// index i*|items| + j.
+std::vector<uint64_t> CountPairSupports(const TransactionDatabase& db,
+                                        const std::vector<Item>& items);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_CORE_PRIVBASIS_H_

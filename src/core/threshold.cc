@@ -1,0 +1,28 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+
+namespace privbasis {
+
+Result<PrivBasisResult> RunPrivBasisThreshold(
+    const TransactionDatabase& db, double theta, size_t k_cap,
+    double epsilon, Rng& rng, const PrivBasisOptions& options) {
+  if (!(theta > 0.0) || theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  if (k_cap == 0) {
+    return Status::InvalidArgument("k_cap must be >= 1");
+  }
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      PrivBasisResult result, RunPrivBasis(db, k_cap, epsilon, rng, options));
+  const double theta_count =
+      theta * static_cast<double>(db.NumTransactions());
+  // Post-processing filter on the already-released noisy counts: no
+  // additional privacy cost.
+  std::erase_if(result.topk, [theta_count](const NoisyItemset& itemset) {
+    return itemset.noisy_count < theta_count;
+  });
+  return result;
+}
+
+}  // namespace privbasis

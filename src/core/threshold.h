@@ -1,0 +1,26 @@
+// Threshold-version PrivBasis: release (approximately) all itemsets with
+// frequency ≥ θ. The paper reduces this to the top-k version ("compute k
+// such that fk ≥ θ > f_{k+1}"); privately, the exact k is unknown, so we
+// run the top-k machinery at a caller-chosen cap and keep the released
+// itemsets whose *noisy* frequency clears θ — a pure post-processing
+// filter, so the privacy cost is exactly one PrivBasis run.
+#ifndef PRIVBASIS_CORE_THRESHOLD_H_
+#define PRIVBASIS_CORE_THRESHOLD_H_
+
+#include "core/privbasis.h"
+
+namespace privbasis {
+
+/// Releases itemsets with noisy frequency ≥ theta under ε-DP.
+///
+/// `k_cap` bounds the candidate release the filter operates on (it plays
+/// the role of the paper's k; choose it comfortably above the expected
+/// number of θ-frequent itemsets — itemsets beyond the cap can never be
+/// released). theta ∈ (0, 1].
+Result<PrivBasisResult> RunPrivBasisThreshold(
+    const TransactionDatabase& db, double theta, size_t k_cap,
+    double epsilon, Rng& rng, const PrivBasisOptions& options = {});
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_CORE_THRESHOLD_H_

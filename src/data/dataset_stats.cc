@@ -1,0 +1,39 @@
+#include "data/dataset_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace privbasis {
+
+std::string DatasetStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "N=%llu |I|=%u active=%u avg|t|=%.2f max|t|=%u |D|=%llu",
+                static_cast<unsigned long long>(num_transactions),
+                universe_size, num_active_items, avg_transaction_len,
+                max_transaction_len,
+                static_cast<unsigned long long>(total_occurrences));
+  return std::string(buf);
+}
+
+DatasetStats ComputeDatasetStats(const TransactionDatabase& db) {
+  DatasetStats s;
+  s.num_transactions = db.NumTransactions();
+  s.universe_size = db.UniverseSize();
+  for (uint64_t sup : db.ItemSupports()) {
+    if (sup > 0) ++s.num_active_items;
+  }
+  s.total_occurrences = db.TotalItemOccurrences();
+  for (size_t i = 0; i < db.NumTransactions(); ++i) {
+    s.max_transaction_len = std::max(
+        s.max_transaction_len, static_cast<uint32_t>(db.Transaction(i).size()));
+  }
+  s.avg_transaction_len =
+      s.num_transactions == 0
+          ? 0.0
+          : static_cast<double>(s.total_occurrences) /
+                static_cast<double>(s.num_transactions);
+  return s;
+}
+
+}  // namespace privbasis

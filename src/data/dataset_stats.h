@@ -1,0 +1,31 @@
+// Summary statistics of a transaction database — the quantities of the
+// paper's Table 2(a) that depend on the data alone (N, |I|, avg |t|).
+#ifndef PRIVBASIS_DATA_DATASET_STATS_H_
+#define PRIVBASIS_DATA_DATASET_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/transaction_db.h"
+
+namespace privbasis {
+
+/// Data-only dataset statistics (mining-dependent stats such as λ live in
+/// eval/ground_truth.h).
+struct DatasetStats {
+  uint64_t num_transactions = 0;   ///< N
+  uint32_t universe_size = 0;      ///< declared |I|
+  uint32_t num_active_items = 0;   ///< items with support > 0
+  double avg_transaction_len = 0;  ///< avg |t|
+  uint32_t max_transaction_len = 0;
+  uint64_t total_occurrences = 0;  ///< Σ|t| (the paper's |D|)
+
+  std::string ToString() const;
+};
+
+/// Computes statistics in one pass over per-item supports and offsets.
+DatasetStats ComputeDatasetStats(const TransactionDatabase& db);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DATA_DATASET_STATS_H_

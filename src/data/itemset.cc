@@ -1,0 +1,116 @@
+#include "data/itemset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace privbasis {
+
+Itemset::Itemset(std::vector<Item> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Itemset::Itemset(std::initializer_list<Item> items)
+    : Itemset(std::vector<Item>(items)) {}
+
+Itemset Itemset::FromSorted(std::vector<Item> sorted_items) {
+  assert(std::is_sorted(sorted_items.begin(), sorted_items.end()));
+  assert(std::adjacent_find(sorted_items.begin(), sorted_items.end()) ==
+         sorted_items.end());
+  Itemset s;
+  s.items_ = std::move(sorted_items);
+  return s;
+}
+
+bool Itemset::Contains(Item item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::IsSubsetOf(const Itemset& other) const {
+  return IsSubsetOf(std::span<const Item>(other.items_));
+}
+
+bool Itemset::IsSubsetOf(std::span<const Item> sorted_other) const {
+  return std::includes(sorted_other.begin(), sorted_other.end(),
+                       items_.begin(), items_.end());
+}
+
+Itemset Itemset::Union(const Itemset& other) const {
+  std::vector<Item> out;
+  out.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+Itemset Itemset::Intersect(const Itemset& other) const {
+  std::vector<Item> out;
+  std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+Itemset Itemset::Difference(const Itemset& other) const {
+  std::vector<Item> out;
+  std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                      other.items_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+Itemset Itemset::With(Item item) const {
+  if (Contains(item)) return *this;
+  std::vector<Item> out = items_;
+  out.insert(std::lower_bound(out.begin(), out.end(), item), item);
+  return FromSorted(std::move(out));
+}
+
+std::string Itemset::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+inline size_t Fnv1a(const Item* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+}  // namespace
+
+size_t ItemsetHash::operator()(const Itemset& s) const {
+  return Fnv1a(s.items().data(), s.size());
+}
+
+size_t ItemVectorHash::operator()(const std::vector<Item>& v) const {
+  return Fnv1a(v.data(), v.size());
+}
+
+void ForEachSubset(const Itemset& base, size_t max_size,
+                   const std::function<void(const Itemset&)>& fn) {
+  assert(base.size() <= 63);
+  const size_t n = base.size();
+  const uint64_t limit = uint64_t{1} << n;
+  std::vector<Item> scratch;
+  scratch.reserve(n);
+  for (uint64_t mask = 1; mask < limit; ++mask) {
+    if (max_size != 0 &&
+        static_cast<size_t>(__builtin_popcountll(mask)) > max_size) {
+      continue;
+    }
+    scratch.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) scratch.push_back(base[i]);
+    }
+    fn(Itemset::FromSorted(scratch));
+  }
+}
+
+}  // namespace privbasis

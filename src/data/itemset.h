@@ -1,0 +1,88 @@
+// Itemset: an immutable-by-convention sorted set of item ids, the value
+// type flowing through the whole library (transactions, mined patterns,
+// bases, candidates).
+#ifndef PRIVBASIS_DATA_ITEMSET_H_
+#define PRIVBASIS_DATA_ITEMSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace privbasis {
+
+/// Dense item identifier. Datasets remap raw ids to [0, |I|).
+using Item = uint32_t;
+
+/// A set of items stored as a sorted, duplicate-free vector. Small (top-k
+/// itemsets rarely exceed a dozen items), so contiguous storage beats any
+/// tree/hash representation.
+class Itemset {
+ public:
+  Itemset() = default;
+
+  /// Builds from arbitrary items; sorts and deduplicates.
+  explicit Itemset(std::vector<Item> items);
+  Itemset(std::initializer_list<Item> items);
+
+  /// Wraps a vector the caller guarantees is sorted and duplicate-free
+  /// (checked in debug builds). O(1).
+  static Itemset FromSorted(std::vector<Item> sorted_items);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  Item operator[](size_t i) const { return items_[i]; }
+
+  std::vector<Item>::const_iterator begin() const { return items_.begin(); }
+  std::vector<Item>::const_iterator end() const { return items_.end(); }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Membership test. O(log n).
+  bool Contains(Item item) const;
+
+  /// True iff every item of *this is in `other`. O(n + m).
+  bool IsSubsetOf(const Itemset& other) const;
+  bool IsSubsetOf(std::span<const Item> sorted_other) const;
+
+  /// Set union / intersection / difference (linear merges).
+  Itemset Union(const Itemset& other) const;
+  Itemset Intersect(const Itemset& other) const;
+  Itemset Difference(const Itemset& other) const;
+
+  /// Copy with `item` added (no-op copy if already present).
+  Itemset With(Item item) const;
+
+  /// Lexicographic comparison on the sorted item sequence.
+  auto operator<=>(const Itemset& other) const = default;
+  bool operator==(const Itemset& other) const = default;
+
+  /// "{3, 17, 42}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// FNV-1a over the item sequence; usable as the Hash template argument of
+/// unordered containers keyed by Itemset.
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const;
+};
+
+/// Hash for plain sorted item vectors (used by interning maps).
+struct ItemVectorHash {
+  size_t operator()(const std::vector<Item>& v) const;
+};
+
+/// Enumerates all non-empty subsets of `base` of size at most `max_size`
+/// (0 = no cap), invoking `fn(const Itemset&)` for each. `base.size()` must
+/// be ≤ 63.
+void ForEachSubset(const Itemset& base, size_t max_size,
+                   const std::function<void(const Itemset&)>& fn);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DATA_ITEMSET_H_

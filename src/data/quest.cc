@@ -1,0 +1,121 @@
+#include "data/quest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+
+namespace privbasis {
+
+namespace {
+
+/// Poisson via Knuth (means here are ≤ ~50).
+uint64_t SamplePoisson(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  double limit = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+struct Pattern {
+  std::vector<Item> items;
+  double corruption;  // probability an item is dropped per instantiation
+};
+
+}  // namespace
+
+QuestConfig QuestConfig::T10I4D100K() {
+  QuestConfig config;
+  config.num_transactions = 100000;
+  config.avg_transaction_size = 10;
+  config.num_patterns = 2000;
+  config.avg_pattern_size = 4;
+  config.num_items = 1000;
+  return config;
+}
+
+QuestConfig QuestConfig::T25I10D10K() {
+  QuestConfig config;
+  config.num_transactions = 10000;
+  config.avg_transaction_size = 25;
+  config.num_patterns = 2000;
+  config.avg_pattern_size = 10;
+  config.num_items = 1000;
+  return config;
+}
+
+Result<TransactionDatabase> GenerateQuestDataset(const QuestConfig& config,
+                                                 uint64_t seed) {
+  if (config.num_transactions == 0 || config.num_items == 0 ||
+      config.num_patterns == 0) {
+    return Status::InvalidArgument(
+        "QUEST config needs positive D, N and L");
+  }
+  if (config.avg_transaction_size <= 0 || config.avg_pattern_size <= 0) {
+    return Status::InvalidArgument("QUEST config needs positive T and I");
+  }
+  Rng rng(seed ^ 0x5851f42d4c957f2dULL);
+
+  // Build the potentially-large itemsets. Item popularity is mildly
+  // skewed (Zipf 0.5) so patterns overlap on common items, as in QUEST.
+  ZipfDistribution item_dist(config.num_items, 0.5);
+  std::vector<Pattern> patterns(config.num_patterns);
+  std::vector<double> weights(config.num_patterns);
+  for (size_t p = 0; p < config.num_patterns; ++p) {
+    size_t size = std::max<uint64_t>(
+        1, SamplePoisson(rng, config.avg_pattern_size));
+    std::vector<Item> items;
+    // Correlation: reuse a fraction of the previous pattern's items.
+    if (p > 0 && config.correlation > 0.0) {
+      const auto& prev = patterns[p - 1].items;
+      for (Item it : prev) {
+        if (items.size() >= size) break;
+        if (rng.Bernoulli(config.correlation * 0.5)) items.push_back(it);
+      }
+    }
+    while (items.size() < size) {
+      items.push_back(static_cast<Item>(item_dist.Sample(rng)));
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    // Corruption level: clipped normal around mean_corruption (QUEST uses
+    // sd 0.1); approximate the normal by a sum of uniforms.
+    double normal = 0.0;
+    for (int i = 0; i < 12; ++i) normal += rng.NextDouble();
+    normal = (normal - 6.0) * 0.1 + config.mean_corruption;
+    patterns[p] = Pattern{std::move(items),
+                          std::clamp(normal, 0.0, 0.95)};
+    // Exponential pattern weights, normalized implicitly by the sampler.
+    weights[p] = SampleExponential(rng, 1.0);
+  }
+
+  TransactionDatabase::Builder builder(config.num_items);
+  std::vector<Item> txn;
+  for (uint64_t t = 0; t < config.num_transactions; ++t) {
+    uint64_t target =
+        std::max<uint64_t>(1, SamplePoisson(rng, config.avg_transaction_size));
+    txn.clear();
+    // Fill with weighted pattern picks; per QUEST, the last pattern may
+    // overshoot — keep it with probability ~ the fraction needed, else
+    // truncate.
+    size_t guard = 0;
+    while (txn.size() < target && guard++ < 64) {
+      const Pattern& pattern = patterns[SampleDiscrete(rng, weights)];
+      for (Item it : pattern.items) {
+        if (!rng.Bernoulli(pattern.corruption)) txn.push_back(it);
+      }
+    }
+    if (txn.size() > target) txn.resize(target);
+    if (txn.empty()) txn.push_back(static_cast<Item>(item_dist.Sample(rng)));
+    builder.AddTransaction(txn);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace privbasis

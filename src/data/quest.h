@@ -1,0 +1,52 @@
+// IBM QUEST-style synthetic market-basket generator (Agrawal & Srikant,
+// VLDB'94 §: "synthetic data generation") — the T10.I4.D100K family every
+// FIM paper of the era benchmarks on. Complements the Table 2(a)
+// calibrated profiles in synthetic.h with the community-standard
+// parameterization:
+//
+//   D  number of transactions            (e.g. 100K)
+//   T  average transaction size          (e.g. 10)
+//   L  number of potentially-large itemsets (patterns)
+//   I  average size of those patterns    (e.g. 4)
+//   N  number of items
+//
+// Each pattern is a Poisson(I)-sized itemset over Zipf-ish item picks
+// with an exponentially distributed weight; transactions are filled by
+// sampling patterns by weight, keeping each pattern's items with a
+// per-pattern corruption level, until the Poisson(T) size is reached.
+#ifndef PRIVBASIS_DATA_QUEST_H_
+#define PRIVBASIS_DATA_QUEST_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+
+namespace privbasis {
+
+struct QuestConfig {
+  uint64_t num_transactions = 100000;  ///< D
+  double avg_transaction_size = 10;    ///< T
+  uint64_t num_patterns = 2000;        ///< L
+  double avg_pattern_size = 4;         ///< I
+  uint32_t num_items = 1000;           ///< N
+  /// Fraction of a pattern's items shared with the previous pattern
+  /// (QUEST's "correlation"); default per the paper.
+  double correlation = 0.5;
+  /// Mean of the per-pattern corruption level (items dropped when the
+  /// pattern is instantiated); QUEST uses a clipped normal around 0.5.
+  double mean_corruption = 0.5;
+
+  /// The classic T10.I4.D100K dataset.
+  static QuestConfig T10I4D100K();
+  /// The denser T25.I10.D10K variant.
+  static QuestConfig T25I10D10K();
+};
+
+/// Generates a QUEST dataset. Deterministic in (config, seed).
+Result<TransactionDatabase> GenerateQuestDataset(const QuestConfig& config,
+                                                 uint64_t seed);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DATA_QUEST_H_

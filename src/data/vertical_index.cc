@@ -1,0 +1,98 @@
+#include "data/vertical_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace privbasis {
+
+VerticalIndex::VerticalIndex(const TransactionDatabase& db)
+    : num_transactions_(db.NumTransactions()),
+      universe_size_(db.UniverseSize()) {
+  // Counting sort into CSR: supports give exact bucket sizes.
+  const auto& supports = db.ItemSupports();
+  tid_offsets_.assign(universe_size_ + 1, 0);
+  for (uint32_t i = 0; i < universe_size_; ++i) {
+    tid_offsets_[i + 1] = tid_offsets_[i] + supports[i];
+  }
+  tids_.resize(db.TotalItemOccurrences());
+  std::vector<uint64_t> cursor(tid_offsets_.begin(), tid_offsets_.end() - 1);
+  for (size_t t = 0; t < num_transactions_; ++t) {
+    for (Item it : db.Transaction(t)) {
+      tids_[cursor[it]++] = static_cast<uint32_t>(t);
+    }
+  }
+  // Tid order within each list is ascending because transactions were
+  // visited in order.
+}
+
+std::span<const uint32_t> VerticalIndex::TidList(Item item) const {
+  if (item >= universe_size_) {
+    // Out-of-universe items never occur: empty list (metrics may probe
+    // arbitrary published itemsets).
+    return {};
+  }
+  return std::span<const uint32_t>(tids_.data() + tid_offsets_[item],
+                                   tids_.data() + tid_offsets_[item + 1]);
+}
+
+namespace {
+
+/// Galloping (exponential) search: first index in [lo, n) with v[idx] >= x.
+size_t Gallop(std::span<const uint32_t> v, size_t lo, uint32_t x) {
+  size_t hi = lo + 1;
+  size_t n = v.size();
+  while (hi < n && v[hi] < x) {
+    size_t step = (hi - lo) * 2;
+    lo = hi;
+    hi = std::min(n, lo + step);
+  }
+  return std::lower_bound(v.begin() + lo, v.begin() + std::min(hi + 1, n), x) -
+         v.begin();
+}
+
+}  // namespace
+
+uint64_t VerticalIndex::SupportOf(const Itemset& itemset) const {
+  if (itemset.empty()) return num_transactions_;
+  // Order lists by ascending length; drive the intersection from the
+  // shortest list, galloping through the others.
+  std::vector<std::span<const uint32_t>> lists;
+  lists.reserve(itemset.size());
+  for (Item it : itemset) lists.push_back(TidList(it));
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  if (lists.front().empty()) return 0;
+
+  uint64_t support = 0;
+  std::vector<size_t> pos(lists.size(), 0);
+  for (uint32_t tid : lists[0]) {
+    bool in_all = true;
+    for (size_t j = 1; j < lists.size(); ++j) {
+      size_t p = Gallop(lists[j], pos[j], tid);
+      pos[j] = p;
+      if (p >= lists[j].size() || lists[j][p] != tid) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) ++support;
+  }
+  return support;
+}
+
+uint64_t VerticalIndex::SupportOfPair(Item a, Item b) const {
+  auto la = TidList(a);
+  auto lb = TidList(b);
+  if (la.size() > lb.size()) std::swap(la, lb);
+  if (la.empty()) return 0;
+  uint64_t support = 0;
+  size_t p = 0;
+  for (uint32_t tid : la) {
+    p = Gallop(lb, p, tid);
+    if (p >= lb.size()) break;
+    if (lb[p] == tid) ++support;
+  }
+  return support;
+}
+
+}  // namespace privbasis

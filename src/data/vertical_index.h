@@ -1,0 +1,54 @@
+// VerticalIndex: per-item sorted transaction-id lists ("tid-lists").
+//
+// Supports O(Σ shortest-list) ad-hoc support counting of arbitrary
+// itemsets via galloping multi-way intersection — the workhorse behind the
+// TF baseline's rejection sampler and the ground-truth verifier, where
+// support queries arrive for itemsets no miner enumerated.
+#ifndef PRIVBASIS_DATA_VERTICAL_INDEX_H_
+#define PRIVBASIS_DATA_VERTICAL_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/itemset.h"
+#include "data/transaction_db.h"
+
+namespace privbasis {
+
+/// Immutable tid-list index over a TransactionDatabase.
+class VerticalIndex {
+ public:
+  /// Builds the index with one scan of `db`. The index keeps no reference
+  /// to `db` afterwards.
+  explicit VerticalIndex(const TransactionDatabase& db);
+
+  /// Sorted transaction ids containing `item`.
+  std::span<const uint32_t> TidList(Item item) const;
+
+  /// Absolute support of `itemset`: |∩ tid-lists|. Empty itemset returns N.
+  uint64_t SupportOf(const Itemset& itemset) const;
+
+  /// Frequency f(X) = support / N.
+  double FrequencyOf(const Itemset& itemset) const {
+    return static_cast<double>(SupportOf(itemset)) /
+           static_cast<double>(num_transactions_);
+  }
+
+  /// Support of the pair {a, b} (common fast path).
+  uint64_t SupportOfPair(Item a, Item b) const;
+
+  size_t NumTransactions() const { return num_transactions_; }
+  uint32_t UniverseSize() const { return universe_size_; }
+
+ private:
+  size_t num_transactions_;
+  uint32_t universe_size_;
+  // CSR over items: tids_[tid_offsets_[i]..tid_offsets_[i+1]) sorted.
+  std::vector<uint32_t> tids_;
+  std::vector<uint64_t> tid_offsets_;
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DATA_VERTICAL_INDEX_H_

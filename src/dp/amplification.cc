@@ -1,0 +1,32 @@
+#include "dp/amplification.h"
+
+#include <cmath>
+
+namespace privbasis {
+
+double AmplifiedEpsilon(double sampling_rate, double mechanism_epsilon) {
+  // ln(1 + q(e^{ε'} − 1)); expm1/log1p keep precision for small ε'.
+  return std::log1p(sampling_rate * std::expm1(mechanism_epsilon));
+}
+
+double MechanismEpsilonForTarget(double sampling_rate,
+                                 double target_epsilon) {
+  return std::log1p(std::expm1(target_epsilon) / sampling_rate);
+}
+
+Result<TransactionDatabase> PoissonSubsample(const TransactionDatabase& db,
+                                             double sampling_rate, Rng& rng) {
+  if (!(sampling_rate > 0.0) || sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling_rate must be in (0, 1]");
+  }
+  TransactionDatabase::Builder builder(db.UniverseSize());
+  for (size_t t = 0; t < db.NumTransactions(); ++t) {
+    if (rng.Bernoulli(sampling_rate)) {
+      auto txn = db.Transaction(t);
+      builder.AddTransaction(std::vector<Item>(txn.begin(), txn.end()));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace privbasis

@@ -1,0 +1,38 @@
+// Privacy amplification by subsampling (Kasiviswanathan et al. 2008 /
+// Li, Qardaji, Su 2012 — the same group's follow-up line): running an
+// ε'-DP mechanism on a Poisson q-subsample of D satisfies
+//
+//   ε(q, ε') = ln(1 + q·(e^{ε'} − 1))  ≤ q·ε'    (add/remove neighbours)
+//
+// so a mechanism can spend a *larger* per-run budget on the subsample
+// while meeting a smaller end-to-end ε. The trade is noise-vs-sampling
+// error: the subsample's counts carry binomial sampling noise of their
+// own. core/amplified.h wires this into PrivBasis.
+#ifndef PRIVBASIS_DP_AMPLIFICATION_H_
+#define PRIVBASIS_DP_AMPLIFICATION_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/transaction_db.h"
+
+namespace privbasis {
+
+/// The amplified guarantee: ε after running an ε'-DP mechanism on a
+/// Poisson q-subsample. q ∈ (0, 1], mechanism_epsilon > 0.
+double AmplifiedEpsilon(double sampling_rate, double mechanism_epsilon);
+
+/// Inverse: the per-run budget ε' a mechanism may spend on a Poisson
+/// q-subsample so that the end-to-end guarantee is `target_epsilon`:
+/// ε' = ln(1 + (e^ε − 1)/q). Grows as q shrinks.
+double MechanismEpsilonForTarget(double sampling_rate, double target_epsilon);
+
+/// Poisson subsample: keeps each transaction independently with
+/// probability `sampling_rate`. The subsample size is itself random —
+/// required for the amplification theorem (fixed-size sampling needs a
+/// different analysis).
+Result<TransactionDatabase> PoissonSubsample(const TransactionDatabase& db,
+                                             double sampling_rate, Rng& rng);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DP_AMPLIFICATION_H_

@@ -1,0 +1,46 @@
+// Privacy-budget accounting under sequential composition: mechanisms that
+// satisfy ε1-, ..., εm-DP compose to (Σεi)-DP. Every mechanism invocation
+// in the library routes its ε through a PrivacyAccountant so end-to-end
+// runs can assert they never exceed their budget.
+#ifndef PRIVBASIS_DP_BUDGET_H_
+#define PRIVBASIS_DP_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privbasis {
+
+/// Tracks consumption of a fixed ε budget. Not thread-safe (experiments
+/// are single-threaded per run).
+class PrivacyAccountant {
+ public:
+  /// One recorded expenditure.
+  struct Entry {
+    std::string label;
+    double epsilon;
+  };
+
+  /// `total_epsilon` must be > 0.
+  explicit PrivacyAccountant(double total_epsilon);
+
+  /// Registers an expenditure of `epsilon` attributed to `label`.
+  /// Fails (and records nothing) if it would exceed the total budget
+  /// beyond a small floating-point tolerance.
+  Status Consume(double epsilon, const std::string& label);
+
+  double total_epsilon() const { return total_; }
+  double spent_epsilon() const { return spent_; }
+  double remaining_epsilon() const { return total_ - spent_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DP_BUDGET_H_

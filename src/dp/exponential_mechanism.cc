@@ -1,0 +1,115 @@
+#include "dp/exponential_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logspace.h"
+
+namespace privbasis {
+
+double EmExponentFactor(const EmOptions& options) {
+  double denom = (options.monotonic ? 1.0 : 2.0) * options.sensitivity;
+  return options.epsilon / denom;
+}
+
+Result<size_t> ExponentialMechanismSelect(Rng& rng,
+                                          std::span<const double> qualities,
+                                          const EmOptions& options) {
+  if (qualities.empty()) {
+    return Status::InvalidArgument("no candidates to select from");
+  }
+  if (!(options.epsilon > 0.0) || !(options.sensitivity > 0.0)) {
+    return Status::InvalidArgument("epsilon and sensitivity must be > 0");
+  }
+  const double factor = EmExponentFactor(options);
+  GumbelMaxSampler sampler(&rng);
+  for (size_t i = 0; i < qualities.size(); ++i) {
+    sampler.Offer(i, factor * qualities[i]);
+  }
+  return sampler.WinnerKey();
+}
+
+Result<std::vector<size_t>> ExponentialMechanismSelectK(
+    Rng& rng, std::span<const double> qualities, size_t count,
+    const EmOptions& options) {
+  if (count > qualities.size()) {
+    return Status::InvalidArgument("cannot select " + std::to_string(count) +
+                                   " of " + std::to_string(qualities.size()) +
+                                   " candidates without replacement");
+  }
+  if (!(options.epsilon > 0.0) || !(options.sensitivity > 0.0)) {
+    return Status::InvalidArgument("epsilon and sensitivity must be > 0");
+  }
+  EmOptions per_round = options;
+  per_round.epsilon = options.epsilon / static_cast<double>(count);
+  const double factor = EmExponentFactor(per_round);
+
+  std::vector<bool> taken(qualities.size(), false);
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t round = 0; round < count; ++round) {
+    GumbelMaxSampler sampler(&rng);
+    for (size_t i = 0; i < qualities.size(); ++i) {
+      if (!taken[i]) sampler.Offer(i, factor * qualities[i]);
+    }
+    size_t winner = sampler.WinnerKey();
+    taken[winner] = true;
+    out.push_back(winner);
+  }
+  return out;
+}
+
+GroupedEmPool::GroupedEmPool(std::span<const uint64_t> qualities) {
+  remaining_ = qualities.size();
+  std::vector<size_t> order(qualities.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (qualities[a] != qualities[b]) return qualities[a] > qualities[b];
+    return a < b;
+  });
+  for (size_t idx : order) {
+    if (groups_.empty() || groups_.back().quality != qualities[idx]) {
+      groups_.push_back(Group{qualities[idx], {}});
+    }
+    groups_.back().members.push_back(idx);
+  }
+}
+
+void GroupedEmPool::OfferAll(GumbelMaxSampler* sampler, double factor) const {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].members.empty()) continue;
+    sampler->OfferGroup(g, factor * static_cast<double>(groups_[g].quality),
+                        static_cast<double>(groups_[g].members.size()));
+  }
+}
+
+size_t GroupedEmPool::TakeFrom(size_t group, Rng& rng) {
+  auto& members = groups_[group].members;
+  size_t pick = rng.UniformInt(members.size());
+  size_t idx = members[pick];
+  members[pick] = members.back();
+  members.pop_back();
+  --remaining_;
+  return idx;
+}
+
+Result<std::vector<size_t>> GroupedEmPool::SelectK(Rng& rng, size_t count,
+                                                   double factor) {
+  if (count > remaining_) {
+    return Status::InvalidArgument(
+        "cannot select " + std::to_string(count) + " of " +
+        std::to_string(remaining_) + " remaining candidates");
+  }
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t round = 0; round < count; ++round) {
+    GumbelMaxSampler sampler(&rng);
+    OfferAll(&sampler, factor);
+    out.push_back(TakeFrom(sampler.WinnerKey(), rng));
+  }
+  return out;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,35 @@
+#include "dp/geometric_mechanism.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace privbasis {
+
+int64_t SampleTwoSidedGeometric(Rng& rng, double alpha) {
+  assert(alpha > 0.0 && alpha < 1.0);
+  // Magnitude |Z| = 0 with prob (1−α)/(1+α); otherwise one-sided
+  // geometric ≥ 1 with a uniform sign. Sample via inverse CDF on the
+  // one-sided geometric: G = floor(log(U)/log(α)).
+  double p_zero = (1.0 - alpha) / (1.0 + alpha);
+  if (rng.NextDouble() < p_zero) return 0;
+  // Magnitude ≥ 1: geometric with success probability 1−α, shifted.
+  double u = rng.NextDoubleOpen();
+  int64_t magnitude =
+      1 + static_cast<int64_t>(std::floor(std::log(u) / std::log(alpha)));
+  if (magnitude < 1) magnitude = 1;  // numerical guard
+  return rng.Bernoulli(0.5) ? magnitude : -magnitude;
+}
+
+int64_t GeometricPerturb(Rng& rng, int64_t value, double sensitivity,
+                         double epsilon) {
+  assert(sensitivity > 0.0 && epsilon > 0.0);
+  double alpha = std::exp(-epsilon / sensitivity);
+  return value + SampleTwoSidedGeometric(rng, alpha);
+}
+
+double GeometricNoiseVariance(double alpha) {
+  double one_minus = 1.0 - alpha;
+  return 2.0 * alpha / (one_minus * one_minus);
+}
+
+}  // namespace privbasis

@@ -1,0 +1,30 @@
+// The geometric mechanism (Ghosh, Roughgarden, Sundararajan): the
+// discrete analogue of Laplace noise for integer-valued queries.
+// Noise Z has P(Z = z) ∝ α^{|z|} with α = exp(−ε/Δ); adding Z to an
+// integer count gives ε-DP and keeps the released value integral — a
+// useful alternative for the bin counts of BasisFreq when consumers
+// require integer counts.
+#ifndef PRIVBASIS_DP_GEOMETRIC_MECHANISM_H_
+#define PRIVBASIS_DP_GEOMETRIC_MECHANISM_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace privbasis {
+
+/// Sample two-sided geometric noise with parameter alpha ∈ (0, 1):
+/// P(z) = (1−α)/(1+α) · α^{|z|}.
+int64_t SampleTwoSidedGeometric(Rng& rng, double alpha);
+
+/// Adds two-sided geometric noise calibrated to (sensitivity, epsilon):
+/// α = exp(−ε/Δ). Both must be > 0.
+int64_t GeometricPerturb(Rng& rng, int64_t value, double sensitivity,
+                         double epsilon);
+
+/// Variance of the two-sided geometric with parameter alpha: 2α/(1−α)².
+double GeometricNoiseVariance(double alpha);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DP_GEOMETRIC_MECHANISM_H_

@@ -1,0 +1,30 @@
+#include "dp/laplace_mechanism.h"
+
+#include <cassert>
+
+#include "common/distributions.h"
+
+namespace privbasis {
+
+double LaplacePerturb(Rng& rng, double value, double sensitivity,
+                      double epsilon) {
+  assert(sensitivity > 0.0 && epsilon > 0.0);
+  return value + SampleLaplace(rng, sensitivity / epsilon);
+}
+
+std::vector<double> LaplacePerturb(Rng& rng, std::span<const double> values,
+                                   double sensitivity, double epsilon) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(LaplacePerturb(rng, v, sensitivity, epsilon));
+  }
+  return out;
+}
+
+double LaplaceNoiseVariance(double sensitivity, double epsilon) {
+  double scale = sensitivity / epsilon;
+  return 2.0 * scale * scale;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,29 @@
+// The Laplace mechanism: A(D) = g(D) + Lap(GS_g / ε) per coordinate, where
+// GS_g is the L1 global sensitivity of g (paper §2.1).
+#ifndef PRIVBASIS_DP_LAPLACE_MECHANISM_H_
+#define PRIVBASIS_DP_LAPLACE_MECHANISM_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace privbasis {
+
+/// Returns `value` + Lap(sensitivity/epsilon). `sensitivity` and `epsilon`
+/// must be > 0.
+double LaplacePerturb(Rng& rng, double value, double sensitivity,
+                      double epsilon);
+
+/// Vector form: one independent Laplace draw per coordinate, calibrated to
+/// the *joint* L1 sensitivity of the whole vector.
+std::vector<double> LaplacePerturb(Rng& rng, std::span<const double> values,
+                                   double sensitivity, double epsilon);
+
+/// Variance of the injected noise, 2·(sensitivity/epsilon)²: the error-
+/// variance bookkeeping of BasisFreq builds on this.
+double LaplaceNoiseVariance(double sensitivity, double epsilon);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DP_LAPLACE_MECHANISM_H_

@@ -1,0 +1,45 @@
+#include "dp/noisy_max.h"
+
+#include "common/distributions.h"
+
+namespace privbasis {
+
+namespace {
+
+Result<size_t> NoisyMaxImpl(Rng& rng, std::span<const double> qualities,
+                            double scale) {
+  if (qualities.empty()) {
+    return Status::InvalidArgument("no candidates");
+  }
+  size_t best = 0;
+  double best_score = qualities[0] + SampleLaplace(rng, scale);
+  for (size_t i = 1; i < qualities.size(); ++i) {
+    double score = qualities[i] + SampleLaplace(rng, scale);
+    if (score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<size_t> ReportNoisyMax(Rng& rng, std::span<const double> qualities,
+                              double sensitivity, double epsilon) {
+  if (!(sensitivity > 0.0) || !(epsilon > 0.0)) {
+    return Status::InvalidArgument("sensitivity and epsilon must be > 0");
+  }
+  return NoisyMaxImpl(rng, qualities, 2.0 * sensitivity / epsilon);
+}
+
+Result<size_t> ReportNoisyMaxMonotone(Rng& rng,
+                                      std::span<const double> qualities,
+                                      double sensitivity, double epsilon) {
+  if (!(sensitivity > 0.0) || !(epsilon > 0.0)) {
+    return Status::InvalidArgument("sensitivity and epsilon must be > 0");
+  }
+  return NoisyMaxImpl(rng, qualities, sensitivity / epsilon);
+}
+
+}  // namespace privbasis

@@ -1,0 +1,28 @@
+// Report-noisy-max: add independent noise to every candidate's quality
+// and release the argmax. With Lap(2Δ/ε) noise (or equivalently Gumbel
+// noise, which recovers the exponential mechanism exactly) the released
+// index is ε-DP. Used as an alternative single-selection primitive and to
+// cross-validate the exponential mechanism in tests.
+#ifndef PRIVBASIS_DP_NOISY_MAX_H_
+#define PRIVBASIS_DP_NOISY_MAX_H_
+
+#include <span>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace privbasis {
+
+/// Laplace report-noisy-max: argmax_i (q_i + Lap(2·sensitivity/ε)).
+/// `qualities` must be non-empty; sensitivity and epsilon > 0.
+Result<size_t> ReportNoisyMax(Rng& rng, std::span<const double> qualities,
+                              double sensitivity, double epsilon);
+
+/// One-sided variant for monotone quality functions: Lap(sensitivity/ε).
+Result<size_t> ReportNoisyMaxMonotone(Rng& rng,
+                                      std::span<const double> qualities,
+                                      double sensitivity, double epsilon);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DP_NOISY_MAX_H_

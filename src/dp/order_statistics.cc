@@ -1,0 +1,30 @@
+#include "dp/order_statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/distributions.h"
+
+namespace privbasis {
+
+LaplaceTopOrderStatistics::LaplaceTopOrderStatistics(uint64_t n, double scale)
+    : remaining_(n), scale_(scale), log_u_(0.0) {
+  assert(n >= 1);
+  assert(scale > 0.0);
+}
+
+double LaplaceTopOrderStatistics::Next(Rng& rng) {
+  assert(remaining_ > 0);
+  // Descending uniform order statistics: multiply by V^{1/m} where m is
+  // the number of statistics not yet emitted.
+  double v = rng.NextDoubleOpen();
+  log_u_ += std::log(v) / static_cast<double>(remaining_);
+  --remaining_;
+  double u = std::exp(log_u_);
+  // Clamp away from {0, 1}: u = 1 only when v == 1 exactly at the first
+  // draw; u → 0 after astronomically many draws.
+  u = std::min(std::max(u, 1e-300), 1.0 - 1e-16);
+  return LaplaceInverseCdf(u, scale_);
+}
+
+}  // namespace privbasis

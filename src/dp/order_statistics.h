@@ -1,0 +1,42 @@
+// Descending order statistics of n iid Laplace variables, generated
+// lazily without materializing the n draws.
+//
+// Used by the TF baseline's Laplace-selection variant: the 10^6..10^9
+// implicit candidates all carry the same truncated frequency, so their
+// noisy scores are (fk−γ) + one draw from each of n iid Laplace noises —
+// and only the few largest can ever enter the top-k. We sample exactly
+// those, largest first, via the uniform order-statistics recursion
+// U(n) = V₁^{1/n}, U(n−1) = U(n)·V₂^{1/(n−1)}, ... pushed through the
+// Laplace inverse CDF. Log-space throughout, so n up to 10^18 is fine.
+#ifndef PRIVBASIS_DP_ORDER_STATISTICS_H_
+#define PRIVBASIS_DP_ORDER_STATISTICS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace privbasis {
+
+/// Streams the order statistics of n iid Laplace(0, scale) samples in
+/// descending order: the first Next() is the maximum, the second the
+/// second-largest, and so on.
+class LaplaceTopOrderStatistics {
+ public:
+  /// `n` ≥ 1, `scale` > 0.
+  LaplaceTopOrderStatistics(uint64_t n, double scale);
+
+  /// True while fewer than n statistics have been emitted.
+  bool HasNext() const { return remaining_ > 0; }
+
+  /// Emits the next (smaller) order statistic.
+  double Next(Rng& rng);
+
+ private:
+  uint64_t remaining_;
+  double scale_;
+  double log_u_;  // log of the current uniform order statistic
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_DP_ORDER_STATISTICS_H_

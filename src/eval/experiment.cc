@@ -1,0 +1,56 @@
+#include "eval/experiment.h"
+
+#include "common/math_util.h"
+
+namespace privbasis {
+
+Result<SweepSeries> RunEpsilonSweep(const std::string& label,
+                                    const ReleaseMethod& method,
+                                    const GroundTruth& truth,
+                                    const SweepConfig& config) {
+  if (config.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+  SweepSeries series;
+  series.label = label;
+  for (size_t ei = 0; ei < config.epsilons.size(); ++ei) {
+    double epsilon = config.epsilons[ei];
+    std::vector<double> fnrs, res;
+    for (int rep = 0; rep < config.repeats; ++rep) {
+      // Deterministic per-(ε, rep) stream, decorrelated via SplitMix.
+      uint64_t seed = config.base_seed;
+      seed = SplitMix64Next(&seed) ^ (static_cast<uint64_t>(ei) << 32 |
+                                      static_cast<uint64_t>(rep));
+      Rng rng(seed);
+      auto released = method(epsilon, rng);
+      if (!released.ok()) return released.status();
+      UtilityMetrics m =
+          ComputeUtility(truth.topk.itemsets, *released, *truth.index);
+      fnrs.push_back(m.fnr);
+      res.push_back(m.relative_error);
+    }
+    SweepPoint point;
+    point.epsilon = epsilon;
+    point.fnr_mean = Mean(fnrs);
+    point.fnr_stderr = StandardError(fnrs);
+    point.re_mean = Mean(res);
+    point.re_stderr = StandardError(res);
+    point.repeats = config.repeats;
+    series.points.push_back(point);
+  }
+  return series;
+}
+
+std::vector<double> PaperEpsilonGridDense() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::vector<double> PaperEpsilonGridSparse() {
+  return {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::vector<double> PaperEpsilonGridAol() {
+  return {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+}  // namespace privbasis

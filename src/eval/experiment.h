@@ -1,0 +1,62 @@
+// The experiment harness behind every figure bench: run a private method
+// over an ε grid with repetitions, score each release against ground
+// truth, and aggregate mean ± standard error (the paper repeats each
+// experiment 3 times and reports mean and stderr).
+#ifndef PRIVBASIS_EVAL_EXPERIMENT_H_
+#define PRIVBASIS_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// A private release mechanism under test: runs at a given ε with a given
+/// RNG and returns the released itemsets.
+using ReleaseMethod =
+    std::function<Result<std::vector<NoisyItemset>>(double epsilon, Rng& rng)>;
+
+/// Aggregated metrics at one ε.
+struct SweepPoint {
+  double epsilon = 0.0;
+  double fnr_mean = 0.0;
+  double fnr_stderr = 0.0;
+  double re_mean = 0.0;
+  double re_stderr = 0.0;
+  int repeats = 0;
+};
+
+/// One method's full ε series (one curve of a figure).
+struct SweepSeries {
+  std::string label;
+  std::vector<SweepPoint> points;
+};
+
+/// Configuration of one sweep.
+struct SweepConfig {
+  std::vector<double> epsilons;
+  int repeats = 3;
+  uint64_t base_seed = 20120827;  // VLDB'12 started Aug 27, 2012
+};
+
+/// Runs `method` repeats × |epsilons| times, scoring against `truth`.
+/// Seeds are derived deterministically from (base_seed, ε index, rep).
+Result<SweepSeries> RunEpsilonSweep(const std::string& label,
+                                    const ReleaseMethod& method,
+                                    const GroundTruth& truth,
+                                    const SweepConfig& config);
+
+/// The ε grids the paper's figures use.
+std::vector<double> PaperEpsilonGridDense();   ///< 0.1 .. 1.0 (Figs 1–2)
+std::vector<double> PaperEpsilonGridSparse();  ///< 0.2 .. 1.0 (Figs 3–4)
+std::vector<double> PaperEpsilonGridAol();     ///< 0.5 .. 1.0 (Fig 5)
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_EVAL_EXPERIMENT_H_

@@ -1,0 +1,32 @@
+#include "eval/ground_truth.h"
+
+#include <cmath>
+
+namespace privbasis {
+
+Result<GroundTruth> ComputeGroundTruth(const TransactionDatabase& db,
+                                       size_t k) {
+  GroundTruth gt;
+  // One mining pass at the largest k we need (η = 1.2 margin) provides
+  // the top-k prefix and both margin supports.
+  size_t k12 = static_cast<size_t>(std::ceil(1.2 * static_cast<double>(k)));
+  PRIVBASIS_ASSIGN_OR_RETURN(TopKResult top12, MineTopK(db, k12));
+  size_t k11 = static_cast<size_t>(std::ceil(1.1 * static_cast<double>(k)));
+
+  gt.topk.itemsets.assign(
+      top12.itemsets.begin(),
+      top12.itemsets.begin() +
+          std::min(k, top12.itemsets.size()));
+  gt.topk.kth_support =
+      gt.topk.itemsets.empty() ? 0 : gt.topk.itemsets.back().support;
+  gt.stats = ComputeTopKStats(gt.topk.itemsets);
+  if (!top12.itemsets.empty()) {
+    size_t i11 = std::min(k11, top12.itemsets.size()) - 1;
+    gt.fk1_support_eta11 = top12.itemsets[i11].support;
+    gt.fk1_support_eta12 = top12.itemsets.back().support;
+  }
+  gt.index = std::make_shared<VerticalIndex>(db);
+  return gt;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,35 @@
+// Exact (non-private) reference answers for the evaluation: the true
+// top-k, its Table 2(a) statistics, and a support index for relative-
+// error lookups. Computed once per (dataset, k) and shared across the ε
+// sweep.
+#ifndef PRIVBASIS_EVAL_GROUND_TRUTH_H_
+#define PRIVBASIS_EVAL_GROUND_TRUTH_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "data/vertical_index.h"
+#include "fim/topk.h"
+
+namespace privbasis {
+
+/// Everything the harness needs to score a private release.
+struct GroundTruth {
+  TopKResult topk;
+  TopKStats stats;
+  /// Support of the ⌈η·k⌉-th itemset for each η the harness uses; the
+  /// PrivBasis fk1 hint. Computed lazily by the harness.
+  uint64_t fk1_support_eta11 = 0;  ///< η = 1.1
+  uint64_t fk1_support_eta12 = 0;  ///< η = 1.2
+  std::shared_ptr<VerticalIndex> index;
+};
+
+/// Mines the exact top-k (unbounded length) plus the η-margin supports
+/// and builds the support index.
+Result<GroundTruth> ComputeGroundTruth(const TransactionDatabase& db,
+                                       size_t k);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace privbasis {
+
+double FalseNegativeRate(const std::vector<FrequentItemset>& actual_topk,
+                         const std::vector<NoisyItemset>& published) {
+  if (actual_topk.empty()) return 0.0;
+  std::unordered_set<Itemset, ItemsetHash> published_set;
+  published_set.reserve(published.size() * 2);
+  for (const auto& p : published) published_set.insert(p.items);
+  size_t missed = 0;
+  for (const auto& fi : actual_topk) {
+    if (!published_set.contains(fi.items)) ++missed;
+  }
+  return static_cast<double>(missed) / static_cast<double>(actual_topk.size());
+}
+
+double MedianRelativeError(const std::vector<NoisyItemset>& published,
+                           const VerticalIndex& index) {
+  if (published.empty()) return 0.0;
+  std::vector<double> errors;
+  errors.reserve(published.size());
+  for (const auto& p : published) {
+    double exact = static_cast<double>(index.SupportOf(p.items));
+    double denom = std::max(exact, 1.0);
+    errors.push_back(std::abs(p.noisy_count - exact) / denom);
+  }
+  return Median(std::move(errors));
+}
+
+double MedianRelativeErrorOverTruePositives(
+    const std::vector<FrequentItemset>& actual_topk,
+    const std::vector<NoisyItemset>& published, const VerticalIndex& index) {
+  std::unordered_set<Itemset, ItemsetHash> actual;
+  actual.reserve(actual_topk.size() * 2);
+  for (const auto& fi : actual_topk) actual.insert(fi.items);
+  std::vector<NoisyItemset> true_positives;
+  for (const auto& p : published) {
+    if (actual.contains(p.items)) true_positives.push_back(p);
+  }
+  if (true_positives.empty()) {
+    return MedianRelativeError(published, index);
+  }
+  return MedianRelativeError(true_positives, index);
+}
+
+UtilityMetrics ComputeUtility(const std::vector<FrequentItemset>& actual_topk,
+                              const std::vector<NoisyItemset>& published,
+                              const VerticalIndex& index) {
+  return UtilityMetrics{
+      FalseNegativeRate(actual_topk, published),
+      MedianRelativeErrorOverTruePositives(actual_topk, published, index)};
+}
+
+}  // namespace privbasis

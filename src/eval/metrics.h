@@ -1,0 +1,49 @@
+// The paper's two utility measures (§5):
+//   FNR = |actual top-k \ published| / k       (= FPR, as the paper notes)
+//   RE  = median over published X of |nf(X) − f(X)| / f(X)
+#ifndef PRIVBASIS_EVAL_METRICS_H_
+#define PRIVBASIS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "data/vertical_index.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// False-negative rate of `published` against the exact top-k
+/// `actual_topk` (both as itemset collections; supports ignored).
+double FalseNegativeRate(const std::vector<FrequentItemset>& actual_topk,
+                         const std::vector<NoisyItemset>& published);
+
+/// Median relative error of published noisy counts against exact supports
+/// (looked up through `index`), over *all* published itemsets. A published
+/// itemset with zero true support contributes |nf|/1 in count units —
+/// i.e. the denominator is floored at one transaction; the paper leaves
+/// this case unspecified.
+double MedianRelativeError(const std::vector<NoisyItemset>& published,
+                           const VerticalIndex& index);
+
+/// Median relative error over the published itemsets that are actually
+/// frequent (published ∩ actual top-k) — the reading of the paper's
+/// "calculated over all published frequent itemsets" that keeps the
+/// figures' RE bounded when a method publishes near-zero-support junk.
+/// Falls back to the all-published variant when the intersection is
+/// empty.
+double MedianRelativeErrorOverTruePositives(
+    const std::vector<FrequentItemset>& actual_topk,
+    const std::vector<NoisyItemset>& published, const VerticalIndex& index);
+
+/// Both metrics of one release.
+struct UtilityMetrics {
+  double fnr = 0.0;
+  double relative_error = 0.0;
+};
+
+UtilityMetrics ComputeUtility(const std::vector<FrequentItemset>& actual_topk,
+                              const std::vector<NoisyItemset>& published,
+                              const VerticalIndex& index);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_EVAL_METRICS_H_

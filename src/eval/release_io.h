@@ -1,0 +1,29 @@
+// Serialization of private releases: TSV with one itemset per line
+// ("item item ...\tnoisy_count"). Lets the CLI's output round-trip back
+// into analysis tooling and lets experiments be archived.
+#ifndef PRIVBASIS_EVAL_RELEASE_IO_H_
+#define PRIVBASIS_EVAL_RELEASE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Serializes a release to TSV ("items separated by spaces \t count\n").
+std::string WriteReleaseTsv(const std::vector<NoisyItemset>& released);
+
+/// Parses TSV produced by WriteReleaseTsv. Lines starting with '#' and
+/// blank lines are skipped. Fails on malformed rows.
+Result<std::vector<NoisyItemset>> ReadReleaseTsv(const std::string& text);
+
+/// File variants.
+Status WriteReleaseTsvFile(const std::vector<NoisyItemset>& released,
+                           const std::string& path);
+Result<std::vector<NoisyItemset>> ReadReleaseTsvFile(const std::string& path);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_EVAL_RELEASE_IO_H_

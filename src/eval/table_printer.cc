@@ -1,0 +1,75 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace privbasis {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintFigure(std::ostream& os, const std::string& title,
+                 const std::vector<SweepSeries>& series) {
+  if (series.empty()) return;
+  os << "== " << title << " ==\n";
+  for (const char* metric : {"FNR", "RelativeError"}) {
+    os << "-- " << metric << " vs epsilon --\n";
+    std::vector<std::string> header{"epsilon"};
+    for (const auto& s : series) {
+      header.push_back(s.label);
+      header.push_back("+/-");
+    }
+    TextTable table(std::move(header));
+    size_t rows = series.front().points.size();
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      row.push_back(TextTable::Num(series.front().points[r].epsilon, 2));
+      for (const auto& s : series) {
+        const auto& p = s.points[r];
+        bool fnr = std::string(metric) == "FNR";
+        row.push_back(TextTable::Num(fnr ? p.fnr_mean : p.re_mean, 4));
+        row.push_back(TextTable::Num(fnr ? p.fnr_stderr : p.re_stderr, 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(os);
+  }
+  os << '\n';
+}
+
+}  // namespace privbasis

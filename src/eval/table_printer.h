@@ -1,0 +1,39 @@
+// Console rendering of experiment output: the figure-style series tables
+// (one row per ε, one column pair per curve) and generic aligned tables
+// for Table 2(a)/2(b).
+#ifndef PRIVBASIS_EVAL_TABLE_PRINTER_H_
+#define PRIVBASIS_EVAL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace privbasis {
+
+/// Prints FNR and RE tables for a set of series sharing an ε grid —
+/// the textual equivalent of one figure's panel (a) and (b).
+void PrintFigure(std::ostream& os, const std::string& title,
+                 const std::vector<SweepSeries>& series);
+
+/// Generic fixed-width table: header row + string cells, auto-sized
+/// columns, two-space gutters.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_EVAL_TABLE_PRINTER_H_

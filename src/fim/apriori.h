@@ -1,0 +1,29 @@
+// Apriori (Agrawal & Srikant, VLDB'94): level-wise candidate generation
+// with downward-closure pruning; support counting through the vertical
+// index. Kept as the second exact miner — FP-Growth's cross-check oracle —
+// and for the pedagogical example.
+#ifndef PRIVBASIS_FIM_APRIORI_H_
+#define PRIVBASIS_FIM_APRIORI_H_
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "data/vertical_index.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Mines all itemsets with support ≥ options.min_support (length ≤
+/// options.max_length if set). Aborts with result.aborted once
+/// options.max_patterns is exceeded. Results are in canonical order.
+Result<MiningResult> MineApriori(const TransactionDatabase& db,
+                                 const MiningOptions& options);
+
+/// Variant reusing a prebuilt vertical index (avoids rebuilding it when
+/// the caller mines repeatedly).
+Result<MiningResult> MineApriori(const TransactionDatabase& db,
+                                 const VerticalIndex& index,
+                                 const MiningOptions& options);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_APRIORI_H_

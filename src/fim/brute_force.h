@@ -1,0 +1,23 @@
+// Reference miner: exhaustively counts every (length-capped) subset of
+// every transaction. Exponential in transaction length — strictly a test
+// oracle for the production miners.
+#ifndef PRIVBASIS_FIM_BRUTE_FORCE_H_
+#define PRIVBASIS_FIM_BRUTE_FORCE_H_
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Mines all itemsets with support ≥ options.min_support and length ≤
+/// options.max_length by hash-counting transaction subsets.
+/// options.max_length must be ≥ 1 (an unbounded cap on, say, a 50-item
+/// transaction would enumerate 2^50 subsets). Results are in canonical
+/// order. max_patterns is ignored (the oracle is only run on small data).
+Result<MiningResult> MineBruteForce(const TransactionDatabase& db,
+                                    const MiningOptions& options);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_BRUTE_FORCE_H_

@@ -1,0 +1,56 @@
+#include "fim/closed.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fim/fpgrowth.h"
+
+namespace privbasis {
+
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& frequent) {
+  std::unordered_map<Itemset, uint64_t, ItemsetHash> support;
+  std::unordered_set<Item> items;
+  support.reserve(frequent.size() * 2);
+  for (const auto& fi : frequent) {
+    support.emplace(fi.items, fi.support);
+    for (Item it : fi.items) items.insert(it);
+  }
+  std::vector<FrequentItemset> closed;
+  for (const auto& fi : frequent) {
+    bool is_closed = true;
+    for (Item it : items) {
+      if (fi.items.Contains(it)) continue;
+      auto found = support.find(fi.items.With(it));
+      if (found != support.end() && found->second == fi.support) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (is_closed) closed.push_back(fi);
+  }
+  SortCanonical(&closed);
+  return closed;
+}
+
+Result<std::vector<FrequentItemset>> MineClosed(const TransactionDatabase& db,
+                                                uint64_t min_support) {
+  MiningOptions options;
+  options.min_support = min_support;
+  auto mined = MineFpGrowth(db, options);
+  if (!mined.ok()) return mined.status();
+  return FilterClosed(mined->itemsets);
+}
+
+uint64_t SupportFromClosed(const std::vector<FrequentItemset>& closed,
+                           const Itemset& itemset) {
+  uint64_t best = 0;
+  for (const auto& fi : closed) {
+    if (fi.support > best && itemset.IsSubsetOf(fi.items)) {
+      best = fi.support;
+    }
+  }
+  return best;
+}
+
+}  // namespace privbasis

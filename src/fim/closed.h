@@ -1,0 +1,37 @@
+// Closed frequent itemsets: θ-frequent itemsets with no superset of equal
+// support. The closed family is the lossless compression of the frequent
+// family (every frequent itemset's support equals the support of its
+// smallest closed superset), sitting between "all frequent" and "maximal"
+// in the classic FIM hierarchy — a natural library companion to
+// fim/maximal.h.
+#ifndef PRIVBASIS_FIM_CLOSED_H_
+#define PRIVBASIS_FIM_CLOSED_H_
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Filters a complete θ-frequent collection down to its closed members:
+/// X is closed iff no single-item extension of X (within the collection)
+/// has the same support. `frequent` must contain all itemsets with
+/// support ≥ θ.
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& frequent);
+
+/// Mines all θ-frequent itemsets (FP-Growth) and keeps the closed ones.
+/// Canonical order.
+Result<std::vector<FrequentItemset>> MineClosed(const TransactionDatabase& db,
+                                                uint64_t min_support);
+
+/// Reconstructs the support of an arbitrary itemset from a *complete*
+/// closed family: the support of X is the maximum support among closed
+/// supersets of X; returns 0 when X has no closed superset (i.e. X is
+/// not θ-frequent).
+uint64_t SupportFromClosed(const std::vector<FrequentItemset>& closed,
+                           const Itemset& itemset);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_CLOSED_H_

@@ -1,0 +1,97 @@
+#include "fim/eclat.h"
+
+#include <algorithm>
+
+#include "data/vertical_index.h"
+
+namespace privbasis {
+
+namespace {
+
+/// One equivalence-class member during the DFS: an extension item and the
+/// tid-list of prefix ∪ {item}.
+struct ClassMember {
+  Item item;
+  std::vector<uint32_t> tids;
+};
+
+struct EclatContext {
+  const MiningOptions* options;
+  std::vector<FrequentItemset>* out;
+  bool aborted = false;
+};
+
+/// Sorted-list intersection (both inputs ascending).
+std::vector<uint32_t> IntersectTids(const std::vector<uint32_t>& a,
+                                    const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Depth-first expansion of one equivalence class: every member extends
+/// the shared prefix; pairs of members form the child classes.
+void Expand(const std::vector<ClassMember>& members, std::vector<Item>* prefix,
+            EclatContext* ctx) {
+  if (ctx->aborted) return;
+  for (size_t i = 0; i < members.size(); ++i) {
+    prefix->push_back(members[i].item);
+    ctx->out->push_back(FrequentItemset{Itemset(std::vector<Item>(*prefix)),
+                                        members[i].tids.size()});
+    if (ctx->options->max_patterns != 0 &&
+        ctx->out->size() > ctx->options->max_patterns) {
+      ctx->aborted = true;
+      prefix->pop_back();
+      return;
+    }
+    const bool at_cap = ctx->options->max_length != 0 &&
+                        prefix->size() >= ctx->options->max_length;
+    if (!at_cap) {
+      std::vector<ClassMember> children;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        std::vector<uint32_t> tids =
+            IntersectTids(members[i].tids, members[j].tids);
+        if (tids.size() >= ctx->options->min_support) {
+          children.push_back(ClassMember{members[j].item, std::move(tids)});
+        }
+      }
+      if (!children.empty()) Expand(children, prefix, ctx);
+    }
+    prefix->pop_back();
+    if (ctx->aborted) return;
+  }
+}
+
+}  // namespace
+
+Result<MiningResult> MineEclat(const TransactionDatabase& db,
+                               const MiningOptions& options) {
+  if (options.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  MiningResult result;
+
+  VerticalIndex index(db);
+  std::vector<ClassMember> roots;
+  for (Item it = 0; it < db.UniverseSize(); ++it) {
+    if (db.ItemSupports()[it] >= options.min_support) {
+      auto tids = index.TidList(it);
+      roots.push_back(
+          ClassMember{it, std::vector<uint32_t>(tids.begin(), tids.end())});
+    }
+  }
+  std::vector<Item> prefix;
+  EclatContext ctx{&options, &result.itemsets, false};
+  Expand(roots, &prefix, &ctx);
+  if (ctx.aborted) {
+    result.itemsets.clear();
+    result.aborted = true;
+    return result;
+  }
+  SortCanonical(&result.itemsets);
+  return result;
+}
+
+}  // namespace privbasis

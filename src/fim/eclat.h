@@ -1,0 +1,24 @@
+// Eclat (Zaki 2000): depth-first frequent-itemset mining over vertical
+// tid-lists — support of P ∪ {x} is the intersection of P's tid-list with
+// x's. The third exact miner: where FP-Growth shines on dense data with
+// shared prefixes, Eclat is strong on sparse data with short tid-lists,
+// and having both lets the test suite cross-check three independent
+// implementations.
+#ifndef PRIVBASIS_FIM_ECLAT_H_
+#define PRIVBASIS_FIM_ECLAT_H_
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Mines all itemsets with support ≥ options.min_support (length ≤
+/// options.max_length if set); sets result.aborted once
+/// options.max_patterns is exceeded. Results are in canonical order.
+Result<MiningResult> MineEclat(const TransactionDatabase& db,
+                               const MiningOptions& options);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_ECLAT_H_

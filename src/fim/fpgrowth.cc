@@ -1,0 +1,62 @@
+#include "fim/fpgrowth.h"
+
+#include <algorithm>
+
+namespace privbasis {
+
+namespace {
+
+struct GrowthContext {
+  const MiningOptions* options;
+  std::vector<FrequentItemset>* out;
+  bool aborted = false;
+};
+
+/// Emits suffix ∪ {each frequent rank}, recursing into conditional trees.
+/// `suffix` holds item ids (unsorted; canonicalized on emission).
+void Grow(const FpTree& tree, std::vector<Item>* suffix, GrowthContext* ctx) {
+  if (ctx->aborted) return;
+  for (uint32_t rank = 0; rank < tree.NumRanks(); ++rank) {
+    uint64_t support = tree.SupportAt(rank);
+    suffix->push_back(tree.ItemAt(rank));
+    ctx->out->push_back(
+        FrequentItemset{Itemset(std::vector<Item>(*suffix)), support});
+    if (ctx->options->max_patterns != 0 &&
+        ctx->out->size() > ctx->options->max_patterns) {
+      ctx->aborted = true;
+      suffix->pop_back();
+      return;
+    }
+    const bool at_cap = ctx->options->max_length != 0 &&
+                        suffix->size() >= ctx->options->max_length;
+    if (!at_cap) {
+      FpTree cond = tree.ConditionalTree(rank, ctx->options->min_support);
+      if (!cond.Empty()) Grow(cond, suffix, ctx);
+    }
+    suffix->pop_back();
+    if (ctx->aborted) return;
+  }
+}
+
+}  // namespace
+
+Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
+                                  const MiningOptions& options) {
+  if (options.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  MiningResult result;
+  FpTree tree(db, options.min_support);
+  std::vector<Item> suffix;
+  GrowthContext ctx{&options, &result.itemsets, false};
+  Grow(tree, &suffix, &ctx);
+  if (ctx.aborted) {
+    result.itemsets.clear();
+    result.aborted = true;
+    return result;
+  }
+  SortCanonical(&result.itemsets);
+  return result;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,22 @@
+// FP-Growth: pattern mining by recursive conditional FP-tree projection.
+// The production exact miner — no candidate generation, output-sensitive.
+#ifndef PRIVBASIS_FIM_FPGROWTH_H_
+#define PRIVBASIS_FIM_FPGROWTH_H_
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "fim/fptree.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Mines all itemsets with support ≥ options.min_support (length ≤
+/// options.max_length if set). Sets result.aborted and returns an empty
+/// list once options.max_patterns is exceeded. Results are in canonical
+/// order.
+Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
+                                  const MiningOptions& options);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_FPGROWTH_H_

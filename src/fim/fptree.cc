@@ -1,0 +1,118 @@
+#include "fim/fptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace privbasis {
+
+namespace {
+constexpr uint32_t kRootRank = 0xfffffffeu;
+}  // namespace
+
+FpTree::FpTree(const TransactionDatabase& db, uint64_t min_support) {
+  // Rank items with support >= min_support by descending support
+  // (ties: ascending id) so prefixes are maximally shared.
+  const auto& supports = db.ItemSupports();
+  std::vector<Item> freq;
+  for (Item it = 0; it < db.UniverseSize(); ++it) {
+    if (supports[it] >= min_support) freq.push_back(it);
+  }
+  std::sort(freq.begin(), freq.end(), [&](Item a, Item b) {
+    if (supports[a] != supports[b]) return supports[a] > supports[b];
+    return a < b;
+  });
+  rank_items_ = std::move(freq);
+  rank_supports_.resize(rank_items_.size());
+  std::vector<uint32_t> item_to_rank(db.UniverseSize(), kNil);
+  for (uint32_t r = 0; r < rank_items_.size(); ++r) {
+    rank_supports_[r] = supports[rank_items_[r]];
+    item_to_rank[rank_items_[r]] = r;
+  }
+  headers_.assign(rank_items_.size(), kNil);
+  nodes_.push_back(Node{kRootRank, kNil, kNil, kNil, kNil, 0});
+
+  std::vector<uint32_t> path;
+  for (size_t t = 0; t < db.NumTransactions(); ++t) {
+    path.clear();
+    for (Item it : db.Transaction(t)) {
+      uint32_t r = item_to_rank[it];
+      if (r != kNil) path.push_back(r);
+    }
+    if (path.empty()) continue;
+    std::sort(path.begin(), path.end());
+    InsertPath(path, 1);
+  }
+}
+
+void FpTree::InsertPath(const std::vector<uint32_t>& ranks, uint64_t count) {
+  uint32_t cur = 0;  // root
+  for (uint32_t r : ranks) {
+    // Find the child of `cur` carrying rank r.
+    uint32_t child = nodes_[cur].first_child;
+    uint32_t prev = kNil;
+    while (child != kNil && nodes_[child].rank != r) {
+      prev = child;
+      child = nodes_[child].next_sibling;
+    }
+    if (child == kNil) {
+      child = static_cast<uint32_t>(nodes_.size());
+      nodes_.push_back(Node{r, cur, kNil, kNil, headers_[r], 0});
+      headers_[r] = child;
+      if (prev == kNil) {
+        nodes_[cur].first_child = child;
+      } else {
+        nodes_[prev].next_sibling = child;
+      }
+    }
+    nodes_[child].count += count;
+    cur = child;
+  }
+}
+
+FpTree FpTree::ConditionalTree(uint32_t rank, uint64_t min_support) const {
+  // Pass 1: conditional supports of every rank occurring on prefix paths.
+  std::vector<uint64_t> cond_support(rank, 0);  // only ranks < `rank` occur
+  for (uint32_t n = headers_[rank]; n != kNil; n = nodes_[n].next_same_rank) {
+    uint64_t c = nodes_[n].count;
+    for (uint32_t p = nodes_[n].parent; p != 0; p = nodes_[p].parent) {
+      cond_support[nodes_[p].rank] += c;
+    }
+  }
+
+  FpTree cond;
+  std::vector<uint32_t> old_ranks;
+  for (uint32_t r = 0; r < rank; ++r) {
+    if (cond_support[r] >= min_support) old_ranks.push_back(r);
+  }
+  std::sort(old_ranks.begin(), old_ranks.end(), [&](uint32_t a, uint32_t b) {
+    if (cond_support[a] != cond_support[b]) {
+      return cond_support[a] > cond_support[b];
+    }
+    return a < b;
+  });
+  std::vector<uint32_t> remap(rank, kNil);
+  for (uint32_t nr = 0; nr < old_ranks.size(); ++nr) {
+    remap[old_ranks[nr]] = nr;
+    cond.rank_items_.push_back(rank_items_[old_ranks[nr]]);
+    cond.rank_supports_.push_back(cond_support[old_ranks[nr]]);
+  }
+  cond.headers_.assign(old_ranks.size(), kNil);
+  cond.nodes_.push_back(Node{kRootRank, kNil, kNil, kNil, kNil, 0});
+
+  // Pass 2: insert the filtered prefix paths.
+  std::vector<uint32_t> path;
+  for (uint32_t n = headers_[rank]; n != kNil; n = nodes_[n].next_same_rank) {
+    path.clear();
+    for (uint32_t p = nodes_[n].parent; p != 0; p = nodes_[p].parent) {
+      uint32_t nr = remap[nodes_[p].rank];
+      if (nr != kNil) path.push_back(nr);
+    }
+    if (path.empty()) continue;
+    std::sort(path.begin(), path.end());
+    cond.InsertPath(path, nodes_[n].count);
+  }
+  return cond;
+}
+
+}  // namespace privbasis

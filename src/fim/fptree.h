@@ -1,0 +1,71 @@
+// FP-tree (Han et al., "Mining frequent patterns without candidate
+// generation"): a prefix tree over transactions with items reordered by
+// descending support, plus per-item node chains ("header table") for
+// conditional-pattern-base extraction.
+#ifndef PRIVBASIS_FIM_FPTREE_H_
+#define PRIVBASIS_FIM_FPTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/transaction_db.h"
+
+namespace privbasis {
+
+/// Immutable FP-tree. Items are referenced by *rank*: the index into this
+/// tree's frequent-item table, rank 0 = most frequent. Conditional trees
+/// re-rank their own frequent items.
+class FpTree {
+ public:
+  /// Sentinel parent/child/sibling index.
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    uint32_t rank;           ///< item rank within this tree
+    uint32_t parent;         ///< node index; kNil for root children... root=0
+    uint32_t first_child;
+    uint32_t next_sibling;
+    uint32_t next_same_rank; ///< header chain
+    uint64_t count;
+  };
+
+  /// Builds the global tree over all transactions, keeping only items with
+  /// support ≥ min_support.
+  FpTree(const TransactionDatabase& db, uint64_t min_support);
+
+  /// Number of distinct frequent items (= number of ranks).
+  size_t NumRanks() const { return rank_items_.size(); }
+
+  /// True when the tree holds no frequent item.
+  bool Empty() const { return rank_items_.empty(); }
+
+  /// The item id behind `rank`.
+  Item ItemAt(uint32_t rank) const { return rank_items_[rank]; }
+
+  /// Total support of `rank`'s item within this tree (for conditional
+  /// trees: support conditioned on the suffix).
+  uint64_t SupportAt(uint32_t rank) const { return rank_supports_[rank]; }
+
+  /// Builds the conditional FP-tree of `rank`: the tree of prefix paths of
+  /// every node carrying `rank`, filtered to conditional support ≥
+  /// min_support. Item ids are preserved; ranks are re-assigned.
+  FpTree ConditionalTree(uint32_t rank, uint64_t min_support) const;
+
+  /// Number of allocated nodes (diagnostics / benchmarks).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  FpTree() = default;
+
+  /// Inserts a rank-sorted (ascending) path with multiplicity `count`.
+  void InsertPath(const std::vector<uint32_t>& ranks, uint64_t count);
+
+  std::vector<Node> nodes_;          // nodes_[0] is the root
+  std::vector<Item> rank_items_;     // rank -> item id
+  std::vector<uint64_t> rank_supports_;  // rank -> in-tree support
+  std::vector<uint32_t> headers_;    // rank -> first node in chain (kNil none)
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_FPTREE_H_

@@ -1,0 +1,43 @@
+#include "fim/maximal.h"
+
+#include <unordered_set>
+
+#include "fim/fpgrowth.h"
+
+namespace privbasis {
+
+std::vector<FrequentItemset> FilterMaximal(
+    const std::vector<FrequentItemset>& frequent) {
+  std::unordered_set<Itemset, ItemsetHash> all;
+  std::unordered_set<Item> items;
+  all.reserve(frequent.size() * 2);
+  for (const auto& fi : frequent) {
+    all.insert(fi.items);
+    for (Item it : fi.items) items.insert(it);
+  }
+  std::vector<FrequentItemset> maximal;
+  for (const auto& fi : frequent) {
+    bool is_maximal = true;
+    for (Item it : items) {
+      if (fi.items.Contains(it)) continue;
+      if (all.contains(fi.items.With(it))) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.push_back(fi);
+  }
+  SortCanonical(&maximal);
+  return maximal;
+}
+
+Result<std::vector<FrequentItemset>> MineMaximal(const TransactionDatabase& db,
+                                                 uint64_t min_support) {
+  MiningOptions options;
+  options.min_support = min_support;
+  auto mined = MineFpGrowth(db, options);
+  if (!mined.ok()) return mined.status();
+  return FilterMaximal(mined->itemsets);
+}
+
+}  // namespace privbasis

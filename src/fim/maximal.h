@@ -1,0 +1,28 @@
+// Maximal frequent itemsets: θ-frequent itemsets with no θ-frequent
+// superset. The paper's Proposition 3 shows they form the minimum-length
+// θ-basis set; we use them to validate Algorithm 2's clique-based
+// over-approximation.
+#ifndef PRIVBASIS_FIM_MAXIMAL_H_
+#define PRIVBASIS_FIM_MAXIMAL_H_
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Filters a complete θ-frequent collection down to its maximal members.
+/// `frequent` must contain *all* itemsets with support ≥ θ (any order).
+/// By downward closure, X is maximal iff no single-item extension of X is
+/// in the collection, which this checks against a hash set.
+std::vector<FrequentItemset> FilterMaximal(
+    const std::vector<FrequentItemset>& frequent);
+
+/// Mines all θ-frequent itemsets (via FP-Growth) and keeps the maximal
+/// ones. Canonical order.
+Result<std::vector<FrequentItemset>> MineMaximal(const TransactionDatabase& db,
+                                                 uint64_t min_support);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_MAXIMAL_H_

@@ -1,0 +1,59 @@
+// Shared types for the frequent-itemset-mining substrate.
+//
+// Miners work in absolute supports (counts) — exact integers, no float
+// thresholds. Conversion to the paper's frequencies (f = support/N)
+// happens at the edges.
+#ifndef PRIVBASIS_FIM_MINER_H_
+#define PRIVBASIS_FIM_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/itemset.h"
+
+namespace privbasis {
+
+/// A mined itemset with its exact absolute support.
+struct FrequentItemset {
+  Itemset items;
+  uint64_t support = 0;
+
+  bool operator==(const FrequentItemset& other) const = default;
+};
+
+/// Mining parameters common to all miners.
+struct MiningOptions {
+  /// Minimum absolute support (inclusive). Must be ≥ 1.
+  uint64_t min_support = 1;
+  /// Maximum itemset length; 0 = unbounded.
+  size_t max_length = 0;
+  /// Abort once more than this many patterns have been collected;
+  /// 0 = unbounded. Callers use this to keep candidate spaces sane
+  /// (e.g. the TF baseline's explicit-set mining).
+  uint64_t max_patterns = 0;
+};
+
+/// Output of a mining call.
+struct MiningResult {
+  std::vector<FrequentItemset> itemsets;
+  /// True iff mining stopped early because max_patterns was exceeded;
+  /// `itemsets` is then incomplete and must not be used as an exact
+  /// answer.
+  bool aborted = false;
+};
+
+/// Canonical result order: descending support, ties broken by ascending
+/// length then lexicographic items — deterministic across miners.
+void SortCanonical(std::vector<FrequentItemset>* itemsets);
+
+/// An itemset released by a private mechanism together with its noisy
+/// absolute count (noisy frequency = noisy_count / N). Shared release
+/// format of PrivBasis and the TF baseline.
+struct NoisyItemset {
+  Itemset items;
+  double noisy_count = 0.0;
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_MINER_H_

@@ -1,0 +1,133 @@
+#include "fim/topk.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "fim/fptree.h"
+
+namespace privbasis {
+
+namespace {
+
+/// Canonical "is a better than b" for top-k selection.
+bool Better(const FrequentItemset& a, const FrequentItemset& b) {
+  if (a.support != b.support) return a.support > b.support;
+  if (a.items.size() != b.items.size()) return a.items.size() < b.items.size();
+  return a.items < b.items;
+}
+
+/// Bounded pool of the k best patterns seen so far, ordered worst-first so
+/// the pruning threshold is O(1) to read.
+class BestK {
+ public:
+  explicit BestK(size_t k) : k_(k) {}
+
+  /// Current pruning threshold: supports strictly below this can never
+  /// enter the pool.
+  uint64_t Threshold() const {
+    return pool_.size() < k_ ? 0 : pool_.begin()->support;
+  }
+
+  void Offer(FrequentItemset candidate) {
+    if (pool_.size() == k_ && !Better(candidate, *pool_.begin())) return;
+    pool_.insert(std::move(candidate));
+    if (pool_.size() > k_) pool_.erase(pool_.begin());
+  }
+
+  std::vector<FrequentItemset> Take() {
+    std::vector<FrequentItemset> out(pool_.begin(), pool_.end());
+    std::reverse(out.begin(), out.end());  // best first
+    return out;
+  }
+
+ private:
+  struct WorstFirst {
+    bool operator()(const FrequentItemset& a,
+                    const FrequentItemset& b) const {
+      return Better(b, a);
+    }
+  };
+  size_t k_;
+  std::set<FrequentItemset, WorstFirst> pool_;
+};
+
+struct TopKContext {
+  size_t max_length;
+  uint64_t floor_support;  // static lower bound on the final threshold
+  BestK* best;
+};
+
+uint64_t CurrentThreshold(const TopKContext& ctx) {
+  return std::max<uint64_t>(ctx.floor_support,
+                            std::max<uint64_t>(1, ctx.best->Threshold()));
+}
+
+/// Recursive FP-Growth specialized for top-k: ranks are visited in
+/// descending in-tree support (rank order) so the pool threshold rises as
+/// fast as possible, and branches upper-bounded below the threshold are
+/// pruned.
+void GrowTopK(const FpTree& tree, std::vector<Item>* suffix,
+              TopKContext* ctx) {
+  for (uint32_t rank = 0; rank < tree.NumRanks(); ++rank) {
+    uint64_t support = tree.SupportAt(rank);
+    uint64_t threshold = CurrentThreshold(*ctx);
+    // Every pattern in this branch has support <= `support`; ranks are in
+    // descending support order, so all later branches are bounded too.
+    if (support < threshold) break;
+    suffix->push_back(tree.ItemAt(rank));
+    ctx->best->Offer(
+        FrequentItemset{Itemset(std::vector<Item>(*suffix)), support});
+    const bool at_cap =
+        ctx->max_length != 0 && suffix->size() >= ctx->max_length;
+    if (!at_cap) {
+      FpTree cond = tree.ConditionalTree(rank, CurrentThreshold(*ctx));
+      if (!cond.Empty()) GrowTopK(cond, suffix, ctx);
+    }
+    suffix->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
+                            size_t max_length) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  // Static floor: the k most frequent items are themselves k itemsets, so
+  // the k-th best support is >= the k-th item support. This keeps the
+  // initial FP-tree small on sparse data with huge universes.
+  std::vector<uint64_t> supports = db.ItemSupports();
+  std::sort(supports.begin(), supports.end(), std::greater<>());
+  uint64_t floor_support = 1;
+  size_t active = 0;
+  while (active < supports.size() && supports[active] > 0) ++active;
+  if (active >= k) floor_support = std::max<uint64_t>(1, supports[k - 1]);
+
+  BestK best(k);
+  TopKContext ctx{max_length, floor_support, &best};
+  FpTree tree(db, floor_support);
+  std::vector<Item> suffix;
+  GrowTopK(tree, &suffix, &ctx);
+
+  TopKResult result;
+  result.itemsets = best.Take();
+  result.kth_support =
+      result.itemsets.empty() ? 0 : result.itemsets.back().support;
+  return result;
+}
+
+TopKStats ComputeTopKStats(const std::vector<FrequentItemset>& topk) {
+  TopKStats stats;
+  std::unordered_set<Item> items;
+  for (const auto& fi : topk) {
+    for (Item it : fi.items) items.insert(it);
+    if (fi.items.size() == 2) ++stats.lambda2;
+    if (fi.items.size() == 3) ++stats.lambda3;
+  }
+  stats.lambda = static_cast<uint32_t>(items.size());
+  stats.fk_count = topk.empty() ? 0 : topk.back().support;
+  return stats;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,47 @@
+// Exact top-k frequent-itemset mining with a dynamically rising support
+// threshold (the TFP idea): a bounded best-k pool raises the pruning bar
+// as better patterns arrive, so dense datasets never trigger a full
+// low-threshold enumeration.
+//
+// This provides the ground truth the evaluation compares against, plus
+// the exact fk / λ / λ2 / λ3 statistics of the paper's Table 2.
+#ifndef PRIVBASIS_FIM_TOPK_H_
+#define PRIVBASIS_FIM_TOPK_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "fim/miner.h"
+
+namespace privbasis {
+
+/// Result of exact top-k mining.
+struct TopKResult {
+  /// Exactly min(k, #itemsets with support ≥ 1) itemsets in canonical
+  /// order (descending support; ties by ascending length, then items).
+  std::vector<FrequentItemset> itemsets;
+  /// Support of the last (k-th) returned itemset; 0 when empty.
+  uint64_t kth_support = 0;
+};
+
+/// Mines the exact top-k itemsets under the canonical order.
+/// `max_length` of 0 = unbounded. Ties at the k-th position are broken
+/// canonically, so the result is deterministic.
+Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
+                            size_t max_length = 0);
+
+/// Statistics of a top-k collection, as reported in Table 2(a).
+struct TopKStats {
+  uint32_t lambda = 0;    ///< unique items across the top-k itemsets
+  uint32_t lambda2 = 0;   ///< number of pairs among the top-k itemsets
+  uint32_t lambda3 = 0;   ///< number of size-3 itemsets among the top-k
+  uint64_t fk_count = 0;  ///< absolute support of the k-th itemset (fk·N)
+};
+
+/// Computes λ/λ2/λ3/fk·N from a mined top-k list.
+TopKStats ComputeTopKStats(const std::vector<FrequentItemset>& topk);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_FIM_TOPK_H_

@@ -1,0 +1,26 @@
+// Bron–Kerbosch maximal-clique enumeration with Tomita-style pivoting —
+// the classic algorithm the paper cites ([12], Algorithm 457) for finding
+// all maximal cliques of the θ-frequent-pairs graph (Proposition 5).
+#ifndef PRIVBASIS_GRAPH_BRON_KERBOSCH_H_
+#define PRIVBASIS_GRAPH_BRON_KERBOSCH_H_
+
+#include <vector>
+
+#include "data/itemset.h"
+#include "graph/graph.h"
+
+namespace privbasis {
+
+/// Enumerates all maximal cliques of `graph`, including isolated nodes
+/// (cliques of size 1). Output is deterministic: cliques sorted by
+/// descending size, then lexicographically.
+std::vector<Itemset> FindMaximalCliques(const ItemGraph& graph);
+
+/// As above, but only cliques with at least `min_size` nodes (the paper's
+/// Algorithm 2 uses min_size = 2 for B1).
+std::vector<Itemset> FindMaximalCliques(const ItemGraph& graph,
+                                        size_t min_size);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_GRAPH_BRON_KERBOSCH_H_

@@ -1,0 +1,91 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace privbasis {
+
+size_t ItemGraph::EnsureNode(Item node) {
+  auto [it, inserted] = index_.try_emplace(node, nodes_.size());
+  if (inserted) {
+    nodes_.push_back(node);
+    for (auto& row : adjacency_) row.push_back(0);
+    adjacency_.emplace_back(nodes_.size(), 0);
+  }
+  return it->second;
+}
+
+void ItemGraph::AddNode(Item node) { EnsureNode(node); }
+
+void ItemGraph::AddEdge(Item a, Item b) {
+  if (a == b) return;
+  size_t ia = EnsureNode(a);
+  size_t ib = EnsureNode(b);
+  if (adjacency_[ia][ib]) return;
+  adjacency_[ia][ib] = 1;
+  adjacency_[ib][ia] = 1;
+  ++num_edges_;
+}
+
+ItemGraph ItemGraph::FromItemsAndPairs(const std::vector<Item>& items,
+                                       const std::vector<Itemset>& pairs) {
+  ItemGraph g;
+  for (Item it : items) g.AddNode(it);
+  for (const auto& pair : pairs) {
+    assert(pair.size() == 2);
+    g.AddEdge(pair[0], pair[1]);
+  }
+  return g;
+}
+
+bool ItemGraph::HasEdge(Item a, Item b) const {
+  auto ia = index_.find(a);
+  auto ib = index_.find(b);
+  if (ia == index_.end() || ib == index_.end()) return false;
+  return adjacency_[ia->second][ib->second] != 0;
+}
+
+size_t ItemGraph::Degree(Item node) const {
+  auto it = index_.find(node);
+  if (it == index_.end()) return 0;
+  size_t d = 0;
+  for (uint8_t a : adjacency_[it->second]) d += a;
+  return d;
+}
+
+std::vector<Item> ItemGraph::Neighbors(Item node) const {
+  std::vector<Item> out;
+  auto it = index_.find(node);
+  if (it == index_.end()) return out;
+  const auto& row = adjacency_[it->second];
+  for (size_t j = 0; j < row.size(); ++j) {
+    if (row[j]) out.push_back(nodes_[j]);
+  }
+  return out;
+}
+
+std::vector<Itemset> ItemGraph::ConnectedComponents() const {
+  std::vector<uint8_t> visited(nodes_.size(), 0);
+  std::vector<Itemset> components;
+  std::vector<size_t> stack;
+  for (size_t start = 0; start < nodes_.size(); ++start) {
+    if (visited[start]) continue;
+    std::vector<Item> members;
+    stack.push_back(start);
+    visited[start] = 1;
+    while (!stack.empty()) {
+      size_t v = stack.back();
+      stack.pop_back();
+      members.push_back(nodes_[v]);
+      for (size_t j = 0; j < nodes_.size(); ++j) {
+        if (adjacency_[v][j] && !visited[j]) {
+          visited[j] = 1;
+          stack.push_back(j);
+        }
+      }
+    }
+    components.push_back(Itemset(std::move(members)));
+  }
+  return components;
+}
+
+}  // namespace privbasis

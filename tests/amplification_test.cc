@@ -1,0 +1,135 @@
+#include "dp/amplification.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/amplified.h"
+#include "data/synthetic.h"
+#include "fim/topk.h"
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeRandomDb;
+
+TEST(AmplificationTest, FormulaBasics) {
+  // q = 1: no amplification.
+  EXPECT_NEAR(AmplifiedEpsilon(1.0, 0.7), 0.7, 1e-12);
+  // Amplified epsilon is below the mechanism epsilon for q < 1.
+  EXPECT_LT(AmplifiedEpsilon(0.5, 0.7), 0.7);
+  // Small-ε regime: ε(q, ε') ≈ q·ε'.
+  EXPECT_NEAR(AmplifiedEpsilon(0.1, 0.01), 0.001, 1e-5);
+}
+
+TEST(AmplificationTest, InverseRoundTrip) {
+  for (double q : {0.1, 0.3, 0.7, 1.0}) {
+    for (double target : {0.1, 0.5, 1.0, 2.0}) {
+      double mechanism = MechanismEpsilonForTarget(q, target);
+      EXPECT_GE(mechanism, target);
+      EXPECT_NEAR(AmplifiedEpsilon(q, mechanism), target, 1e-9)
+          << "q=" << q << " target=" << target;
+    }
+  }
+}
+
+TEST(AmplificationTest, MonotoneInQ) {
+  // Smaller q -> more amplification -> larger usable mechanism budget.
+  double e_small_q = MechanismEpsilonForTarget(0.1, 1.0);
+  double e_big_q = MechanismEpsilonForTarget(0.9, 1.0);
+  EXPECT_GT(e_small_q, e_big_q);
+}
+
+TEST(PoissonSubsampleTest, KeepsAboutQFraction) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 1, .num_transactions = 5000, .universe = 8});
+  Rng rng(3);
+  auto sample = PoissonSubsample(db, 0.3, rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_NEAR(static_cast<double>(sample->NumTransactions()) / 5000.0, 0.3,
+              0.03);
+  EXPECT_EQ(sample->UniverseSize(), db.UniverseSize());
+}
+
+TEST(PoissonSubsampleTest, FullRateIsIdentityCount) {
+  TransactionDatabase db = MakeRandomDb({.seed = 5});
+  Rng rng(7);
+  auto sample = PoissonSubsample(db, 1.0, rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->NumTransactions(), db.NumTransactions());
+  EXPECT_EQ(sample->TotalItemOccurrences(), db.TotalItemOccurrences());
+}
+
+TEST(PoissonSubsampleTest, ValidatesRate) {
+  TransactionDatabase db = MakeRandomDb({.seed = 9});
+  Rng rng(11);
+  EXPECT_FALSE(PoissonSubsample(db, 0.0, rng).ok());
+  EXPECT_FALSE(PoissonSubsample(db, 1.5, rng).ok());
+}
+
+TEST(PoissonSubsampleTest, FrequenciesPreservedInExpectation) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 13, .num_transactions = 3000, .universe = 8,
+       .item_prob = 0.5});
+  Rng rng(15);
+  double acc = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    auto sample = PoissonSubsample(db, 0.4, rng);
+    ASSERT_TRUE(sample.ok());
+    ASSERT_GT(sample->NumTransactions(), 0u);
+    acc += sample->ItemFrequency(0);
+  }
+  EXPECT_NEAR(acc / trials, db.ItemFrequency(0), 0.01);
+}
+
+TEST(AmplifiedPrivBasisTest, HighEpsilonStillAccurate) {
+  auto db = GenerateDataset(SyntheticProfile::Mushroom(0.3), 17);
+  ASSERT_TRUE(db.ok());
+  const size_t k = 20;
+  auto truth = MineTopK(*db, k);
+  ASSERT_TRUE(truth.ok());
+
+  AmplifiedOptions options;
+  options.sampling_rate = 0.5;
+  Rng rng(19);
+  auto result = RunPrivBasisSubsampled(*db, k, /*epsilon=*/50.0, rng,
+                                       options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Rescaled counts must approximate the full-data supports.
+  size_t checked = 0;
+  for (const auto& r : result->topk) {
+    double exact = static_cast<double>(db->SupportOf(r.items));
+    if (exact > 0) {
+      EXPECT_NEAR(r.noisy_count / exact, 1.0, 0.15) << r.items.ToString();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, k / 2);
+}
+
+TEST(AmplifiedPrivBasisTest, ReportsEndToEndEpsilon) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 21, .num_transactions = 400, .universe = 10});
+  AmplifiedOptions options;
+  options.sampling_rate = 0.4;
+  Rng rng(23);
+  const double target = 1.0;
+  auto result = RunPrivBasisSubsampled(db, 10, target, rng, options);
+  ASSERT_TRUE(result.ok());
+  // The reported end-to-end guarantee never exceeds the target.
+  EXPECT_LE(result->epsilon_spent, target + 1e-9);
+}
+
+TEST(AmplifiedPrivBasisTest, ValidatesArguments) {
+  TransactionDatabase db = MakeRandomDb({.seed = 25});
+  Rng rng(27);
+  EXPECT_FALSE(RunPrivBasisSubsampled(db, 10, 0.0, rng).ok());
+  AmplifiedOptions bad;
+  bad.sampling_rate = 0.0;
+  EXPECT_FALSE(RunPrivBasisSubsampled(db, 10, 1.0, rng, bad).ok());
+}
+
+}  // namespace
+}  // namespace privbasis

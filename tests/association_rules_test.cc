@@ -1,0 +1,152 @@
+#include "core/association_rules.h"
+
+#include <gtest/gtest.h>
+
+namespace privbasis {
+namespace {
+
+std::vector<NoisyItemset> Release() {
+  // N = 100. Frequencies: {0}=0.8, {1}=0.6, {0,1}=0.5, {2}=0.3,
+  // {0,2}=0.1, {0,1,2}=0.08.
+  return {
+      {Itemset({0}), 80.0},     {Itemset({1}), 60.0},
+      {Itemset({0, 1}), 50.0},  {Itemset({2}), 30.0},
+      {Itemset({0, 2}), 10.0},  {Itemset({0, 1, 2}), 8.0},
+  };
+}
+
+TEST(RulesTest, ComputesSupportAndConfidence) {
+  auto rules = ExtractRules(Release(), 100, {.min_confidence = 0.0});
+  ASSERT_TRUE(rules.ok());
+  // Find {1} -> {0}: support 0.5, confidence 0.5/0.6.
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset({1}) && rule.consequent == Itemset({0})) {
+      EXPECT_NEAR(rule.support, 0.5, 1e-12);
+      EXPECT_NEAR(rule.confidence, 0.5 / 0.6, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  auto rules = ExtractRules(Release(), 100, {.min_confidence = 0.6});
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_GE(rule.confidence, 0.6);
+  }
+  // {0} -> {2} has confidence 0.1/0.8 = 0.125 and must be gone.
+  for (const auto& rule : *rules) {
+    EXPECT_FALSE(rule.antecedent == Itemset({0}) &&
+                 rule.consequent == Itemset({2}));
+  }
+}
+
+TEST(RulesTest, MinSupportFilters) {
+  auto rules =
+      ExtractRules(Release(), 100, {.min_confidence = 0.0, .min_support = 0.2});
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_GE(rule.support, 0.2);
+  }
+}
+
+TEST(RulesTest, AntecedentSizeCap) {
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  options.max_antecedent = 1;
+  auto rules = ExtractRules(Release(), 100, options);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_EQ(rule.antecedent.size(), 1u);
+  }
+}
+
+TEST(RulesTest, SkipsAntecedentsNotReleased) {
+  // {1,2} was not released, so {1,2} -> {0} cannot be formed from
+  // {0,1,2} despite being a valid subset.
+  auto rules = ExtractRules(Release(), 100, {.min_confidence = 0.0});
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_FALSE(rule.antecedent == Itemset({1, 2}));
+  }
+}
+
+TEST(RulesTest, TripleGeneratesCompositeRules) {
+  auto rules = ExtractRules(Release(), 100, {.min_confidence = 0.0});
+  ASSERT_TRUE(rules.ok());
+  // {0,1} -> {2} from the released triple: 0.08/0.5.
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.antecedent == Itemset({0, 1}) &&
+        rule.consequent == Itemset({2})) {
+      EXPECT_NEAR(rule.confidence, 0.08 / 0.5, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RulesTest, ConfidenceCappedAtOne) {
+  // Noise made the superset "more frequent" than the subset.
+  std::vector<NoisyItemset> release{
+      {Itemset({0}), 10.0},
+      {Itemset({0, 1}), 20.0},
+      {Itemset({1}), 15.0},
+  };
+  auto rules = ExtractRules(release, 100, {.min_confidence = 0.0});
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_LE(rule.confidence, 1.0);
+  }
+}
+
+TEST(RulesTest, NegativeNoisyCountsFloored) {
+  std::vector<NoisyItemset> release{
+      {Itemset({0}), -5.0},
+      {Itemset({1}), 50.0},
+      {Itemset({0, 1}), -2.0},
+  };
+  auto rules = ExtractRules(release, 100, {.min_confidence = 0.0});
+  ASSERT_TRUE(rules.ok());
+  for (const auto& rule : *rules) {
+    EXPECT_GE(rule.support, 0.0);
+    EXPECT_GE(rule.confidence, 0.0);
+    EXPECT_LE(rule.confidence, 1.0);
+  }
+}
+
+TEST(RulesTest, SortedByConfidenceThenSupport) {
+  auto rules = ExtractRules(Release(), 100, {.min_confidence = 0.0});
+  ASSERT_TRUE(rules.ok());
+  for (size_t i = 1; i < rules->size(); ++i) {
+    const auto& prev = (*rules)[i - 1];
+    const auto& cur = (*rules)[i];
+    EXPECT_TRUE(prev.confidence > cur.confidence ||
+                (prev.confidence == cur.confidence &&
+                 prev.support >= cur.support));
+  }
+}
+
+TEST(RulesTest, ValidatesArguments) {
+  EXPECT_FALSE(ExtractRules({}, 0, {}).ok());
+  EXPECT_FALSE(ExtractRules({}, 10, {.min_confidence = -0.1}).ok());
+  EXPECT_FALSE(ExtractRules({}, 10, {.min_confidence = 1.5}).ok());
+}
+
+TEST(RulesTest, EmptyReleaseNoRules) {
+  auto rules = ExtractRules({}, 10, {});
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(RulesTest, ToStringFormat) {
+  AssociationRule rule{Itemset({1}), Itemset({2}), 0.5, 0.8};
+  std::string s = rule.ToString();
+  EXPECT_NE(s.find("{1} => {2}"), std::string::npos);
+  EXPECT_NE(s.find("conf=0.800"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,75 @@
+#include "core/basis.h"
+
+#include <gtest/gtest.h>
+
+namespace privbasis {
+namespace {
+
+TEST(BasisSetTest, WidthAndLength) {
+  BasisSet b({Itemset({0, 1, 2}), Itemset({3, 4})});
+  EXPECT_EQ(b.Width(), 2u);
+  EXPECT_EQ(b.Length(), 3u);
+  EXPECT_FALSE(b.Empty());
+  EXPECT_TRUE(BasisSet().Empty());
+  EXPECT_EQ(BasisSet().Length(), 0u);
+}
+
+TEST(BasisSetTest, Covers) {
+  BasisSet b({Itemset({0, 1, 2}), Itemset({3, 4})});
+  EXPECT_TRUE(b.Covers(Itemset({0, 1})));
+  EXPECT_TRUE(b.Covers(Itemset({3, 4})));
+  EXPECT_TRUE(b.Covers(Itemset({2})));
+  EXPECT_FALSE(b.Covers(Itemset({0, 3})));  // spans two bases
+  EXPECT_FALSE(b.Covers(Itemset({9})));
+  EXPECT_TRUE(b.Covers(Itemset()));  // empty set is a subset of anything
+}
+
+TEST(BasisSetTest, CoveringBases) {
+  BasisSet b({Itemset({0, 1, 2}), Itemset({1, 2, 3}), Itemset({4})});
+  EXPECT_EQ(b.CoveringBases(Itemset({1, 2})), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(b.CoveringBases(Itemset({0})), (std::vector<size_t>{0}));
+  EXPECT_TRUE(b.CoveringBases(Itemset({0, 4})).empty());
+}
+
+TEST(BasisSetTest, MergeReducesWidth) {
+  // Proposition 4: merging keeps coverage and reduces w by one.
+  BasisSet b({Itemset({0, 1}), Itemset({2, 3}), Itemset({4})});
+  Itemset query({0, 1});
+  b.Merge(0, 1);
+  EXPECT_EQ(b.Width(), 2u);
+  EXPECT_TRUE(b.Covers(query));
+  EXPECT_TRUE(b.Covers(Itemset({2, 3})));
+  EXPECT_TRUE(b.Covers(Itemset({0, 3})));  // newly covered by the union
+  EXPECT_EQ(b.basis(0), Itemset({0, 1, 2, 3}));
+}
+
+TEST(BasisSetTest, MergeOrderIndependent) {
+  BasisSet a({Itemset({0}), Itemset({1}), Itemset({2})});
+  BasisSet b = a;
+  a.Merge(0, 2);
+  b.Merge(2, 0);
+  EXPECT_EQ(a.bases()[0], b.bases()[0]);
+  EXPECT_EQ(a.Width(), b.Width());
+}
+
+TEST(BasisSetTest, CandidateUpperBound) {
+  BasisSet b({Itemset({0, 1, 2}), Itemset({3, 4})});
+  // (2³−1) + (2²−1) = 7 + 3.
+  EXPECT_EQ(b.CandidateUpperBound(), 10u);
+  EXPECT_EQ(BasisSet().CandidateUpperBound(), 0u);
+}
+
+TEST(BasisSetTest, AllItems) {
+  BasisSet b({Itemset({2, 5}), Itemset({1, 2}), Itemset({9})});
+  EXPECT_EQ(b.AllItems(), Itemset({1, 2, 5, 9}));
+}
+
+TEST(BasisSetTest, ToStringMentionsShape) {
+  BasisSet b({Itemset({0, 1})});
+  std::string s = b.ToString();
+  EXPECT_NE(s.find("w=1"), std::string::npos);
+  EXPECT_NE(s.find("l=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privbasis

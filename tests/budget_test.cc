@@ -1,0 +1,68 @@
+#include "dp/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace privbasis {
+namespace {
+
+TEST(BudgetTest, TracksSpending) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_EQ(accountant.total_epsilon(), 1.0);
+  EXPECT_EQ(accountant.spent_epsilon(), 0.0);
+  ASSERT_TRUE(accountant.Consume(0.3, "step1").ok());
+  ASSERT_TRUE(accountant.Consume(0.5, "step2").ok());
+  EXPECT_NEAR(accountant.spent_epsilon(), 0.8, 1e-12);
+  EXPECT_NEAR(accountant.remaining_epsilon(), 0.2, 1e-12);
+}
+
+TEST(BudgetTest, RecordsEntries) {
+  PrivacyAccountant accountant(2.0);
+  ASSERT_TRUE(accountant.Consume(0.5, "GetLambda").ok());
+  ASSERT_TRUE(accountant.Consume(1.0, "BasisFreq").ok());
+  ASSERT_EQ(accountant.entries().size(), 2u);
+  EXPECT_EQ(accountant.entries()[0].label, "GetLambda");
+  EXPECT_EQ(accountant.entries()[0].epsilon, 0.5);
+  EXPECT_EQ(accountant.entries()[1].label, "BasisFreq");
+}
+
+TEST(BudgetTest, RejectsOverspend) {
+  PrivacyAccountant accountant(1.0);
+  ASSERT_TRUE(accountant.Consume(0.9, "a").ok());
+  Status over = accountant.Consume(0.2, "b");
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kFailedPrecondition);
+  // Failed consumption must not be recorded.
+  EXPECT_NEAR(accountant.spent_epsilon(), 0.9, 1e-12);
+  EXPECT_EQ(accountant.entries().size(), 1u);
+}
+
+TEST(BudgetTest, ToleratesFloatingPointSplits) {
+  // α1 + α2 + α3 = 0.1 + 0.4 + 0.5 may not sum to exactly 1 in floating
+  // point; the accountant must accept the full split.
+  PrivacyAccountant accountant(1.0);
+  ASSERT_TRUE(accountant.Consume(0.1, "a").ok());
+  ASSERT_TRUE(accountant.Consume(0.4, "b").ok());
+  ASSERT_TRUE(accountant.Consume(0.5, "c").ok());
+  EXPECT_NEAR(accountant.spent_epsilon(), 1.0, 1e-9);
+}
+
+TEST(BudgetTest, RejectsNonPositiveEpsilon) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_FALSE(accountant.Consume(0.0, "zero").ok());
+  EXPECT_FALSE(accountant.Consume(-0.1, "negative").ok());
+  EXPECT_FALSE(
+      accountant.Consume(std::numeric_limits<double>::quiet_NaN(), "nan")
+          .ok());
+  EXPECT_FALSE(
+      accountant.Consume(std::numeric_limits<double>::infinity(), "inf")
+          .ok());
+}
+
+TEST(BudgetTest, ExactFullSpend) {
+  PrivacyAccountant accountant(0.5);
+  ASSERT_TRUE(accountant.Consume(0.5, "all").ok());
+  EXPECT_FALSE(accountant.Consume(1e-6, "more").ok());
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,92 @@
+#include "fim/closed.h"
+
+#include <gtest/gtest.h>
+
+#include "fim/fpgrowth.h"
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeDb;
+using ::privbasis::testing::MakeRandomDb;
+
+TEST(ClosedTest, SimpleExample) {
+  // {0,1} always co-occur; {0} alone never -> {0} and {1} are not closed
+  // (their closure is {0,1}); {2} is closed.
+  TransactionDatabase db = MakeDb({
+      {0, 1, 2}, {0, 1}, {0, 1, 2}, {2},
+  });
+  auto closed = MineClosed(db, 1);
+  ASSERT_TRUE(closed.ok());
+  std::vector<Itemset> sets;
+  for (const auto& fi : *closed) sets.push_back(fi.items);
+  // Closed: {0,1} (support 3), {2} (3), {0,1,2} (2). Not {0} (support 3
+  // == {0,1}), not {1}, not {0,2} (2 == {0,1,2}), ...
+  EXPECT_EQ(sets.size(), 3u);
+  EXPECT_NE(std::find(sets.begin(), sets.end(), Itemset({0, 1})),
+            sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), Itemset({2})), sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), Itemset({0, 1, 2})),
+            sets.end());
+}
+
+// Properties of the closed family against the full frequent family:
+// (1) every frequent itemset has a closed superset of equal support
+//     (losslessness);
+// (2) no closed itemset has a superset of equal support;
+// (3) maximal ⊆ closed ⊆ frequent (by counts).
+class ClosedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosedPropertyTest, LosslessCompression) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = GetParam(), .num_transactions = 60, .universe = 9,
+       .item_prob = 0.45});
+  const uint64_t theta = 5;
+  auto all = MineFpGrowth(db, {.min_support = theta});
+  auto closed = MineClosed(db, theta);
+  ASSERT_TRUE(all.ok() && closed.ok());
+  EXPECT_LE(closed->size(), all->itemsets.size());
+
+  // (1) support reconstruction from the closed family is exact.
+  for (const auto& fi : all->itemsets) {
+    EXPECT_EQ(SupportFromClosed(*closed, fi.items), fi.support)
+        << fi.items.ToString();
+  }
+  // (2) closedness.
+  for (const auto& c : *closed) {
+    for (const auto& fi : all->itemsets) {
+      if (fi.items.size() == c.items.size() + 1 &&
+          c.items.IsSubsetOf(fi.items)) {
+        EXPECT_LT(fi.support, c.support)
+            << c.items.ToString() << " vs " << fi.items.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(ClosedTest, SupportFromClosedReturnsZeroForInfrequent) {
+  TransactionDatabase db = MakeDb({{0, 1}, {0, 1}});
+  auto closed = MineClosed(db, 2);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(SupportFromClosed(*closed, Itemset({5})), 0u);
+}
+
+TEST(ClosedTest, DistinctSupportsAllClosed) {
+  // When all frequent itemsets have distinct supports along chains,
+  // everything is closed.
+  std::vector<FrequentItemset> frequent{
+      {Itemset({0}), 10}, {Itemset({1}), 8}, {Itemset({0, 1}), 5}};
+  auto closed = FilterClosed(frequent);
+  EXPECT_EQ(closed.size(), 3u);
+}
+
+TEST(ClosedTest, EmptyInput) {
+  EXPECT_TRUE(FilterClosed({}).empty());
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,47 @@
+#include "data/dataset_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeDb;
+
+TEST(DatasetStatsTest, BasicCounts) {
+  TransactionDatabase db = MakeDb({{0, 1, 2}, {0}, {1, 2}}, /*universe=*/5);
+  DatasetStats stats = ComputeDatasetStats(db);
+  EXPECT_EQ(stats.num_transactions, 3u);
+  EXPECT_EQ(stats.universe_size, 5u);
+  EXPECT_EQ(stats.num_active_items, 3u);
+  EXPECT_EQ(stats.total_occurrences, 6u);
+  EXPECT_NEAR(stats.avg_transaction_len, 2.0, 1e-12);
+  EXPECT_EQ(stats.max_transaction_len, 3u);
+}
+
+TEST(DatasetStatsTest, EmptyDatabase) {
+  TransactionDatabase db = MakeDb({});
+  DatasetStats stats = ComputeDatasetStats(db);
+  EXPECT_EQ(stats.num_transactions, 0u);
+  EXPECT_EQ(stats.avg_transaction_len, 0.0);
+  EXPECT_EQ(stats.max_transaction_len, 0u);
+}
+
+TEST(DatasetStatsTest, EmptyTransactionsCounted) {
+  TransactionDatabase db = MakeDb({{}, {0}, {}});
+  DatasetStats stats = ComputeDatasetStats(db);
+  EXPECT_EQ(stats.num_transactions, 3u);
+  EXPECT_NEAR(stats.avg_transaction_len, 1.0 / 3.0, 1e-12);
+}
+
+TEST(DatasetStatsTest, ToStringContainsFields) {
+  TransactionDatabase db = MakeDb({{0, 1}});
+  std::string s = ComputeDatasetStats(db).ToString();
+  EXPECT_NE(s.find("N=1"), std::string::npos);
+  EXPECT_NE(s.find("|I|=2"), std::string::npos);
+  EXPECT_NE(s.find("avg|t|=2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/geometric_mechanism.h"
+#include "dp/noisy_max.h"
+
+namespace privbasis {
+namespace {
+
+TEST(GeometricTest, ZeroMean) {
+  Rng rng(1);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(SampleTwoSidedGeometric(rng, 0.5));
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+class GeometricVarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricVarianceTest, MatchesFormula) {
+  const double alpha = GetParam();
+  Rng rng(3);
+  double sum = 0, sum_sq = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    double z = static_cast<double>(SampleTwoSidedGeometric(rng, alpha));
+    sum += z;
+    sum_sq += z * z;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  double expected = GeometricNoiseVariance(alpha);
+  EXPECT_NEAR(var, expected, expected * 0.05 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GeometricVarianceTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 0.95));
+
+TEST(GeometricTest, PmfRatioIsAlpha) {
+  // P(z+1)/P(z) = alpha for z >= 0 — the defining geometric decay.
+  const double alpha = 0.6;
+  Rng rng(5);
+  std::vector<int> histogram(6, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    int64_t z = SampleTwoSidedGeometric(rng, alpha);
+    if (z >= 0 && z < 6) ++histogram[z];
+  }
+  for (int z = 0; z + 1 < 5; ++z) {
+    ASSERT_GT(histogram[z], 1000);
+    double ratio =
+        static_cast<double>(histogram[z + 1]) / histogram[z];
+    EXPECT_NEAR(ratio, alpha, 0.03) << "z=" << z;
+  }
+}
+
+TEST(GeometricTest, PerturbKeepsIntegrality) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = GeometricPerturb(rng, 1000, 1.0, 1.0);
+    // Trivially integral by the type, but must stay near 1000 for ε=1.
+    EXPECT_GT(v, 900);
+    EXPECT_LT(v, 1100);
+  }
+}
+
+TEST(GeometricTest, MatchesLaplaceVarianceScaling) {
+  // For ε/Δ fixed, geometric variance 2α/(1−α)² ≈ Laplace 2(Δ/ε)² as
+  // ε/Δ → 0.
+  double epsilon = 0.05;
+  double alpha = std::exp(-epsilon);
+  double geometric = GeometricNoiseVariance(alpha);
+  double laplace = 2.0 / (epsilon * epsilon);
+  EXPECT_NEAR(geometric / laplace, 1.0, 0.01);
+}
+
+TEST(NoisyMaxTest, SelectsClearWinner) {
+  Rng rng(9);
+  std::vector<double> qualities{100.0, 0.0, 0.0};
+  int wins = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto r = ReportNoisyMax(rng, qualities, 1.0, 1.0);
+    ASSERT_TRUE(r.ok());
+    wins += *r == 0;
+  }
+  EXPECT_EQ(wins, 1000);
+}
+
+TEST(NoisyMaxTest, TieBrokenRoughlyUniformly) {
+  Rng rng(11);
+  std::vector<double> qualities{5.0, 5.0};
+  int first = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    auto r = ReportNoisyMax(rng, qualities, 1.0, 1.0);
+    ASSERT_TRUE(r.ok());
+    first += *r == 0;
+  }
+  EXPECT_NEAR(first / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(NoisyMaxTest, MonotoneVariantSharper) {
+  // With half the noise scale, the monotone variant picks the true max
+  // more often on a fixed gap.
+  std::vector<double> qualities{2.0, 0.0};
+  Rng rng(13);
+  int standard = 0, monotone = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    auto a = ReportNoisyMax(rng, qualities, 1.0, 1.0);
+    auto b = ReportNoisyMaxMonotone(rng, qualities, 1.0, 1.0);
+    ASSERT_TRUE(a.ok() && b.ok());
+    standard += *a == 0;
+    monotone += *b == 0;
+  }
+  EXPECT_GT(monotone, standard);
+}
+
+TEST(NoisyMaxTest, ValidatesArguments) {
+  Rng rng(15);
+  EXPECT_FALSE(ReportNoisyMax(rng, {}, 1.0, 1.0).ok());
+  std::vector<double> q{1.0};
+  EXPECT_FALSE(ReportNoisyMax(rng, q, 0.0, 1.0).ok());
+  EXPECT_FALSE(ReportNoisyMax(rng, q, 1.0, 0.0).ok());
+  EXPECT_FALSE(ReportNoisyMaxMonotone(rng, q, 1.0, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,92 @@
+#include "fim/eclat.h"
+
+#include <gtest/gtest.h>
+
+#include "fim/brute_force.h"
+#include "fim/fpgrowth.h"
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeDb;
+using ::privbasis::testing::MakeRandomDb;
+
+TEST(EclatTest, TextbookExample) {
+  TransactionDatabase db = MakeDb({
+      {0, 1, 2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2},
+  });
+  auto result = MineEclat(db, {.min_support = 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->itemsets.size(), 6u);
+  for (const auto& fi : result->itemsets) {
+    EXPECT_EQ(fi.support, db.SupportOf(fi.items));
+  }
+}
+
+// Three-way agreement sweep: Eclat joins the miner cross-check.
+struct EclatCase {
+  uint64_t seed;
+  uint64_t min_support;
+  size_t max_length;
+};
+
+class EclatAgreementTest : public ::testing::TestWithParam<EclatCase> {};
+
+TEST_P(EclatAgreementTest, MatchesBruteForceAndFpGrowth) {
+  const auto& param = GetParam();
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = param.seed, .num_transactions = 70, .universe = 11,
+       .item_prob = 0.35});
+  MiningOptions options{.min_support = param.min_support,
+                        .max_length = param.max_length};
+  auto brute = MineBruteForce(db, options);
+  auto eclat = MineEclat(db, options);
+  ASSERT_TRUE(brute.ok() && eclat.ok());
+  EXPECT_EQ(eclat->itemsets, brute->itemsets);
+
+  MiningOptions unbounded{.min_support = param.min_support};
+  auto fp = MineFpGrowth(db, unbounded);
+  auto eclat_unbounded = MineEclat(db, unbounded);
+  ASSERT_TRUE(fp.ok() && eclat_unbounded.ok());
+  EXPECT_EQ(eclat_unbounded->itemsets, fp->itemsets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EclatAgreementTest,
+    ::testing::Values(EclatCase{1, 2, 3}, EclatCase{2, 5, 2},
+                      EclatCase{3, 10, 4}, EclatCase{4, 3, 3},
+                      EclatCase{5, 7, 2}, EclatCase{6, 15, 3},
+                      EclatCase{7, 1, 2}, EclatCase{8, 4, 4}));
+
+TEST(EclatTest, MaxLengthCap) {
+  TransactionDatabase db = MakeRandomDb({.seed = 9});
+  auto result = MineEclat(db, {.min_support = 2, .max_length = 2});
+  ASSERT_TRUE(result.ok());
+  for (const auto& fi : result->itemsets) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+}
+
+TEST(EclatTest, AbortsOnMaxPatterns) {
+  TransactionDatabase db = MakeRandomDb({.seed = 11, .item_prob = 0.5});
+  auto result = MineEclat(db, {.min_support = 1, .max_patterns = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->aborted);
+  EXPECT_TRUE(result->itemsets.empty());
+}
+
+TEST(EclatTest, RejectsZeroSupport) {
+  TransactionDatabase db = MakeDb({{0}});
+  EXPECT_FALSE(MineEclat(db, {.min_support = 0}).ok());
+}
+
+TEST(EclatTest, EmptyDatabase) {
+  TransactionDatabase db = MakeDb({}, /*universe=*/4);
+  auto result = MineEclat(db, {.min_support = 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->itemsets.empty());
+}
+
+}  // namespace
+}  // namespace privbasis

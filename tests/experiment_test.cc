@@ -1,0 +1,155 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/table_printer.h"
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+GroundTruth MakeTruth(const TransactionDatabase& db, size_t k) {
+  auto truth = ComputeGroundTruth(db, k);
+  EXPECT_TRUE(truth.ok());
+  return std::move(truth).value();
+}
+
+TEST(ExperimentTest, PerfectMethodScoresZero) {
+  TransactionDatabase db = testing::MakeRandomDb({.seed = 1});
+  GroundTruth truth = MakeTruth(db, 5);
+  ReleaseMethod perfect = [&](double, Rng&) {
+    std::vector<NoisyItemset> out;
+    for (const auto& fi : truth.topk.itemsets) {
+      out.push_back({fi.items, static_cast<double>(fi.support)});
+    }
+    return Result<std::vector<NoisyItemset>>(std::move(out));
+  };
+  SweepConfig config;
+  config.epsilons = {0.5, 1.0};
+  config.repeats = 3;
+  auto series = RunEpsilonSweep("perfect", perfect, truth, config);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->points.size(), 2u);
+  for (const auto& p : series->points) {
+    EXPECT_EQ(p.fnr_mean, 0.0);
+    EXPECT_EQ(p.re_mean, 0.0);
+    EXPECT_EQ(p.fnr_stderr, 0.0);
+    EXPECT_EQ(p.repeats, 3);
+  }
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  TransactionDatabase db = testing::MakeRandomDb({.seed = 2});
+  GroundTruth truth = MakeTruth(db, 5);
+  // A noisy method driven entirely by the provided RNG.
+  ReleaseMethod noisy = [&](double epsilon, Rng& rng) {
+    std::vector<NoisyItemset> out;
+    for (const auto& fi : truth.topk.itemsets) {
+      out.push_back({fi.items, static_cast<double>(fi.support) +
+                                   rng.NextDouble() / epsilon});
+    }
+    return Result<std::vector<NoisyItemset>>(std::move(out));
+  };
+  SweepConfig config;
+  config.epsilons = {0.5};
+  config.repeats = 3;
+  auto a = RunEpsilonSweep("noisy", noisy, truth, config);
+  auto b = RunEpsilonSweep("noisy", noisy, truth, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->points[0].re_mean, b->points[0].re_mean);
+  EXPECT_EQ(a->points[0].re_stderr, b->points[0].re_stderr);
+}
+
+TEST(ExperimentTest, PropagatesMethodErrors) {
+  TransactionDatabase db = testing::MakeRandomDb({.seed = 3});
+  GroundTruth truth = MakeTruth(db, 5);
+  ReleaseMethod broken = [](double, Rng&) {
+    return Result<std::vector<NoisyItemset>>(Status::Internal("boom"));
+  };
+  SweepConfig config;
+  config.epsilons = {0.5};
+  auto series = RunEpsilonSweep("broken", broken, truth, config);
+  EXPECT_FALSE(series.ok());
+}
+
+TEST(ExperimentTest, RejectsZeroRepeats) {
+  TransactionDatabase db = testing::MakeRandomDb({.seed = 4});
+  GroundTruth truth = MakeTruth(db, 5);
+  SweepConfig config;
+  config.repeats = 0;
+  auto series = RunEpsilonSweep(
+      "x",
+      [](double, Rng&) {
+        return Result<std::vector<NoisyItemset>>(
+            std::vector<NoisyItemset>{});
+      },
+      truth, config);
+  EXPECT_FALSE(series.ok());
+}
+
+TEST(ExperimentTest, PaperGrids) {
+  EXPECT_EQ(PaperEpsilonGridDense().size(), 10u);
+  EXPECT_EQ(PaperEpsilonGridDense().front(), 0.1);
+  EXPECT_EQ(PaperEpsilonGridSparse().size(), 9u);
+  EXPECT_EQ(PaperEpsilonGridSparse().front(), 0.2);
+  EXPECT_EQ(PaperEpsilonGridAol().size(), 6u);
+  EXPECT_EQ(PaperEpsilonGridAol().front(), 0.5);
+  for (const auto& grid : {PaperEpsilonGridDense(), PaperEpsilonGridSparse(),
+                           PaperEpsilonGridAol()}) {
+    EXPECT_EQ(grid.back(), 1.0);
+    EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  }
+}
+
+TEST(GroundTruthTest, StatsAndMarginSupports) {
+  TransactionDatabase db = testing::MakeRandomDb(
+      {.seed = 5, .num_transactions = 100, .universe = 12});
+  auto truth = ComputeGroundTruth(db, 10);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth->topk.itemsets.size(), 10u);
+  EXPECT_EQ(truth->stats.fk_count, truth->topk.itemsets.back().support);
+  // η-margin supports can only be <= fk.
+  EXPECT_LE(truth->fk1_support_eta11, truth->topk.kth_support);
+  EXPECT_LE(truth->fk1_support_eta12, truth->fk1_support_eta11);
+  ASSERT_NE(truth->index, nullptr);
+  EXPECT_EQ(truth->index->NumTransactions(), db.NumTransactions());
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TextTable table({"a", "longheader"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("longheader"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(0.5, 0), "0");  // rounds to even
+  EXPECT_EQ(TextTable::Num(2.0, 3), "2.000");
+}
+
+TEST(TablePrinterTest, PrintFigureRendersBothMetrics) {
+  SweepSeries series;
+  series.label = "PB,k=50";
+  series.points.push_back(
+      {.epsilon = 0.5, .fnr_mean = 0.1, .fnr_stderr = 0.01,
+       .re_mean = 0.2, .re_stderr = 0.02, .repeats = 3});
+  std::ostringstream os;
+  PrintFigure(os, "Test Figure", {series});
+  std::string out = os.str();
+  EXPECT_NE(out.find("Test Figure"), std::string::npos);
+  EXPECT_NE(out.find("FNR"), std::string::npos);
+  EXPECT_NE(out.find("RelativeError"), std::string::npos);
+  EXPECT_NE(out.find("PB,k=50"), std::string::npos);
+  EXPECT_NE(out.find("0.1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,94 @@
+#include "fim/fptree.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeDb;
+using ::privbasis::testing::MakeRandomDb;
+
+TEST(FpTreeTest, RanksOrderedByDescendingSupport) {
+  // supports: 0 -> 1, 1 -> 2, 2 -> 3.
+  TransactionDatabase db = MakeDb({{0, 1, 2}, {1, 2}, {2}});
+  FpTree tree(db, 1);
+  ASSERT_EQ(tree.NumRanks(), 3u);
+  EXPECT_EQ(tree.ItemAt(0), 2u);
+  EXPECT_EQ(tree.ItemAt(1), 1u);
+  EXPECT_EQ(tree.ItemAt(2), 0u);
+  EXPECT_EQ(tree.SupportAt(0), 3u);
+  EXPECT_EQ(tree.SupportAt(1), 2u);
+  EXPECT_EQ(tree.SupportAt(2), 1u);
+}
+
+TEST(FpTreeTest, MinSupportFiltersItems) {
+  TransactionDatabase db = MakeDb({{0, 1}, {1}, {1}});
+  FpTree tree(db, 2);
+  ASSERT_EQ(tree.NumRanks(), 1u);
+  EXPECT_EQ(tree.ItemAt(0), 1u);
+  EXPECT_TRUE(FpTree(db, 10).Empty());
+}
+
+TEST(FpTreeTest, SharedPrefixesCompress) {
+  // Identical transactions must share one path: nodes = root + |t|.
+  TransactionDatabase db =
+      MakeDb({{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2}});
+  FpTree tree(db, 1);
+  EXPECT_EQ(tree.NumNodes(), 4u);  // root + 3 items
+}
+
+TEST(FpTreeTest, DisjointTransactionsBranch) {
+  TransactionDatabase db = MakeDb({{0, 1}, {2, 3}});
+  FpTree tree(db, 1);
+  EXPECT_EQ(tree.NumNodes(), 5u);  // root + 2 + 2
+}
+
+TEST(FpTreeTest, ConditionalTreeSupportsArePairSupports) {
+  // The conditional tree of rank r reports, for every other item x, the
+  // support of {item(r), x}.
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 3, .num_transactions = 60, .universe = 8, .item_prob = 0.5});
+  FpTree tree(db, 1);
+  for (uint32_t rank = 0; rank < tree.NumRanks(); ++rank) {
+    FpTree cond = tree.ConditionalTree(rank, 1);
+    Item base = tree.ItemAt(rank);
+    for (uint32_t crank = 0; crank < cond.NumRanks(); ++crank) {
+      Item other = cond.ItemAt(crank);
+      EXPECT_EQ(cond.SupportAt(crank),
+                db.SupportOf(Itemset({base, other})))
+          << "pair {" << base << "," << other << "}";
+    }
+  }
+}
+
+TEST(FpTreeTest, ConditionalTreeRespectsMinSupport) {
+  TransactionDatabase db = MakeDb({{0, 1}, {0, 1}, {0, 2}});
+  FpTree tree(db, 1);
+  // Condition on the rank of item 1 (support 2): item 0 co-occurs twice.
+  uint32_t rank1 = 0;
+  for (uint32_t r = 0; r < tree.NumRanks(); ++r) {
+    if (tree.ItemAt(r) == 1) rank1 = r;
+  }
+  FpTree cond_loose = tree.ConditionalTree(rank1, 1);
+  EXPECT_EQ(cond_loose.NumRanks(), 1u);
+  FpTree cond_tight = tree.ConditionalTree(rank1, 3);
+  EXPECT_TRUE(cond_tight.Empty());
+}
+
+TEST(FpTreeTest, EmptyDatabase) {
+  TransactionDatabase db = MakeDb({}, /*universe=*/3);
+  FpTree tree(db, 1);
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.NumNodes(), 1u);  // just the root
+}
+
+TEST(FpTreeTest, NodeCountBoundedByOccurrences) {
+  TransactionDatabase db = MakeRandomDb({.seed = 7, .num_transactions = 100});
+  FpTree tree(db, 1);
+  EXPECT_LE(tree.NumNodes(), db.TotalItemOccurrences() + 1);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,102 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace privbasis {
+namespace {
+
+TEST(GraphTest, AddNodesAndEdges) {
+  ItemGraph g;
+  g.AddNode(5);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasNode(5));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(1, 5));
+}
+
+TEST(GraphTest, EdgeIdempotent) {
+  ItemGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, SelfLoopIgnored) {
+  ItemGraph g;
+  g.AddEdge(3, 3);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumNodes(), 0u);
+}
+
+TEST(GraphTest, Degrees) {
+  ItemGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(99), 0u);
+}
+
+TEST(GraphTest, Neighbors) {
+  ItemGraph g;
+  g.AddEdge(10, 20);
+  g.AddEdge(10, 30);
+  auto n = g.Neighbors(10);
+  std::sort(n.begin(), n.end());
+  EXPECT_EQ(n, (std::vector<Item>{20, 30}));
+  EXPECT_TRUE(g.Neighbors(40).empty());
+}
+
+TEST(GraphTest, FromItemsAndPairs) {
+  std::vector<Item> items{1, 2, 3, 4};
+  std::vector<Itemset> pairs{Itemset({1, 2}), Itemset({2, 3})};
+  ItemGraph g = ItemGraph::FromItemsAndPairs(items, pairs);
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasNode(4));  // isolated node kept
+}
+
+TEST(GraphTest, PairEndpointsOutsideItemsAdded) {
+  ItemGraph g = ItemGraph::FromItemsAndPairs({1}, {Itemset({8, 9})});
+  EXPECT_TRUE(g.HasNode(8));
+  EXPECT_TRUE(g.HasNode(9));
+  EXPECT_TRUE(g.HasEdge(8, 9));
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  ItemGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(5, 6);
+  g.AddNode(9);
+  auto components = g.ConnectedComponents();
+  ASSERT_EQ(components.size(), 3u);
+  // Sort by size for deterministic checks.
+  std::sort(components.begin(), components.end(),
+            [](const Itemset& a, const Itemset& b) {
+              return a.size() > b.size();
+            });
+  EXPECT_EQ(components[0], Itemset({0, 1, 2}));
+  EXPECT_EQ(components[1], Itemset({5, 6}));
+  EXPECT_EQ(components[2], Itemset({9}));
+}
+
+TEST(GraphTest, DenseIndexAccess) {
+  ItemGraph g;
+  g.AddEdge(100, 200);
+  size_t i100 = g.IndexOf(100);
+  size_t i200 = g.IndexOf(200);
+  EXPECT_TRUE(g.HasEdgeByIndex(i100, i200));
+  EXPECT_EQ(g.NodeAt(i100), 100u);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,133 @@
+#include "data/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace privbasis {
+namespace {
+
+TEST(ItemsetTest, SortsAndDeduplicates) {
+  Itemset s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 5u);
+}
+
+TEST(ItemsetTest, EmptySet) {
+  Itemset s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(ItemsetTest, FromSortedIsIdentity) {
+  Itemset s = Itemset::FromSorted({2, 4, 6});
+  EXPECT_EQ(s, Itemset({6, 4, 2}));
+}
+
+TEST(ItemsetTest, Contains) {
+  Itemset s({10, 20, 30});
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(20));
+  EXPECT_TRUE(s.Contains(30));
+  EXPECT_FALSE(s.Contains(15));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(31));
+}
+
+TEST(ItemsetTest, SubsetRelation) {
+  Itemset small({1, 3});
+  Itemset big({1, 2, 3, 4});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(Itemset().IsSubsetOf(small));
+  EXPECT_FALSE(Itemset({5}).IsSubsetOf(big));
+}
+
+TEST(ItemsetTest, SubsetOfSpan) {
+  std::vector<Item> sorted{1, 2, 3, 4};
+  EXPECT_TRUE(Itemset({2, 4}).IsSubsetOf(std::span<const Item>(sorted)));
+  EXPECT_FALSE(Itemset({2, 5}).IsSubsetOf(std::span<const Item>(sorted)));
+}
+
+TEST(ItemsetTest, SetOperations) {
+  Itemset a({1, 2, 3});
+  Itemset b({3, 4});
+  EXPECT_EQ(a.Union(b), Itemset({1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), Itemset({3}));
+  EXPECT_EQ(a.Difference(b), Itemset({1, 2}));
+  EXPECT_EQ(b.Difference(a), Itemset({4}));
+  EXPECT_EQ(a.Union(Itemset()), a);
+  EXPECT_EQ(a.Intersect(Itemset()), Itemset());
+}
+
+TEST(ItemsetTest, With) {
+  Itemset s({1, 5});
+  EXPECT_EQ(s.With(3), Itemset({1, 3, 5}));
+  EXPECT_EQ(s.With(5), s);
+  EXPECT_EQ(s.With(0), Itemset({0, 1, 5}));
+  EXPECT_EQ(s.With(9), Itemset({1, 5, 9}));
+}
+
+TEST(ItemsetTest, Ordering) {
+  EXPECT_LT(Itemset({1, 2}), Itemset({1, 3}));
+  EXPECT_LT(Itemset({1}), Itemset({1, 2}));  // prefix is smaller
+  EXPECT_LT(Itemset({0, 9}), Itemset({1}));
+}
+
+TEST(ItemsetTest, ToString) {
+  EXPECT_EQ(Itemset({3, 1}).ToString(), "{1, 3}");
+  EXPECT_EQ(Itemset().ToString(), "{}");
+}
+
+TEST(ItemsetTest, HashConsistentWithEquality) {
+  ItemsetHash hash;
+  EXPECT_EQ(hash(Itemset({1, 2, 3})), hash(Itemset({3, 2, 1})));
+  std::unordered_set<Itemset, ItemsetHash> set;
+  set.insert(Itemset({1, 2}));
+  set.insert(Itemset({2, 1}));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(Itemset({1, 2})));
+  EXPECT_FALSE(set.contains(Itemset({1, 3})));
+}
+
+TEST(ItemsetTest, VectorHashMatchesContent) {
+  ItemVectorHash hash;
+  EXPECT_EQ(hash({1, 2, 3}), hash({1, 2, 3}));
+  EXPECT_NE(hash({1, 2, 3}), hash({1, 2, 4}));
+}
+
+TEST(ForEachSubsetTest, EnumeratesAllNonEmptySubsets) {
+  Itemset base({1, 2, 3});
+  std::vector<Itemset> seen;
+  ForEachSubset(base, 0, [&](const Itemset& s) { seen.push_back(s); });
+  EXPECT_EQ(seen.size(), 7u);  // 2³ − 1
+  std::unordered_set<Itemset, ItemsetHash> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), 7u);
+  for (const auto& s : seen) {
+    EXPECT_TRUE(s.IsSubsetOf(base));
+    EXPECT_FALSE(s.empty());
+  }
+}
+
+TEST(ForEachSubsetTest, RespectsMaxSize) {
+  Itemset base({1, 2, 3, 4});
+  size_t count = 0;
+  ForEachSubset(base, 2, [&](const Itemset& s) {
+    EXPECT_LE(s.size(), 2u);
+    ++count;
+  });
+  EXPECT_EQ(count, 10u);  // C(4,1) + C(4,2)
+}
+
+TEST(ForEachSubsetTest, EmptyBaseYieldsNothing) {
+  size_t count = 0;
+  ForEachSubset(Itemset(), 0, [&](const Itemset&) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,81 @@
+#include "dp/laplace_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace privbasis {
+namespace {
+
+TEST(LaplaceMechanismTest, UnbiasedAroundTrueValue) {
+  Rng rng(1);
+  const double value = 1234.5;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += LaplacePerturb(rng, value, 1.0, 1.0);
+  }
+  EXPECT_NEAR(sum / n, value, 0.05);
+}
+
+// Noise variance must equal 2·(Δ/ε)² across sensitivity/ε combinations.
+struct NoiseCase {
+  double sensitivity;
+  double epsilon;
+};
+
+class LaplaceNoiseVarianceTest : public ::testing::TestWithParam<NoiseCase> {};
+
+TEST_P(LaplaceNoiseVarianceTest, MatchesFormula) {
+  const auto [sensitivity, epsilon] = GetParam();
+  Rng rng(17);
+  double sum = 0, sum_sq = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    double noise = LaplacePerturb(rng, 0.0, sensitivity, epsilon);
+    sum += noise;
+    sum_sq += noise * noise;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  double expected = LaplaceNoiseVariance(sensitivity, epsilon);
+  EXPECT_NEAR(var, expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, LaplaceNoiseVarianceTest,
+                         ::testing::Values(NoiseCase{1.0, 1.0},
+                                           NoiseCase{1.0, 0.1},
+                                           NoiseCase{5.0, 1.0},
+                                           NoiseCase{2.0, 0.5}));
+
+TEST(LaplaceMechanismTest, VarianceFormula) {
+  EXPECT_NEAR(LaplaceNoiseVariance(1.0, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(LaplaceNoiseVariance(2.0, 1.0), 8.0, 1e-12);
+  EXPECT_NEAR(LaplaceNoiseVariance(1.0, 0.5), 8.0, 1e-12);
+}
+
+TEST(LaplaceMechanismTest, VectorFormPerturbsEachCoordinate) {
+  Rng rng(23);
+  std::vector<double> values{10.0, 20.0, 30.0};
+  auto noisy = LaplacePerturb(rng, values, 1.0, 10.0);
+  ASSERT_EQ(noisy.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(noisy[i], values[i], 5.0);  // tight ε -> small noise
+    EXPECT_NE(noisy[i], values[i]);         // but never exactly zero noise
+  }
+}
+
+TEST(LaplaceMechanismTest, SmallerEpsilonMoreNoise) {
+  Rng rng(29);
+  const int n = 50000;
+  double spread_tight = 0, spread_loose = 0;
+  for (int i = 0; i < n; ++i) {
+    spread_tight += std::abs(LaplacePerturb(rng, 0.0, 1.0, 1.0));
+    spread_loose += std::abs(LaplacePerturb(rng, 0.0, 1.0, 0.1));
+  }
+  // E|Lap(b)| = b, so ratio should be ~10.
+  EXPECT_NEAR(spread_loose / spread_tight, 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,93 @@
+#include "fim/maximal.h"
+
+#include <gtest/gtest.h>
+
+#include "fim/fpgrowth.h"
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeDb;
+using ::privbasis::testing::MakeRandomDb;
+
+TEST(MaximalTest, SimpleExample) {
+  TransactionDatabase db = MakeDb({
+      {0, 1, 2}, {0, 1, 2}, {0, 1}, {3},  {3},
+  });
+  auto maximal = MineMaximal(db, 2);
+  ASSERT_TRUE(maximal.ok());
+  // Frequent at support 2: {0},{1},{2},{3},{0,1},{0,2},{1,2},{0,1,2}.
+  // Maximal: {0,1,2} and {3}; canonical order breaks the support tie by
+  // ascending length, so {3} comes first.
+  ASSERT_EQ(maximal->size(), 2u);
+  EXPECT_EQ((*maximal)[0].items, Itemset({3}));
+  EXPECT_EQ((*maximal)[1].items, Itemset({0, 1, 2}));
+}
+
+// Property: (1) every maximal itemset is frequent with no frequent
+// superset; (2) every frequent itemset is a subset of some maximal one —
+// exactly Proposition 3's "maximal frequent itemsets form a basis set".
+class MaximalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaximalPropertyTest, Proposition3BasisProperty) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = GetParam(), .num_transactions = 50, .universe = 9,
+       .item_prob = 0.45});
+  const uint64_t theta = 5;
+  auto all = MineFpGrowth(db, {.min_support = theta});
+  auto maximal = MineMaximal(db, theta);
+  ASSERT_TRUE(all.ok() && maximal.ok());
+
+  // (1) no maximal itemset is a subset of another.
+  for (size_t i = 0; i < maximal->size(); ++i) {
+    for (size_t j = 0; j < maximal->size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE((*maximal)[i].items.IsSubsetOf((*maximal)[j].items));
+    }
+  }
+  // (2) every frequent itemset is covered by some maximal itemset.
+  for (const auto& fi : all->itemsets) {
+    bool covered = false;
+    for (const auto& m : *maximal) {
+      if (fi.items.IsSubsetOf(m.items)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << fi.items.ToString();
+  }
+  // (3) maximal ⊆ frequent.
+  for (const auto& m : *maximal) {
+    EXPECT_GE(m.support, theta);
+    EXPECT_EQ(m.support, db.SupportOf(m.items));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaximalPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(MaximalTest, FilterMaximalOnHandBuiltCollection) {
+  std::vector<FrequentItemset> frequent{
+      {Itemset({0}), 5}, {Itemset({1}), 5},    {Itemset({0, 1}), 4},
+      {Itemset({2}), 3}, {Itemset({0, 2}), 3},
+  };
+  auto maximal = FilterMaximal(frequent);
+  ASSERT_EQ(maximal.size(), 2u);
+  EXPECT_EQ(maximal[0].items, Itemset({0, 1}));
+  EXPECT_EQ(maximal[1].items, Itemset({0, 2}));
+}
+
+TEST(MaximalTest, AllIndependentItemsAreMaximal) {
+  std::vector<FrequentItemset> frequent{
+      {Itemset({0}), 5}, {Itemset({1}), 4}, {Itemset({2}), 3}};
+  auto maximal = FilterMaximal(frequent);
+  EXPECT_EQ(maximal.size(), 3u);
+}
+
+TEST(MaximalTest, EmptyInput) {
+  EXPECT_TRUE(FilterMaximal({}).empty());
+}
+
+}  // namespace
+}  // namespace privbasis

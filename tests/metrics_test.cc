@@ -1,0 +1,120 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeDb;
+
+std::vector<FrequentItemset> Actual() {
+  return {{Itemset({0}), 4}, {Itemset({1}), 3}, {Itemset({0, 1}), 2},
+          {Itemset({2}), 2}};
+}
+
+TEST(FnrTest, PerfectRecoveryIsZero) {
+  std::vector<NoisyItemset> published{
+      {Itemset({0}), 4.0}, {Itemset({1}), 3.0}, {Itemset({0, 1}), 2.0},
+      {Itemset({2}), 2.0}};
+  EXPECT_EQ(FalseNegativeRate(Actual(), published), 0.0);
+}
+
+TEST(FnrTest, CountsMisses) {
+  std::vector<NoisyItemset> published{
+      {Itemset({0}), 4.0}, {Itemset({9}), 3.0}, {Itemset({8}), 2.0},
+      {Itemset({2}), 2.0}};
+  EXPECT_NEAR(FalseNegativeRate(Actual(), published), 0.5, 1e-12);
+}
+
+TEST(FnrTest, EmptyPublishedIsOne) {
+  EXPECT_EQ(FalseNegativeRate(Actual(), {}), 1.0);
+}
+
+TEST(FnrTest, EmptyActualIsZero) {
+  std::vector<NoisyItemset> published{{Itemset({0}), 1.0}};
+  EXPECT_EQ(FalseNegativeRate({}, published), 0.0);
+}
+
+TEST(FnrTest, ExtraPublishedDoesNotHelp) {
+  // Publishing more than k junk itemsets cannot reduce FNR below the miss
+  // fraction.
+  std::vector<NoisyItemset> published;
+  for (Item i = 10; i < 30; ++i) published.push_back({Itemset({i}), 1.0});
+  EXPECT_EQ(FalseNegativeRate(Actual(), published), 1.0);
+}
+
+TEST(ReTest, ZeroErrorForExactCounts) {
+  TransactionDatabase db = MakeDb({{0, 1}, {0}, {0, 1}});
+  VerticalIndex index(db);
+  std::vector<NoisyItemset> published{{Itemset({0}), 3.0},
+                                      {Itemset({0, 1}), 2.0}};
+  EXPECT_EQ(MedianRelativeError(published, index), 0.0);
+}
+
+TEST(ReTest, MedianOfRelativeErrors) {
+  TransactionDatabase db = MakeDb({{0, 1}, {0}, {0, 1}, {0}});
+  VerticalIndex index(db);
+  // Exact: {0}=4, {1}=2.
+  std::vector<NoisyItemset> published{
+      {Itemset({0}), 5.0},  // RE = 0.25
+      {Itemset({1}), 3.0},  // RE = 0.5
+      {Itemset({1}), 2.0},  // RE = 0
+  };
+  EXPECT_NEAR(MedianRelativeError(published, index), 0.25, 1e-12);
+}
+
+TEST(ReTest, ZeroSupportDenominatorFloored) {
+  TransactionDatabase db = MakeDb({{0}}, /*universe=*/3);
+  VerticalIndex index(db);
+  std::vector<NoisyItemset> published{{Itemset({2}), 5.0}};
+  // Exact support 0 -> denominator floored at 1 count.
+  EXPECT_NEAR(MedianRelativeError(published, index), 5.0, 1e-12);
+}
+
+TEST(ReTest, EmptyPublished) {
+  TransactionDatabase db = MakeDb({{0}});
+  VerticalIndex index(db);
+  EXPECT_EQ(MedianRelativeError({}, index), 0.0);
+}
+
+TEST(ComputeUtilityTest, CombinesBoth) {
+  TransactionDatabase db = MakeDb({{0, 1}, {0}, {0, 1}, {0}});
+  VerticalIndex index(db);
+  std::vector<FrequentItemset> actual{{Itemset({0}), 4}, {Itemset({1}), 2}};
+  std::vector<NoisyItemset> published{{Itemset({0}), 4.0},
+                                      {Itemset({7}), 1.0}};
+  UtilityMetrics m = ComputeUtility(actual, published, index);
+  EXPECT_NEAR(m.fnr, 0.5, 1e-12);
+  EXPECT_GE(m.relative_error, 0.0);
+}
+
+TEST(ReTest, TruePositiveVariantIgnoresJunk) {
+  TransactionDatabase db = MakeDb({{0, 1}, {0}, {0, 1}, {0}}, /*universe=*/9);
+  VerticalIndex index(db);
+  std::vector<FrequentItemset> actual{{Itemset({0}), 4}, {Itemset({1}), 2}};
+  // One exact true positive plus a junk itemset with huge error: the
+  // true-positive median must be 0 regardless of the junk.
+  std::vector<NoisyItemset> published{{Itemset({0}), 4.0},
+                                      {Itemset({7}), 500.0},
+                                      {Itemset({8}), 900.0}};
+  EXPECT_NEAR(
+      MedianRelativeErrorOverTruePositives(actual, published, index), 0.0,
+      1e-12);
+  // The all-published variant is dominated by the junk.
+  EXPECT_GT(MedianRelativeError(published, index), 100.0);
+}
+
+TEST(ReTest, TruePositiveVariantFallsBackWhenNoOverlap) {
+  TransactionDatabase db = MakeDb({{0}}, /*universe=*/5);
+  VerticalIndex index(db);
+  std::vector<FrequentItemset> actual{{Itemset({0}), 1}};
+  std::vector<NoisyItemset> published{{Itemset({3}), 2.0}};
+  EXPECT_NEAR(
+      MedianRelativeErrorOverTruePositives(actual, published, index), 2.0,
+      1e-12);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,0 +1,105 @@
+#include "data/quest.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset_stats.h"
+#include "fim/topk.h"
+
+namespace privbasis {
+namespace {
+
+TEST(QuestTest, DeterministicInSeed) {
+  QuestConfig config;
+  config.num_transactions = 500;
+  config.num_items = 100;
+  auto a = GenerateQuestDataset(config, 9);
+  auto b = GenerateQuestDataset(config, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->NumTransactions(), b->NumTransactions());
+  EXPECT_EQ(a->TotalItemOccurrences(), b->TotalItemOccurrences());
+}
+
+TEST(QuestTest, AverageTransactionSizeNearT) {
+  QuestConfig config;
+  config.num_transactions = 5000;
+  config.avg_transaction_size = 10;
+  config.num_items = 500;
+  config.num_patterns = 300;
+  auto db = GenerateQuestDataset(config, 11);
+  ASSERT_TRUE(db.ok());
+  DatasetStats stats = ComputeDatasetStats(*db);
+  // Dedup and truncation shave a little off T; stay within ~30%.
+  EXPECT_GT(stats.avg_transaction_len, 6.5);
+  EXPECT_LT(stats.avg_transaction_len, 12.0);
+}
+
+TEST(QuestTest, ItemsWithinUniverse) {
+  QuestConfig config;
+  config.num_transactions = 300;
+  config.num_items = 50;
+  config.num_patterns = 40;
+  auto db = GenerateQuestDataset(config, 13);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->UniverseSize(), 50u);
+  EXPECT_GT(db->TotalItemOccurrences(), 0u);
+}
+
+TEST(QuestTest, NoEmptyTransactions) {
+  QuestConfig config;
+  config.num_transactions = 1000;
+  config.avg_transaction_size = 3;
+  config.num_items = 200;
+  config.num_patterns = 100;
+  config.mean_corruption = 0.9;  // aggressive dropping
+  auto db = GenerateQuestDataset(config, 15);
+  ASSERT_TRUE(db.ok());
+  for (size_t t = 0; t < db->NumTransactions(); ++t) {
+    EXPECT_GE(db->Transaction(t).size(), 1u);
+  }
+}
+
+TEST(QuestTest, PlantedPatternsCreateFrequentItemsets) {
+  // QUEST's whole point: the top-k should contain multi-item patterns,
+  // not just singletons.
+  QuestConfig config;
+  config.num_transactions = 8000;
+  config.avg_transaction_size = 10;
+  config.num_patterns = 50;  // few patterns -> each is frequent
+  config.avg_pattern_size = 4;
+  config.num_items = 300;
+  config.mean_corruption = 0.3;
+  auto db = GenerateQuestDataset(config, 17);
+  ASSERT_TRUE(db.ok());
+  auto topk = MineTopK(*db, 100);
+  ASSERT_TRUE(topk.ok());
+  TopKStats stats = ComputeTopKStats(topk->itemsets);
+  EXPECT_GT(stats.lambda2 + stats.lambda3, 10u);
+}
+
+TEST(QuestTest, PresetsHaveDocumentedShapes) {
+  auto t10 = QuestConfig::T10I4D100K();
+  EXPECT_EQ(t10.num_transactions, 100000u);
+  EXPECT_EQ(t10.avg_transaction_size, 10);
+  EXPECT_EQ(t10.avg_pattern_size, 4);
+  auto t25 = QuestConfig::T25I10D10K();
+  EXPECT_EQ(t25.num_transactions, 10000u);
+  EXPECT_EQ(t25.avg_transaction_size, 25);
+}
+
+TEST(QuestTest, ValidatesConfig) {
+  QuestConfig config;
+  config.num_transactions = 0;
+  EXPECT_FALSE(GenerateQuestDataset(config, 1).ok());
+  config = QuestConfig();
+  config.num_items = 0;
+  EXPECT_FALSE(GenerateQuestDataset(config, 1).ok());
+  config = QuestConfig();
+  config.avg_transaction_size = 0;
+  EXPECT_FALSE(GenerateQuestDataset(config, 1).ok());
+  config = QuestConfig();
+  config.num_patterns = 0;
+  EXPECT_FALSE(GenerateQuestDataset(config, 1).ok());
+}
+
+}  // namespace
+}  // namespace privbasis

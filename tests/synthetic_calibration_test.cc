@@ -1,0 +1,78 @@
+// Calibration guard: the synthetic profiles must stay in the qualitative
+// regime of the paper's Table 2(a) (see DESIGN.md §2.2). Run at reduced
+// scale so the suite stays fast; bands are loose because the statistics
+// are scale-sensitive near the top-k boundary.
+#include <gtest/gtest.h>
+
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+#include "fim/topk.h"
+
+namespace privbasis {
+namespace {
+
+struct Band {
+  SyntheticProfile profile;
+  size_t k;
+  uint32_t lambda_min, lambda_max;
+  double avg_len_min, avg_len_max;
+};
+
+class CalibrationTest : public ::testing::TestWithParam<Band> {};
+
+TEST_P(CalibrationTest, RegimeMatchesPaper) {
+  const Band& band = GetParam();
+  auto db = GenerateDataset(band.profile, 42);
+  ASSERT_TRUE(db.ok());
+  DatasetStats stats = ComputeDatasetStats(*db);
+  EXPECT_GE(stats.avg_transaction_len, band.avg_len_min);
+  EXPECT_LE(stats.avg_transaction_len, band.avg_len_max);
+
+  auto topk = MineTopK(*db, band.k);
+  ASSERT_TRUE(topk.ok());
+  TopKStats ts = ComputeTopKStats(topk->itemsets);
+  EXPECT_GE(ts.lambda, band.lambda_min) << band.profile.name;
+  EXPECT_LE(ts.lambda, band.lambda_max) << band.profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, CalibrationTest,
+    ::testing::Values(
+        // mushroom at 50% scale: dense single-basis regime, λ near 11.
+        Band{SyntheticProfile::Mushroom(0.5), 100, 8, 16, 23.5, 24.5},
+        // pumsb-star at 20% scale: λ below the single-basis cap + margin.
+        Band{SyntheticProfile::PumsbStar(0.2), 200, 10, 22, 49.5, 50.5},
+        // retail at 30% scale: the larger-λ multi-basis regime.
+        Band{SyntheticProfile::Retail(0.3), 100, 20, 70, 10.0, 12.5},
+        // kosarak at 5% scale: multi-basis with rich pair structure.
+        Band{SyntheticProfile::Kosarak(0.05), 200, 25, 80, 7.0, 8.6}),
+    [](const auto& info) { return info.param.profile.name == "pumsb-star"
+                               ? std::string("pumsb_star")
+                               : info.param.profile.name; });
+
+TEST(CalibrationTest, MushroomDenseRegimeHasHighOrderTopK) {
+  auto db = GenerateDataset(SyntheticProfile::Mushroom(0.5), 42);
+  ASSERT_TRUE(db.ok());
+  auto topk = MineTopK(*db, 100);
+  ASSERT_TRUE(topk.ok());
+  size_t high_order = 0;
+  for (const auto& fi : topk->itemsets) {
+    high_order += fi.items.size() >= 3;
+  }
+  // Dense data: a large share of the top-100 are triples or bigger.
+  EXPECT_GE(high_order, 25u);
+}
+
+TEST(CalibrationTest, AolSingletonDominatedRegime) {
+  // AOL at 3% scale: top-k dominated by singletons, no triples.
+  auto db = GenerateDataset(SyntheticProfile::Aol(0.03), 42);
+  ASSERT_TRUE(db.ok());
+  auto topk = MineTopK(*db, 200);
+  ASSERT_TRUE(topk.ok());
+  TopKStats ts = ComputeTopKStats(topk->itemsets);
+  EXPECT_GE(ts.lambda, 140u);
+  EXPECT_EQ(ts.lambda3, 0u);
+}
+
+}  // namespace
+}  // namespace privbasis

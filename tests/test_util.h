@@ -1,0 +1,69 @@
+// Shared helpers for the test suite: random small databases, exact
+// reference computations, and unwrap assertions.
+#ifndef PRIVBASIS_TESTS_TEST_UTIL_H_
+#define PRIVBASIS_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/transaction_db.h"
+
+namespace privbasis::testing {
+
+/// ASSERT-style unwrap of a Result<T>.
+#define PRIVBASIS_ASSERT_OK(expr)                                   \
+  do {                                                              \
+    const auto& _st = (expr);                                       \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                        \
+  } while (false)
+
+#define PRIVBASIS_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                  \
+  auto PRIVBASIS_CONCAT_(_r_, __LINE__) = (rexpr);                  \
+  ASSERT_TRUE(PRIVBASIS_CONCAT_(_r_, __LINE__).ok())                \
+      << PRIVBASIS_CONCAT_(_r_, __LINE__).status().ToString();      \
+  lhs = std::move(PRIVBASIS_CONCAT_(_r_, __LINE__)).value()
+
+/// Parameters of a random test database.
+struct RandomDbSpec {
+  uint64_t seed = 1;
+  size_t num_transactions = 60;
+  uint32_t universe = 12;
+  double item_prob = 0.25;  ///< independent inclusion probability per item
+};
+
+/// Generates a small random database: each item joins each transaction
+/// independently with probability item_prob (geometrically decaying by
+/// item id so frequencies differ).
+inline TransactionDatabase MakeRandomDb(const RandomDbSpec& spec) {
+  Rng rng(spec.seed * 0x9e3779b9ULL + 17);
+  TransactionDatabase::Builder builder(spec.universe);
+  for (size_t t = 0; t < spec.num_transactions; ++t) {
+    std::vector<Item> txn;
+    for (Item i = 0; i < spec.universe; ++i) {
+      double p = spec.item_prob * std::pow(0.85, static_cast<double>(i)) +
+                 0.02;
+      if (rng.Bernoulli(p)) txn.push_back(i);
+    }
+    builder.AddTransaction(txn);
+  }
+  auto db = std::move(builder).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+/// Builds a database from explicit transactions.
+inline TransactionDatabase MakeDb(std::vector<std::vector<Item>> txns,
+                                  uint32_t universe = 0) {
+  TransactionDatabase::Builder builder(universe);
+  for (auto& t : txns) builder.AddTransaction(std::move(t));
+  auto db = std::move(builder).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+}  // namespace privbasis::testing
+
+#endif  // PRIVBASIS_TESTS_TEST_UTIL_H_

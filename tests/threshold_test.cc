@@ -1,0 +1,82 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "data/synthetic.h"
+#include "fim/fpgrowth.h"
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeRandomDb;
+
+TEST(ThresholdTest, ValidatesArguments) {
+  TransactionDatabase db = MakeRandomDb({.seed = 1});
+  Rng rng(1);
+  EXPECT_FALSE(RunPrivBasisThreshold(db, 0.0, 10, 1.0, rng).ok());
+  EXPECT_FALSE(RunPrivBasisThreshold(db, 1.5, 10, 1.0, rng).ok());
+  EXPECT_FALSE(RunPrivBasisThreshold(db, 0.5, 0, 1.0, rng).ok());
+}
+
+TEST(ThresholdTest, HighEpsilonRecoversThetaFrequentSet) {
+  auto db = GenerateDataset(SyntheticProfile::Mushroom(0.1), 3);
+  ASSERT_TRUE(db.ok());
+  const double theta = 0.6;
+  uint64_t theta_count = static_cast<uint64_t>(
+      theta * static_cast<double>(db->NumTransactions()));
+  auto exact = MineFpGrowth(*db, {.min_support = theta_count});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_GT(exact->itemsets.size(), 5u);
+
+  Rng rng(5);
+  auto result = RunPrivBasisThreshold(
+      *db, theta, /*k_cap=*/exact->itemsets.size() + 50, /*epsilon=*/300.0,
+      rng);
+  ASSERT_TRUE(result.ok());
+
+  std::unordered_set<Itemset, ItemsetHash> released;
+  for (const auto& r : result->topk) released.insert(r.items);
+  size_t hits = 0;
+  for (const auto& fi : exact->itemsets) hits += released.contains(fi.items);
+  // At huge ε essentially everything above θ is released and little junk
+  // enters (allow a couple of boundary crossings).
+  EXPECT_GE(hits + 2, exact->itemsets.size());
+  EXPECT_LE(released.size(), exact->itemsets.size() + 4);
+}
+
+TEST(ThresholdTest, AllReleasedClearTheta) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 7, .num_transactions = 120, .universe = 14});
+  const double theta = 0.3;
+  Rng rng(9);
+  auto result = RunPrivBasisThreshold(db, theta, 40, 1.0, rng);
+  ASSERT_TRUE(result.ok());
+  double theta_count = theta * static_cast<double>(db.NumTransactions());
+  for (const auto& r : result->topk) {
+    EXPECT_GE(r.noisy_count, theta_count);
+  }
+}
+
+TEST(ThresholdTest, BudgetUnchangedByFilter) {
+  TransactionDatabase db = MakeRandomDb({.seed = 11});
+  Rng rng(13);
+  auto result = RunPrivBasisThreshold(db, 0.2, 20, 0.8, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->epsilon_spent, 0.8 + 1e-9);
+}
+
+TEST(ThresholdTest, HighThetaReleasesNothingOrLittle) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 15, .num_transactions = 100, .universe = 10,
+       .item_prob = 0.1});
+  Rng rng(17);
+  auto result = RunPrivBasisThreshold(db, 0.99, 20, 2.0, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->topk.size(), 2u);
+}
+
+}  // namespace
+}  // namespace privbasis

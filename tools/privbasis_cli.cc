@@ -1,0 +1,235 @@
+// privbasis_cli: command-line front end for the library.
+//
+// Reads a FIMI-format transaction file (or generates one of the paper's
+// synthetic profiles), runs PrivBasis or the TF baseline, and prints the
+// released itemsets as TSV (items, noisy count, noisy frequency).
+//
+// Examples:
+//   privbasis_cli --input basket.dat --k 100 --epsilon 1.0
+//   privbasis_cli --profile mushroom --scale 0.5 --k 50 --method tf --m 2
+//   privbasis_cli --profile kosarak --scale 0.1 --threshold 0.02 --kcap 400
+//   privbasis_cli --input basket.dat --k 50 --rules 0.6
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "baseline/tf.h"
+#include "common/rng.h"
+#include "core/association_rules.h"
+#include "core/privbasis.h"
+#include "core/threshold.h"
+#include "data/dataset_io.h"
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+
+namespace privbasis {
+namespace {
+
+struct CliOptions {
+  std::string input;      // FIMI file; empty = use profile
+  std::string profile;    // retail|mushroom|pumsb-star|kosarak|aol
+  double scale = 1.0;
+  std::string method = "pb";  // pb | tf
+  size_t k = 100;
+  double epsilon = 1.0;
+  uint64_t seed = 42;
+  size_t m = 2;               // TF length cap
+  double threshold = 0.0;     // >0: threshold mode (PB only)
+  size_t k_cap = 500;         // threshold-mode candidate cap
+  double rules = 0.0;         // >0: derive rules at this min confidence
+  bool quiet = false;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--input FILE | --profile NAME [--scale S]]\n"
+      "          [--method pb|tf] [--k K] [--epsilon E] [--seed SEED]\n"
+      "          [--m M] [--threshold T --kcap CAP] [--rules MINCONF]\n"
+      "          [--quiet]\n"
+      "\n"
+      "  --input FILE     FIMI-format transactions (one per line)\n"
+      "  --profile NAME   synthetic dataset: retail mushroom pumsb-star\n"
+      "                   kosarak aol\n"
+      "  --scale S        synthetic size multiplier (default 1.0)\n"
+      "  --method pb|tf   PrivBasis (default) or the Bhaskar et al.\n"
+      "                   truncated-frequency baseline\n"
+      "  --k K            top-k to release (default 100)\n"
+      "  --epsilon E      privacy budget (default 1.0)\n"
+      "  --m M            TF itemset-length cap (default 2)\n"
+      "  --threshold T    release itemsets with noisy frequency >= T\n"
+      "  --kcap CAP       candidate cap for threshold mode (default 500)\n"
+      "  --rules C        also print association rules with confidence >= C\n"
+      "  --quiet          suppress the dataset/stats banner\n",
+      argv0);
+}
+
+std::optional<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() { return need_value(i); };
+    if (flag == "--help" || flag == "-h") return std::nullopt;
+    if (flag == "--quiet") {
+      options.quiet = true;
+      continue;
+    }
+    const char* value = next();
+    if (value == nullptr) return std::nullopt;
+    ++i;
+    if (flag == "--input") {
+      options.input = value;
+    } else if (flag == "--profile") {
+      options.profile = value;
+    } else if (flag == "--scale") {
+      options.scale = std::strtod(value, nullptr);
+    } else if (flag == "--method") {
+      options.method = value;
+    } else if (flag == "--k") {
+      options.k = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--epsilon") {
+      options.epsilon = std::strtod(value, nullptr);
+    } else if (flag == "--seed") {
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--m") {
+      options.m = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--threshold") {
+      options.threshold = std::strtod(value, nullptr);
+    } else if (flag == "--kcap") {
+      options.k_cap = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--rules") {
+      options.rules = std::strtod(value, nullptr);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  if (options.input.empty() && options.profile.empty()) {
+    std::fprintf(stderr, "one of --input or --profile is required\n");
+    return std::nullopt;
+  }
+  return options;
+}
+
+Result<TransactionDatabase> LoadDataset(const CliOptions& options) {
+  if (!options.input.empty()) {
+    PRIVBASIS_ASSIGN_OR_RETURN(LoadedDataset loaded,
+                               ReadFimiFile(options.input));
+    return std::move(loaded.db);
+  }
+  SyntheticProfile profile;
+  if (options.profile == "retail") {
+    profile = SyntheticProfile::Retail(options.scale);
+  } else if (options.profile == "mushroom") {
+    profile = SyntheticProfile::Mushroom(options.scale);
+  } else if (options.profile == "pumsb-star") {
+    profile = SyntheticProfile::PumsbStar(options.scale);
+  } else if (options.profile == "kosarak") {
+    profile = SyntheticProfile::Kosarak(options.scale);
+  } else if (options.profile == "aol") {
+    profile = SyntheticProfile::Aol(options.scale);
+  } else {
+    return Status::InvalidArgument("unknown profile '" + options.profile +
+                                   "'");
+  }
+  return GenerateDataset(profile, options.seed);
+}
+
+int RunCli(const CliOptions& options) {
+  auto db = LoadDataset(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (!options.quiet) {
+    std::fprintf(stderr, "[privbasis_cli] %s\n",
+                 ComputeDatasetStats(*db).ToString().c_str());
+  }
+  const double n = static_cast<double>(db->NumTransactions());
+  Rng rng(options.seed);
+
+  std::vector<NoisyItemset> released;
+  if (options.method == "pb") {
+    if (options.threshold > 0.0) {
+      auto result = RunPrivBasisThreshold(*db, options.threshold,
+                                          options.k_cap, options.epsilon,
+                                          rng);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      released = std::move(result).value().topk;
+    } else {
+      auto result = RunPrivBasis(*db, options.k, options.epsilon, rng);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      released = std::move(result).value().topk;
+    }
+  } else if (options.method == "tf") {
+    TfOptions tf_options;
+    tf_options.m = options.m;
+    auto runner = TfRunner::Create(*db, options.k, tf_options);
+    if (!runner.ok()) {
+      std::fprintf(stderr, "%s\n", runner.status().ToString().c_str());
+      return 1;
+    }
+    auto result = runner->Run(options.epsilon, rng);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    released = std::move(result).value().released;
+  } else {
+    std::fprintf(stderr, "unknown method '%s'\n", options.method.c_str());
+    return 1;
+  }
+
+  std::printf("# items\tnoisy_count\tnoisy_frequency\n");
+  for (const auto& itemset : released) {
+    std::string items;
+    for (size_t i = 0; i < itemset.items.size(); ++i) {
+      if (i > 0) items += ' ';
+      items += std::to_string(itemset.items[i]);
+    }
+    std::printf("%s\t%.2f\t%.6f\n", items.c_str(), itemset.noisy_count,
+                itemset.noisy_count / n);
+  }
+
+  if (options.rules > 0.0) {
+    RuleOptions rule_options;
+    rule_options.min_confidence = options.rules;
+    auto rules = ExtractRules(released, db->NumTransactions(), rule_options);
+    if (!rules.ok()) {
+      std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# association rules (min confidence %.2f)\n", options.rules);
+    for (const auto& rule : *rules) {
+      std::printf("%s\n", rule.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace privbasis
+
+int main(int argc, char** argv) {
+  auto options = privbasis::ParseArgs(argc, argv);
+  if (!options.has_value()) {
+    privbasis::PrintUsage(argv[0]);
+    return 2;
+  }
+  return privbasis::RunCli(*options);
+}
