@@ -4,12 +4,15 @@
 #define PRIVBASIS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "baseline/tf.h"
 #include "common/env.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/privbasis.h"
 #include "data/dataset_stats.h"
@@ -38,6 +41,29 @@ inline void UnwrapStatus(const Status& status, const char* what) {
   }
 }
 
+/// Machine-readable timing line: one JSON object per line, prefixed with
+/// "PRIVBASIS_JSON " so scrapers can `grep PRIVBASIS_JSON` it out of the
+/// human-readable tables. Every line carries the effective thread count,
+/// so perf trajectories stay comparable across machines and knobs.
+///
+///   PRIVBASIS_JSON {"phase":"ground_truth","dataset":"kosarak",
+///                   "k":100,"threads":4,"seconds":1.234567}
+inline void EmitJsonTiming(
+    const char* phase, double seconds,
+    std::initializer_list<std::pair<const char*, std::string>> tags = {},
+    std::initializer_list<std::pair<const char*, double>> values = {}) {
+  std::printf("PRIVBASIS_JSON {\"phase\":\"%s\"", phase);
+  for (const auto& [key, value] : tags) {
+    std::printf(",\"%s\":\"%s\"", key, value.c_str());
+  }
+  for (const auto& [key, value] : values) {
+    std::printf(",\"%s\":%g", key, value);
+  }
+  std::printf(",\"threads\":%zu,\"seconds\":%.6f}\n",
+              EffectiveThreads(0), seconds);
+  std::fflush(stdout);
+}
+
 /// Generates a profile's dataset with a fixed per-profile seed and prints
 /// generation stats.
 inline TransactionDatabase MakeDataset(const SyntheticProfile& profile,
@@ -48,6 +74,9 @@ inline TransactionDatabase MakeDataset(const SyntheticProfile& profile,
   std::printf("[data] %-11s %s  (%.2fs)\n", profile.name.c_str(),
               ComputeDatasetStats(db).ToString().c_str(),
               timer.ElapsedSeconds());
+  EmitJsonTiming("generate", timer.ElapsedSeconds(),
+                 {{"dataset", profile.name}},
+                 {{"transactions", static_cast<double>(db.NumTransactions())}});
   std::fflush(stdout);
   return db;
 }
@@ -109,16 +138,22 @@ inline void RunFigure(const std::string& title,
                 curve.k, stats.lambda, stats.lambda2, stats.lambda3,
                 static_cast<unsigned long long>(stats.fk_count),
                 timer.ElapsedSeconds());
+    EmitJsonTiming("ground_truth", timer.ElapsedSeconds(),
+                   {{"dataset", profile.name}},
+                   {{"k", static_cast<double>(curve.k)}});
     std::fflush(stdout);
 
     PrivBasisOptions pb_options;
     pb_options.eta = curve.eta;
     std::string pb_label = "PB,k=" + std::to_string(curve.k) +
                            ",lam=" + std::to_string(stats.lambda);
+    timer.Reset();
     all_series.push_back(Unwrap(
         RunEpsilonSweep(pb_label, PbMethod(db, curve.k, truth, pb_options),
                         truth, config),
         "PB sweep"));
+    EmitJsonTiming("sweep", timer.ElapsedSeconds(),
+                   {{"dataset", profile.name}, {"series", pb_label}});
 
     timer.Reset();
     TfOptions tf_options;
@@ -130,11 +165,18 @@ inline void RunFigure(const std::string& title,
                 static_cast<unsigned long long>(tf_runner->floor_support()),
                 timer.ElapsedSeconds());
     std::fflush(stdout);
+    EmitJsonTiming("tf_prepare", timer.ElapsedSeconds(),
+                   {{"dataset", profile.name}},
+                   {{"k", static_cast<double>(curve.k)},
+                    {"m", static_cast<double>(curve.tf_m)}});
     std::string tf_label = "TF,k=" + std::to_string(curve.k) +
                            ",m=" + std::to_string(curve.tf_m);
+    timer.Reset();
     all_series.push_back(Unwrap(
         RunEpsilonSweep(tf_label, TfMethod(tf_runner), truth, config),
         "TF sweep"));
+    EmitJsonTiming("sweep", timer.ElapsedSeconds(),
+                   {{"dataset", profile.name}, {"series", tf_label}});
   }
   PrintFigure(std::cout, title, all_series);
 }

@@ -4,12 +4,15 @@
 // transform superset sum should beat the naive O(3^ℓ) enumeration.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/basis_freq.h"
 #include "data/synthetic.h"
 
 namespace privbasis {
 namespace {
+
+using ::privbasis::bench::MakeFrequentItemBasis;
 
 TransactionDatabase MakeDb() {
   SyntheticProfile profile = SyntheticProfile::Kosarak(0.05);
@@ -23,25 +26,10 @@ const TransactionDatabase& Db() {
   return db;
 }
 
-/// Bases of the given width and length over the most frequent items.
-BasisSet MakeBasis(const TransactionDatabase& db, size_t width,
-                   size_t length) {
-  std::vector<Item> order = db.ItemsByFrequency();
-  BasisSet basis;
-  size_t cursor = 0;
-  for (size_t i = 0; i < width; ++i) {
-    std::vector<Item> items;
-    for (size_t j = 0; j < length; ++j) {
-      items.push_back(order[cursor++ % order.size()]);
-    }
-    basis.Add(Itemset(std::move(items)));
-  }
-  return basis;
-}
-
 void BM_BasisFreqWidth(benchmark::State& state) {
   const auto& db = Db();
-  BasisSet basis = MakeBasis(db, static_cast<size_t>(state.range(0)), 6);
+  BasisSet basis =
+      MakeFrequentItemBasis(db, static_cast<size_t>(state.range(0)), 6);
   Rng rng(1);
   for (auto _ : state) {
     auto result = BasisFreq(db, basis, 100, 1.0, rng);
@@ -54,7 +42,8 @@ BENCHMARK(BM_BasisFreqWidth)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
 
 void BM_BasisFreqLength(benchmark::State& state) {
   const auto& db = Db();
-  BasisSet basis = MakeBasis(db, 4, static_cast<size_t>(state.range(0)));
+  BasisSet basis =
+      MakeFrequentItemBasis(db, 4, static_cast<size_t>(state.range(0)));
   Rng rng(1);
   for (auto _ : state) {
     auto result = BasisFreq(db, basis, 100, 1.0, rng);
@@ -65,7 +54,8 @@ BENCHMARK(BM_BasisFreqLength)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_SupersetSum(benchmark::State& state) {
   const auto& db = Db();
-  BasisSet basis = MakeBasis(db, 4, static_cast<size_t>(state.range(0)));
+  BasisSet basis =
+      MakeFrequentItemBasis(db, 4, static_cast<size_t>(state.range(0)));
   Rng rng(1);
   BasisFreqOptions options;
   options.use_fast_superset_sum = state.range(1) != 0;
@@ -79,6 +69,23 @@ BENCHMARK(BM_SupersetSum)
     ->Args({10, 1})  // zeta O(l 2^l)
     ->Args({12, 0})
     ->Args({12, 1});
+
+/// Sharded-scan scaling: same pipeline at increasing thread counts. The
+/// output is bit-identical across args (see BasisFreqOptions), so this
+/// isolates pure scan parallelism.
+void BM_BasisFreqThreads(benchmark::State& state) {
+  const auto& db = Db();
+  BasisSet basis = MakeFrequentItemBasis(db, 8, 8);
+  Rng rng(1);
+  BasisFreqOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = BasisFreq(db, basis, 100, 1.0, rng, nullptr, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BasisFreqThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace privbasis

@@ -5,6 +5,7 @@
 
 #include "data/synthetic.h"
 #include "fim/apriori.h"
+#include "fim/eclat.h"
 #include "fim/fpgrowth.h"
 #include "fim/topk.h"
 
@@ -61,6 +62,31 @@ void BM_TopKKosarak(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopKKosarak)->Arg(100)->Arg(200)->Arg(400);
+
+/// Ground-truth mining scaling: exact top-k with root conditional trees
+/// dispatched across the pool (result is thread-count independent).
+void BM_TopKThreads(benchmark::State& state) {
+  const auto& db = Kosarak();
+  for (auto _ : state) {
+    auto result =
+        MineTopK(db, 200, 0, static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TopKThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Eclat scaling: root equivalence classes as pool tasks.
+void BM_EclatThreads(benchmark::State& state) {
+  const auto& db = Mushroom();
+  MiningOptions options;
+  options.min_support = db.NumTransactions() * 40 / 100;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = MineEclat(db, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EclatThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 }  // namespace privbasis

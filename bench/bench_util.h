@@ -1,0 +1,31 @@
+// Lightweight helpers shared by the micro benches (kept separate from
+// bench_common.h, which pulls in the whole sweep harness).
+#ifndef PRIVBASIS_BENCH_BENCH_UTIL_H_
+#define PRIVBASIS_BENCH_BENCH_UTIL_H_
+
+#include <vector>
+
+#include "core/basis.h"
+#include "data/transaction_db.h"
+
+namespace privbasis::bench {
+
+/// Bases of the given width and length over the most frequent items.
+inline BasisSet MakeFrequentItemBasis(const TransactionDatabase& db,
+                                      size_t width, size_t length) {
+  std::vector<Item> order = db.ItemsByFrequency();
+  BasisSet basis;
+  size_t cursor = 0;
+  for (size_t i = 0; i < width; ++i) {
+    std::vector<Item> items;
+    for (size_t j = 0; j < length; ++j) {
+      items.push_back(order[cursor++ % order.size()]);
+    }
+    basis.Add(Itemset(std::move(items)));
+  }
+  return basis;
+}
+
+}  // namespace privbasis::bench
+
+#endif  // PRIVBASIS_BENCH_BENCH_UTIL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 namespace privbasis {
 
@@ -37,6 +38,17 @@ double BenchScale() {
 int BenchRepeats() {
   return static_cast<int>(
       std::clamp<int64_t>(GetEnvInt("PRIVBASIS_REPEATS", 3), 1, 1000));
+}
+
+int NumThreads() {
+  const int64_t hw =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  return static_cast<int>(std::clamp<int64_t>(
+      GetEnvInt("PRIVBASIS_THREADS", std::max<int64_t>(1, hw)), 1, 64));
+}
+
+double BitmapDensityThreshold() {
+  return GetEnvDouble("PRIVBASIS_BITMAP_DENSITY", 1.0 / 64.0);
 }
 
 }  // namespace privbasis

@@ -26,6 +26,15 @@ double BenchScale();
 /// Experiment repetitions: PRIVBASIS_REPEATS, default 3 (as in the paper).
 int BenchRepeats();
 
+/// Counting-engine parallelism: PRIVBASIS_THREADS, default
+/// hardware concurrency. Clamped to [1, 64].
+int NumThreads();
+
+/// VerticalIndex densification threshold: items with frequency ≥ this get
+/// a dense bitmap tid-list. PRIVBASIS_BITMAP_DENSITY, default 1/64.
+/// Values ≥ 1 disable bitmaps; ≤ 0 densifies every item.
+double BitmapDensityThreshold();
+
 }  // namespace privbasis
 
 #endif  // PRIVBASIS_COMMON_ENV_H_

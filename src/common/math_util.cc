@@ -92,4 +92,61 @@ double StandardError(const std::vector<double>& xs) {
   return SampleStdDev(xs) / std::sqrt(static_cast<double>(xs.size()));
 }
 
+double AddOnesSequentially(double x, uint64_t k) {
+  // While |x| stays inside the 53-bit window of its own ulp, every +1.0 is
+  // exact, so a whole run of steps collapses into one exact bulk add. Only
+  // the step that crosses a power-of-two boundary can round; execute those
+  // singly so the hardware applies the exact same rounding the sequential
+  // loop would.
+  if (!std::isfinite(x)) return x;
+  while (k > 0) {
+    if (x < 0.0) {
+      if (x + 1.0 == x) return x;  // saturated at large negative magnitude
+      if (x <= -0x1p53) {
+        // ulp ≥ 2: steps round; take them singly (one step either
+        // saturates or reaches an even mantissa that saturates next).
+        x += 1.0;
+        --k;
+        continue;
+      }
+      // Negative values only shrink in magnitude: every step is exact, and
+      // steps that keep the value ≤ 0 collapse into a bulk add.
+      const double whole = std::floor(-x);
+      const uint64_t bulk =
+          std::min<uint64_t>(k, static_cast<uint64_t>(whole));
+      if (bulk == 0) {
+        x += 1.0;
+        --k;
+      } else {
+        x += static_cast<double>(bulk);
+        k -= bulk;
+      }
+      continue;
+    }
+    if (x + 1.0 == x) return x;  // saturated: no further step changes x
+    if (x >= 0x1p53) {
+      // ulp ≥ 2: every step rounds; take them singly (a step either
+      // saturates or lands on an even mantissa that saturates next).
+      x += 1.0;
+      --k;
+      continue;
+    }
+    // Largest exact run: stay strictly below the next power of two.
+    const double boundary = std::exp2(std::ilogb(std::max(x, 1.0)) + 1);
+    const double room = boundary - 1.0 - x;
+    const uint64_t bulk = room >= 1.0
+                              ? std::min<uint64_t>(k, static_cast<uint64_t>(
+                                                          std::floor(room)))
+                              : 0;
+    if (bulk == 0) {
+      x += 1.0;  // boundary-crossing step: correctly rounded by hardware
+      --k;
+    } else {
+      x += static_cast<double>(bulk);
+      k -= bulk;
+    }
+  }
+  return x;
+}
+
 }  // namespace privbasis

@@ -21,6 +21,12 @@ uint64_t ChooseSaturating(uint64_t n, uint64_t k);
 /// log(Σ_{i=1..m} C(n, i)) — the log-size of the TF candidate space U.
 double LogCandidateSpaceSize(uint64_t n, uint64_t m);
 
+/// The exact value of `x += 1.0` applied `k` times under IEEE round-to-
+/// nearest — in O(number of power-of-two crossings), not O(k). Lets a
+/// sharded counter reduce integer counts and still reproduce a sequential
+/// floating-point accumulation bit-for-bit.
+double AddOnesSequentially(double x, uint64_t k);
+
 /// Arithmetic mean. Empty input returns 0.
 double Mean(const std::vector<double>& xs);
 

@@ -69,6 +69,17 @@ bool Rng::Bernoulli(double p) {
   return NextDouble() < p;
 }
 
+Rng Rng::ForkStream(uint64_t stream) const {
+  // Fold the full 256-bit state and the stream index through SplitMix64;
+  // const on the parent so shards can be seeded concurrently.
+  uint64_t sm = stream ^ 0xd1b54a32d192ed03ULL;
+  for (uint64_t word : s_) {
+    sm ^= word;
+    sm = SplitMix64Next(&sm);
+  }
+  return Rng(sm);
+}
+
 Rng Rng::Fork() {
   // Mix two fresh outputs into a child seed; advances this stream so
   // successive forks differ.

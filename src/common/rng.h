@@ -56,6 +56,11 @@ class Rng {
   /// from a given parent state is always the same stream.
   Rng Fork();
 
+  /// Derives the `stream`-th child stream *without* advancing this engine.
+  /// The same (parent state, stream) pair always yields the same child, so
+  /// shard-indexed streams stay reproducible under any thread count.
+  Rng ForkStream(uint64_t stream) const;
+
  private:
   uint64_t s_[4];
 };

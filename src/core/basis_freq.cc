@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "common/distributions.h"
+#include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "core/error_variance.h"
 
 namespace privbasis {
@@ -70,17 +73,35 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
   BasisFreqResult result;
   if (w == 0) return result;
 
-  // Per-basis bit position of each member item, plus a per-item list of
-  // (basis, bit) memberships for the single data scan.
+  // Per-basis bit position of each member item, plus a flat CSR table of
+  // per-item (basis, bit) memberships for the single data scan — one
+  // contiguous array probe per token instead of a hash lookup.
+  const uint32_t universe = db.UniverseSize();
   std::vector<size_t> basis_len(w);
-  std::unordered_map<Item, std::vector<std::pair<uint32_t, uint32_t>>>
-      memberships;
+  std::vector<uint32_t> memb_offsets(universe + 1, 0);
   for (size_t i = 0; i < w; ++i) {
     const Itemset& b = basis_set.basis(i);
     basis_len[i] = b.size();
-    for (uint32_t bit = 0; bit < b.size(); ++bit) {
-      memberships[b[bit]].push_back(
-          {static_cast<uint32_t>(i), bit});
+    for (Item item : b) {
+      if (item < universe) ++memb_offsets[item + 1];
+    }
+  }
+  for (uint32_t i = 0; i < universe; ++i) {
+    memb_offsets[i + 1] += memb_offsets[i];
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> memb_entries(
+      memb_offsets[universe]);
+  {
+    std::vector<uint32_t> cursor(memb_offsets.begin(),
+                                 memb_offsets.end() - 1);
+    for (size_t i = 0; i < w; ++i) {
+      const Itemset& b = basis_set.basis(i);
+      for (uint32_t bit = 0; bit < b.size(); ++bit) {
+        const Item item = b[bit];
+        if (item < universe) {
+          memb_entries[cursor[item]++] = {static_cast<uint32_t>(i), bit};
+        }
+      }
     }
   }
 
@@ -95,21 +116,60 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
   }
 
   // Lines 7–11: one scan of D; each transaction lands in exactly one bin
-  // per basis (the bin of its intersection mask).
-  std::vector<uint64_t> masks(w, 0);
-  for (size_t t = 0; t < db.NumTransactions(); ++t) {
-    for (Item it : db.Transaction(t)) {
-      auto found = memberships.find(it);
-      if (found == memberships.end()) continue;
-      for (auto [basis, bit] : found->second) {
-        masks[basis] |= uint64_t{1} << bit;
+  // per basis (the bin of its intersection mask). The scan is sharded
+  // across the pool into per-shard exact integer bins; the reduction runs
+  // in shard order and replays the sequential `+= 1.0` accumulation
+  // (AddOnesSequentially), so the noisy bins are bit-identical to the
+  // single-threaded scan at every shard and thread count.
+  const size_t n = db.NumTransactions();
+  uint64_t total_bins = 0;
+  for (size_t i = 0; i < w; ++i) total_bins += uint64_t{1} << basis_len[i];
+  const size_t threads = EffectiveThreads(options.num_threads);
+  size_t num_shards = 1;
+  if (threads > 1 && n >= 4096) {
+    // Keep the per-shard bin arena under ~128 MiB.
+    const size_t budget =
+        std::max<uint64_t>(1, (uint64_t{128} << 20) / 8 / total_bins);
+    num_shards = std::clamp<size_t>(std::min({threads, n / 2048, budget}),
+                                    1, kMaxThreads);
+  }
+  std::vector<std::vector<std::vector<uint64_t>>> shard_bins(num_shards);
+  ThreadPool::Global().ParallelFor(
+      0, n, (n + num_shards - 1) / num_shards, threads,
+      [&](size_t shard_begin, size_t shard_end, size_t s) {
+        auto& local = shard_bins[s];
+        local.resize(w);
+        for (size_t i = 0; i < w; ++i) {
+          local[i].assign(uint64_t{1} << basis_len[i], 0);
+        }
+        std::vector<uint64_t> masks(w, 0);
+        for (size_t t = shard_begin; t < shard_end; ++t) {
+          for (Item it : db.Transaction(t)) {
+            const uint32_t mb = memb_offsets[it];
+            const uint32_t me = memb_offsets[it + 1];
+            for (uint32_t idx = mb; idx < me; ++idx) {
+              const auto [basis, bit] = memb_entries[idx];
+              masks[basis] |= uint64_t{1} << bit;
+            }
+          }
+          for (size_t i = 0; i < w; ++i) {
+            ++local[i][masks[i]];
+            masks[i] = 0;
+          }
+        }
+      });
+  for (size_t i = 0; i < w; ++i) {
+    for (uint64_t mask = 0; mask < bins[i].size(); ++mask) {
+      uint64_t count = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (!shard_bins[s].empty()) count += shard_bins[s][i][mask];
+      }
+      if (count != 0) {
+        bins[i][mask] = AddOnesSequentially(bins[i][mask], count);
       }
     }
-    for (size_t i = 0; i < w; ++i) {
-      bins[i][masks[i]] += 1.0;
-      masks[i] = 0;
-    }
   }
+  shard_bins.clear();
 
   // Lines 12–26: per basis, superset sums recover subset counts; fuse
   // multi-basis estimates by inverse-variance weighting.

@@ -32,6 +32,11 @@ struct BasisFreqOptions {
   bool use_fast_superset_sum = true;
   /// Hard cap on basis length — 2^len bins are materialized per basis.
   size_t max_basis_length = 20;
+  /// Transaction-scan parallelism; 0 = the PRIVBASIS_THREADS env knob.
+  /// The output is bit-identical at every thread count: shards reduce
+  /// exact integer counts and the sequential floating-point accumulation
+  /// is replayed before noise-side processing.
+  size_t num_threads = 0;
 };
 
 /// Output of one BasisFreq invocation.

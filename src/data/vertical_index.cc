@@ -1,11 +1,17 @@
 #include "data/vertical_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cmath>
+
+#include "common/env.h"
+#include "common/thread_pool.h"
 
 namespace privbasis {
 
-VerticalIndex::VerticalIndex(const TransactionDatabase& db)
+VerticalIndex::VerticalIndex(const TransactionDatabase& db,
+                             const Options& options)
     : num_transactions_(db.NumTransactions()),
       universe_size_(db.UniverseSize()) {
   // Counting sort into CSR: supports give exact bucket sizes.
@@ -15,14 +21,90 @@ VerticalIndex::VerticalIndex(const TransactionDatabase& db)
     tid_offsets_[i + 1] = tid_offsets_[i] + supports[i];
   }
   tids_.resize(db.TotalItemOccurrences());
-  std::vector<uint64_t> cursor(tid_offsets_.begin(), tid_offsets_.end() - 1);
-  for (size_t t = 0; t < num_transactions_; ++t) {
-    for (Item it : db.Transaction(t)) {
-      tids_[cursor[it]++] = static_cast<uint32_t>(t);
-    }
+
+  const size_t n = num_transactions_;
+  const size_t threads = EffectiveThreads(options.num_threads);
+  // Per-shard cursor arrays cost shards · |I| · 8 bytes; keep the arena
+  // under ~64 MiB and skip sharding entirely for small inputs.
+  size_t num_shards = 1;
+  if (threads > 1 && n >= 2048 && universe_size_ > 0) {
+    const size_t memory_cap =
+        std::max<size_t>(1, (size_t{64} << 20) / (universe_size_ * 8));
+    num_shards = std::min({threads, size_t{16}, n / 1024, memory_cap});
   }
-  // Tid order within each list is ascending because transactions were
-  // visited in order.
+  if (num_shards <= 1) {
+    std::vector<uint64_t> cursor(tid_offsets_.begin(), tid_offsets_.end() - 1);
+    for (size_t t = 0; t < n; ++t) {
+      for (Item it : db.Transaction(t)) {
+        tids_[cursor[it]++] = static_cast<uint32_t>(t);
+      }
+    }
+  } else {
+    // Two parallel passes over contiguous transaction shards. Pass A
+    // counts per-shard occurrences; a per-item exclusive prefix across
+    // shards turns the counts into disjoint write cursors, so pass B's
+    // fills are race-free and tid order matches the sequential scan.
+    auto shard_begin = [&](size_t s) { return n * s / num_shards; };
+    std::vector<std::vector<uint64_t>> cursors(
+        num_shards, std::vector<uint64_t>(universe_size_, 0));
+    ThreadPool::Global().ParallelFor(
+        0, num_shards, 1, threads, [&](size_t, size_t, size_t s) {
+          auto& counts = cursors[s];
+          for (size_t t = shard_begin(s); t < shard_begin(s + 1); ++t) {
+            for (Item it : db.Transaction(t)) ++counts[it];
+          }
+        });
+    ThreadPool::Global().ParallelFor(
+        0, universe_size_, 4096, threads, [&](size_t b, size_t e, size_t) {
+          for (size_t item = b; item < e; ++item) {
+            uint64_t running = tid_offsets_[item];
+            for (size_t s = 0; s < num_shards; ++s) {
+              const uint64_t count = cursors[s][item];
+              cursors[s][item] = running;
+              running += count;
+            }
+          }
+        });
+    ThreadPool::Global().ParallelFor(
+        0, num_shards, 1, threads, [&](size_t, size_t, size_t s) {
+          auto& cursor = cursors[s];
+          for (size_t t = shard_begin(s); t < shard_begin(s + 1); ++t) {
+            for (Item it : db.Transaction(t)) {
+              tids_[cursor[it]++] = static_cast<uint32_t>(t);
+            }
+          }
+        });
+  }
+
+  // Dense backend: bitmap every item whose support clears the density
+  // threshold (support 0 items always stay sparse).
+  double density = options.density_threshold;
+  if (density < 0.0) density = BitmapDensityThreshold();
+  dense_rank_.assign(universe_size_, kNoDense);
+  if (density < 1.0 && n > 0) {
+    const uint64_t min_dense_support = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(density * static_cast<double>(n))));
+    for (uint32_t i = 0; i < universe_size_; ++i) {
+      if (supports[i] >= min_dense_support) {
+        dense_rank_[i] = static_cast<uint32_t>(num_dense_++);
+      }
+    }
+    bitmap_words_ = (n + 63) / 64;
+    bitmaps_.assign(num_dense_ * bitmap_words_, 0);
+    ThreadPool::Global().ParallelFor(
+        0, universe_size_, 256, threads, [&](size_t b, size_t e, size_t) {
+          for (size_t item = b; item < e; ++item) {
+            const uint32_t rank = dense_rank_[item];
+            if (rank == kNoDense) continue;
+            uint64_t* bitmap =
+                bitmaps_.data() + static_cast<size_t>(rank) * bitmap_words_;
+            for (uint32_t tid : TidList(static_cast<Item>(item))) {
+              bitmap[tid >> 6] |= uint64_t{1} << (tid & 63);
+            }
+          }
+        });
+  }
 }
 
 std::span<const uint32_t> VerticalIndex::TidList(Item item) const {
@@ -50,27 +132,78 @@ size_t Gallop(std::span<const uint32_t> v, size_t lo, uint32_t x) {
          v.begin();
 }
 
+/// Per-thread query scratch: hoisted out of SupportOf so repeated ad-hoc
+/// queries (the TF rejection sampler's hot loop) allocate nothing.
+struct QueryScratch {
+  std::vector<std::span<const uint32_t>> sparse;
+  std::vector<const uint64_t*> dense;
+  std::vector<size_t> pos;
+};
+
+QueryScratch& TlsScratch() {
+  static thread_local QueryScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 uint64_t VerticalIndex::SupportOf(const Itemset& itemset) const {
-  if (itemset.empty()) return num_transactions_;
-  // Order lists by ascending length; drive the intersection from the
-  // shortest list, galloping through the others.
-  std::vector<std::span<const uint32_t>> lists;
-  lists.reserve(itemset.size());
-  for (Item it : itemset) lists.push_back(TidList(it));
-  std::sort(lists.begin(), lists.end(),
+  const size_t size = itemset.size();
+  if (size == 0) return num_transactions_;
+  if (size == 1) {
+    const Item it = itemset[0];
+    if (it >= universe_size_) return 0;
+    return tid_offsets_[it + 1] - tid_offsets_[it];
+  }
+  if (size == 2) return SupportOfPair(itemset[0], itemset[1]);
+
+  QueryScratch& scratch = TlsScratch();
+  scratch.sparse.clear();
+  scratch.dense.clear();
+  for (Item it : itemset) {
+    if (it >= universe_size_) return 0;
+    const uint32_t rank = dense_rank_[it];
+    if (rank != kNoDense) {
+      scratch.dense.push_back(Bitmap(rank));
+    } else {
+      scratch.sparse.push_back(TidList(it));
+    }
+  }
+
+  if (scratch.sparse.empty()) {
+    // All-dense: word-wise AND + popcount across the bitmaps.
+    uint64_t support = 0;
+    for (size_t w = 0; w < bitmap_words_; ++w) {
+      uint64_t acc = scratch.dense[0][w];
+      for (size_t j = 1; j < scratch.dense.size() && acc != 0; ++j) {
+        acc &= scratch.dense[j][w];
+      }
+      support += static_cast<uint64_t>(std::popcount(acc));
+    }
+    return support;
+  }
+
+  // Mixed / all-sparse: drive from the shortest sorted list; dense members
+  // cost one bit probe per candidate tid, remaining sparse lists gallop.
+  std::sort(scratch.sparse.begin(), scratch.sparse.end(),
             [](const auto& a, const auto& b) { return a.size() < b.size(); });
-  if (lists.front().empty()) return 0;
+  if (scratch.sparse.front().empty()) return 0;
 
   uint64_t support = 0;
-  std::vector<size_t> pos(lists.size(), 0);
-  for (uint32_t tid : lists[0]) {
+  scratch.pos.assign(scratch.sparse.size(), 0);
+  for (uint32_t tid : scratch.sparse[0]) {
     bool in_all = true;
-    for (size_t j = 1; j < lists.size(); ++j) {
-      size_t p = Gallop(lists[j], pos[j], tid);
-      pos[j] = p;
-      if (p >= lists[j].size() || lists[j][p] != tid) {
+    for (const uint64_t* bitmap : scratch.dense) {
+      if (!((bitmap[tid >> 6] >> (tid & 63)) & 1u)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (!in_all) continue;
+    for (size_t j = 1; j < scratch.sparse.size(); ++j) {
+      const size_t p = Gallop(scratch.sparse[j], scratch.pos[j], tid);
+      scratch.pos[j] = p;
+      if (p >= scratch.sparse[j].size() || scratch.sparse[j][p] != tid) {
         in_all = false;
         break;
       }
@@ -81,6 +214,28 @@ uint64_t VerticalIndex::SupportOf(const Itemset& itemset) const {
 }
 
 uint64_t VerticalIndex::SupportOfPair(Item a, Item b) const {
+  if (a >= universe_size_ || b >= universe_size_) return 0;
+  if (a == b) return tid_offsets_[a + 1] - tid_offsets_[a];
+  const uint32_t ra = dense_rank_[a];
+  const uint32_t rb = dense_rank_[b];
+  if (ra != kNoDense && rb != kNoDense) {
+    const uint64_t* ba = Bitmap(ra);
+    const uint64_t* bb = Bitmap(rb);
+    uint64_t support = 0;
+    for (size_t w = 0; w < bitmap_words_; ++w) {
+      support += static_cast<uint64_t>(std::popcount(ba[w] & bb[w]));
+    }
+    return support;
+  }
+  if (ra != kNoDense || rb != kNoDense) {
+    const uint32_t rank = (ra != kNoDense) ? ra : rb;
+    auto list = TidList((ra != kNoDense) ? b : a);
+    uint64_t support = 0;
+    for (uint32_t tid : list) {
+      support += BitmapTest(rank, tid);
+    }
+    return support;
+  }
   auto la = TidList(a);
   auto lb = TidList(b);
   if (la.size() > lb.size()) std::swap(la, lb);
@@ -93,6 +248,25 @@ uint64_t VerticalIndex::SupportOfPair(Item a, Item b) const {
     if (lb[p] == tid) ++support;
   }
   return support;
+}
+
+void VerticalIndex::SupportOfMany(std::span<const Itemset> queries,
+                                  std::span<uint64_t> out,
+                                  size_t num_threads) const {
+  assert(out.size() >= queries.size());
+  const size_t threads = EffectiveThreads(num_threads);
+  const size_t grain = std::max<size_t>(1, queries.size() / (threads * 8));
+  ThreadPool::Global().ParallelFor(
+      0, queries.size(), grain, threads, [&](size_t b, size_t e, size_t) {
+        for (size_t i = b; i < e; ++i) out[i] = SupportOf(queries[i]);
+      });
+}
+
+std::vector<uint64_t> VerticalIndex::SupportOfMany(
+    std::span<const Itemset> queries, size_t num_threads) const {
+  std::vector<uint64_t> out(queries.size());
+  SupportOfMany(queries, std::span<uint64_t>(out), num_threads);
+  return out;
 }
 
 }  // namespace privbasis

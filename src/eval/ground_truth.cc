@@ -2,15 +2,21 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace privbasis {
 
 Result<GroundTruth> ComputeGroundTruth(const TransactionDatabase& db,
                                        size_t k) {
   GroundTruth gt;
   // One mining pass at the largest k we need (η = 1.2 margin) provides
-  // the top-k prefix and both margin supports.
+  // the top-k prefix and both margin supports. Mining and index
+  // construction each fan out over the pool (PRIVBASIS_THREADS), so
+  // figure benches no longer serialize on ground truth.
+  const size_t threads = EffectiveThreads(0);
   size_t k12 = static_cast<size_t>(std::ceil(1.2 * static_cast<double>(k)));
-  PRIVBASIS_ASSIGN_OR_RETURN(TopKResult top12, MineTopK(db, k12));
+  PRIVBASIS_ASSIGN_OR_RETURN(TopKResult top12,
+                             MineTopK(db, k12, /*max_length=*/0, threads));
   size_t k11 = static_cast<size_t>(std::ceil(1.1 * static_cast<double>(k)));
 
   gt.topk.itemsets.assign(
@@ -25,7 +31,8 @@ Result<GroundTruth> ComputeGroundTruth(const TransactionDatabase& db,
     gt.fk1_support_eta11 = top12.itemsets[i11].support;
     gt.fk1_support_eta12 = top12.itemsets.back().support;
   }
-  gt.index = std::make_shared<VerticalIndex>(db);
+  gt.index = std::make_shared<VerticalIndex>(
+      db, VerticalIndex::Options{.num_threads = threads});
   return gt;
 }
 

@@ -69,8 +69,11 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
     for (auto& fi : level) result.itemsets.push_back(fi);
     if (options.max_patterns != 0 &&
         result.itemsets.size() > options.max_patterns) {
+      // Truncation contract: keep the canonically first max_patterns of
+      // the patterns collected before the abort.
+      SortCanonical(&result.itemsets);
+      result.itemsets.resize(options.max_patterns);
       result.aborted = true;
-      result.itemsets.clear();
       return result;
     }
     if (options.max_length != 0 && level_num >= options.max_length) break;

@@ -13,8 +13,9 @@
 namespace privbasis {
 
 /// Mines all itemsets with support ≥ options.min_support (length ≤
-/// options.max_length if set). Aborts with result.aborted once
-/// options.max_patterns is exceeded. Results are in canonical order.
+/// options.max_length if set). On exceeding options.max_patterns it
+/// returns the truncated set with result.aborted per the MiningResult
+/// contract. Results are in canonical order.
 Result<MiningResult> MineApriori(const TransactionDatabase& db,
                                  const MiningOptions& options);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "data/vertical_index.h"
 
 namespace privbasis {
@@ -18,7 +19,11 @@ struct ClassMember {
 struct EclatContext {
   const MiningOptions* options;
   std::vector<FrequentItemset>* out;
-  bool aborted = false;
+  /// Per-task pattern cap: max_patterns + 1 (0 = unbounded). One pattern
+  /// past the global cap proves the global cap is exceeded, so each task
+  /// can stop there and stay deterministic under any thread count.
+  uint64_t local_cap = 0;
+  bool truncated = false;
 };
 
 /// Sorted-list intersection (both inputs ascending).
@@ -31,37 +36,35 @@ std::vector<uint32_t> IntersectTids(const std::vector<uint32_t>& a,
   return out;
 }
 
-/// Depth-first expansion of one equivalence class: every member extends
-/// the shared prefix; pairs of members form the child classes.
-void Expand(const std::vector<ClassMember>& members, std::vector<Item>* prefix,
-            EclatContext* ctx) {
-  if (ctx->aborted) return;
-  for (size_t i = 0; i < members.size(); ++i) {
-    prefix->push_back(members[i].item);
-    ctx->out->push_back(FrequentItemset{Itemset(std::vector<Item>(*prefix)),
-                                        members[i].tids.size()});
-    if (ctx->options->max_patterns != 0 &&
-        ctx->out->size() > ctx->options->max_patterns) {
-      ctx->aborted = true;
-      prefix->pop_back();
-      return;
-    }
-    const bool at_cap = ctx->options->max_length != 0 &&
-                        prefix->size() >= ctx->options->max_length;
-    if (!at_cap) {
-      std::vector<ClassMember> children;
-      for (size_t j = i + 1; j < members.size(); ++j) {
-        std::vector<uint32_t> tids =
-            IntersectTids(members[i].tids, members[j].tids);
-        if (tids.size() >= ctx->options->min_support) {
-          children.push_back(ClassMember{members[j].item, std::move(tids)});
-        }
-      }
-      if (!children.empty()) Expand(children, prefix, ctx);
-    }
+/// Depth-first expansion of member `i` of one equivalence class: it
+/// extends the shared prefix; pairs with later members form the child
+/// class.
+void ExpandMember(const std::vector<ClassMember>& members, size_t i,
+                  std::vector<Item>* prefix, EclatContext* ctx) {
+  prefix->push_back(members[i].item);
+  ctx->out->push_back(FrequentItemset{Itemset(std::vector<Item>(*prefix)),
+                                      members[i].tids.size()});
+  if (ctx->local_cap != 0 && ctx->out->size() >= ctx->local_cap) {
+    ctx->truncated = true;
     prefix->pop_back();
-    if (ctx->aborted) return;
+    return;
   }
+  const bool at_cap = ctx->options->max_length != 0 &&
+                      prefix->size() >= ctx->options->max_length;
+  if (!at_cap) {
+    std::vector<ClassMember> children;
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      std::vector<uint32_t> tids =
+          IntersectTids(members[i].tids, members[j].tids);
+      if (tids.size() >= ctx->options->min_support) {
+        children.push_back(ClassMember{members[j].item, std::move(tids)});
+      }
+    }
+    for (size_t j = 0; j < children.size() && !ctx->truncated; ++j) {
+      ExpandMember(children, j, prefix, ctx);
+    }
+  }
+  prefix->pop_back();
 }
 
 }  // namespace
@@ -73,7 +76,7 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
   }
   MiningResult result;
 
-  VerticalIndex index(db);
+  VerticalIndex index(db, {.num_threads = options.num_threads});
   std::vector<ClassMember> roots;
   for (Item it = 0; it < db.UniverseSize(); ++it) {
     if (db.ItemSupports()[it] >= options.min_support) {
@@ -82,15 +85,38 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
           ClassMember{it, std::vector<uint32_t>(tids.begin(), tids.end())});
     }
   }
-  std::vector<Item> prefix;
-  EclatContext ctx{&options, &result.itemsets, false};
-  Expand(roots, &prefix, &ctx);
-  if (ctx.aborted) {
-    result.itemsets.clear();
-    result.aborted = true;
-    return result;
+
+  // Each root equivalence class is one pool task with its own output
+  // buffer; buffers merge in root order and the merged set is canonically
+  // sorted, so the result is identical at every thread count.
+  const size_t threads = EffectiveThreads(options.num_threads);
+  const uint64_t local_cap =
+      options.max_patterns == 0 ? 0 : options.max_patterns + 1;
+  std::vector<std::vector<FrequentItemset>> buffers(roots.size());
+  ThreadPool::Global().ParallelFor(
+      0, roots.size(), 1, threads, [&](size_t, size_t, size_t r) {
+        EclatContext ctx{&options, &buffers[r], local_cap, false};
+        std::vector<Item> prefix;
+        ExpandMember(roots, r, &prefix, &ctx);
+      });
+
+  size_t total = 0;
+  for (const auto& buffer : buffers) total += buffer.size();
+  result.itemsets.reserve(total);
+  for (auto& buffer : buffers) {
+    result.itemsets.insert(result.itemsets.end(),
+                           std::make_move_iterator(buffer.begin()),
+                           std::make_move_iterator(buffer.end()));
   }
   SortCanonical(&result.itemsets);
+  // A task that hit its local cap alone exceeds max_patterns, so the size
+  // check detects truncation without any cross-task signalling.
+  if (options.max_patterns != 0 &&
+      result.itemsets.size() > options.max_patterns) {
+    result.itemsets.resize(
+        std::min<size_t>(result.itemsets.size(), options.max_patterns));
+    result.aborted = true;
+  }
   return result;
 }
 

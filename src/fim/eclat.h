@@ -14,8 +14,11 @@
 namespace privbasis {
 
 /// Mines all itemsets with support ≥ options.min_support (length ≤
-/// options.max_length if set); sets result.aborted once
-/// options.max_patterns is exceeded. Results are in canonical order.
+/// options.max_length if set); on exceeding options.max_patterns it
+/// returns the truncated set with result.aborted per the MiningResult
+/// contract. Results are in canonical order. Root equivalence classes run
+/// as thread-pool tasks (options.num_threads); the output is identical at
+/// every thread count.
 Result<MiningResult> MineEclat(const TransactionDatabase& db,
                                const MiningOptions& options);
 

@@ -50,12 +50,14 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
   std::vector<Item> suffix;
   GrowthContext ctx{&options, &result.itemsets, false};
   Grow(tree, &suffix, &ctx);
-  if (ctx.aborted) {
-    result.itemsets.clear();
-    result.aborted = true;
-    return result;
-  }
   SortCanonical(&result.itemsets);
+  if (ctx.aborted) {
+    // Truncation contract: keep the canonically first max_patterns of the
+    // patterns collected before the abort.
+    result.itemsets.resize(
+        std::min<size_t>(result.itemsets.size(), options.max_patterns));
+    result.aborted = true;
+  }
   return result;
 }
 

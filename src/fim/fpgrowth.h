@@ -11,9 +11,9 @@
 namespace privbasis {
 
 /// Mines all itemsets with support ≥ options.min_support (length ≤
-/// options.max_length if set). Sets result.aborted and returns an empty
-/// list once options.max_patterns is exceeded. Results are in canonical
-/// order.
+/// options.max_length if set). On exceeding options.max_patterns it
+/// returns the truncated set with result.aborted per the MiningResult
+/// contract. Results are in canonical order.
 Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
                                   const MiningOptions& options);
 

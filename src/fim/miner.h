@@ -27,18 +27,29 @@ struct MiningOptions {
   uint64_t min_support = 1;
   /// Maximum itemset length; 0 = unbounded.
   size_t max_length = 0;
-  /// Abort once more than this many patterns have been collected;
+  /// Truncate once more than this many patterns have been collected;
   /// 0 = unbounded. Callers use this to keep candidate spaces sane
-  /// (e.g. the TF baseline's explicit-set mining).
+  /// (e.g. the TF baseline's explicit-set mining). See MiningResult for
+  /// the truncation contract. Note: parallel miners bound *per-task*
+  /// work, so peak transient memory on a pathological abort is
+  /// O(num_root_classes · (max_patterns + 1)) patterns, not
+  /// O(max_patterns); the returned set is always ≤ max_patterns.
   uint64_t max_patterns = 0;
+  /// Parallelism for miners with a parallel path (Eclat, and the
+  /// VerticalIndex they build); 0 = the PRIVBASIS_THREADS env knob.
+  /// Results are identical at every thread count.
+  size_t num_threads = 0;
 };
 
 /// Output of a mining call.
 struct MiningResult {
   std::vector<FrequentItemset> itemsets;
-  /// True iff mining stopped early because max_patterns was exceeded;
-  /// `itemsets` is then incomplete and must not be used as an exact
-  /// answer.
+  /// Truncation contract, uniform across miners: true iff more than
+  /// options.max_patterns patterns were discovered. `itemsets` then holds
+  /// exactly max_patterns patterns — the canonically first among those
+  /// collected before mining stopped — and is an incomplete answer: use
+  /// it only as a "too many patterns" signal plus a sample, never as the
+  /// exact frequent set. When false, `itemsets` is complete.
   bool aborted = false;
 };
 

@@ -1,9 +1,12 @@
 #include "fim/topk.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <set>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "fim/fptree.h"
 
 namespace privbasis {
@@ -55,12 +58,26 @@ class BestK {
 struct TopKContext {
   size_t max_length;
   uint64_t floor_support;  // static lower bound on the final threshold
-  BestK* best;
+  BestK* best;             // shared across root tasks, guarded by mu
+  std::mutex* mu;
+  /// Monotone cache of best->Threshold(), readable without the lock. A
+  /// stale (lower) value only weakens pruning — never drops a pattern —
+  /// so lock-free readers stay exact and deterministic.
+  std::atomic<uint64_t>* threshold_cache;
 };
 
 uint64_t CurrentThreshold(const TopKContext& ctx) {
-  return std::max<uint64_t>(ctx.floor_support,
-                            std::max<uint64_t>(1, ctx.best->Threshold()));
+  return std::max<uint64_t>(
+      ctx.floor_support,
+      std::max<uint64_t>(
+          1, ctx.threshold_cache->load(std::memory_order_relaxed)));
+}
+
+void OfferLocked(const TopKContext& ctx, FrequentItemset candidate) {
+  std::lock_guard<std::mutex> lock(*ctx.mu);
+  ctx.best->Offer(std::move(candidate));
+  ctx.threshold_cache->store(ctx.best->Threshold(),
+                             std::memory_order_relaxed);
 }
 
 /// Recursive FP-Growth specialized for top-k: ranks are visited in
@@ -76,8 +93,8 @@ void GrowTopK(const FpTree& tree, std::vector<Item>* suffix,
     // descending support order, so all later branches are bounded too.
     if (support < threshold) break;
     suffix->push_back(tree.ItemAt(rank));
-    ctx->best->Offer(
-        FrequentItemset{Itemset(std::vector<Item>(*suffix)), support});
+    OfferLocked(*ctx,
+                FrequentItemset{Itemset(std::vector<Item>(*suffix)), support});
     const bool at_cap =
         ctx->max_length != 0 && suffix->size() >= ctx->max_length;
     if (!at_cap) {
@@ -91,7 +108,7 @@ void GrowTopK(const FpTree& tree, std::vector<Item>* suffix,
 }  // namespace
 
 Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
-                            size_t max_length) {
+                            size_t max_length, size_t num_threads) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
 
   // Static floor: the k most frequent items are themselves k itemsets, so
@@ -105,10 +122,31 @@ Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
   if (active >= k) floor_support = std::max<uint64_t>(1, supports[k - 1]);
 
   BestK best(k);
-  TopKContext ctx{max_length, floor_support, &best};
+  std::mutex best_mu;
+  std::atomic<uint64_t> threshold_cache{0};
+  TopKContext ctx{max_length, floor_support, &best, &best_mu,
+                  &threshold_cache};
   FpTree tree(db, floor_support);
-  std::vector<Item> suffix;
-  GrowTopK(tree, &suffix, &ctx);
+
+  // Each root rank is one pool task over the shared, immutable tree. The
+  // final pool is the canonical top-k of every pattern offered; pruning
+  // only ever skips branches strictly below the rising threshold — which
+  // can never reach the final top-k — so the result is identical at any
+  // thread count (threads = 1 reproduces the sequential rank loop).
+  const size_t threads = EffectiveThreads(num_threads);
+  ThreadPool::Global().ParallelFor(
+      0, tree.NumRanks(), 1, threads, [&](size_t, size_t, size_t r) {
+        const uint32_t rank = static_cast<uint32_t>(r);
+        const uint64_t support = tree.SupportAt(rank);
+        if (support < CurrentThreshold(ctx)) return;
+        std::vector<Item> suffix{tree.ItemAt(rank)};
+        OfferLocked(ctx, FrequentItemset{Itemset(std::vector<Item>(suffix)),
+                                         support});
+        if (max_length == 0 || max_length > 1) {
+          FpTree cond = tree.ConditionalTree(rank, CurrentThreshold(ctx));
+          if (!cond.Empty()) GrowTopK(cond, &suffix, &ctx);
+        }
+      });
 
   TopKResult result;
   result.itemsets = best.Take();

@@ -27,9 +27,13 @@ struct TopKResult {
 
 /// Mines the exact top-k itemsets under the canonical order.
 /// `max_length` of 0 = unbounded. Ties at the k-th position are broken
-/// canonically, so the result is deterministic.
+/// canonically, so the result is deterministic. Root conditional trees
+/// run as thread-pool tasks sharing the rising threshold (`num_threads`,
+/// 0 = the PRIVBASIS_THREADS env knob); pruning only ever skips branches
+/// strictly below the final threshold, so the result is identical at
+/// every thread count.
 Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
-                            size_t max_length = 0);
+                            size_t max_length = 0, size_t num_threads = 0);
 
 /// Statistics of a top-k collection, as reported in Table 2(a).
 struct TopKStats {

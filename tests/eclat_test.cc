@@ -68,12 +68,16 @@ TEST(EclatTest, MaxLengthCap) {
   }
 }
 
-TEST(EclatTest, AbortsOnMaxPatterns) {
+TEST(EclatTest, TruncatesOnMaxPatterns) {
   TransactionDatabase db = MakeRandomDb({.seed = 11, .item_prob = 0.5});
   auto result = MineEclat(db, {.min_support = 1, .max_patterns = 5});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->aborted);
-  EXPECT_TRUE(result->itemsets.empty());
+  // Truncation contract: exactly max_patterns patterns, each exact.
+  ASSERT_EQ(result->itemsets.size(), 5u);
+  for (const auto& fi : result->itemsets) {
+    EXPECT_EQ(fi.support, db.SupportOf(fi.items));
+  }
 }
 
 TEST(EclatTest, RejectsZeroSupport) {

@@ -127,21 +127,29 @@ TEST(FpGrowthTest, MinSupportBoundary) {
   EXPECT_EQ(fp3->itemsets[0].items, Itemset({0}));
 }
 
-TEST(FpGrowthTest, AbortsOnMaxPatterns) {
+TEST(FpGrowthTest, TruncatesOnMaxPatterns) {
   TransactionDatabase db = MakeRandomDb({.seed = 31, .item_prob = 0.5});
   MiningOptions options{.min_support = 1, .max_patterns = 10};
   auto fp = MineFpGrowth(db, options);
   ASSERT_TRUE(fp.ok());
   EXPECT_TRUE(fp->aborted);
-  EXPECT_TRUE(fp->itemsets.empty());
+  // Truncation contract: exactly max_patterns patterns, each exact.
+  ASSERT_EQ(fp->itemsets.size(), 10u);
+  for (const auto& fi : fp->itemsets) {
+    EXPECT_EQ(fi.support, db.SupportOf(fi.items));
+  }
 }
 
-TEST(AprioriTest, AbortsOnMaxPatterns) {
+TEST(AprioriTest, TruncatesOnMaxPatterns) {
   TransactionDatabase db = MakeRandomDb({.seed = 31, .item_prob = 0.5});
   MiningOptions options{.min_support = 1, .max_patterns = 10};
   auto ap = MineApriori(db, options);
   ASSERT_TRUE(ap.ok());
   EXPECT_TRUE(ap->aborted);
+  ASSERT_EQ(ap->itemsets.size(), 10u);
+  for (const auto& fi : ap->itemsets) {
+    EXPECT_EQ(fi.support, db.SupportOf(fi.items));
+  }
 }
 
 TEST(FpGrowthTest, EmptyDatabase) {

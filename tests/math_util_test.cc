@@ -101,5 +101,36 @@ TEST(StandardErrorTest, ScalesWithSqrtN) {
   EXPECT_EQ(StandardError({7.0}), 0.0);
 }
 
+/// Brute-force reference: k literal `+= 1.0` steps.
+double AddOnesBrute(double x, uint64_t k) {
+  for (uint64_t i = 0; i < k; ++i) x += 1.0;
+  return x;
+}
+
+TEST(AddOnesSequentiallyTest, MatchesBruteForceAroundBoundaries) {
+  // Fractional starts crossing several power-of-two boundaries, plus the
+  // 2^52/2^53 precision edges on both signs (where += 1.0 starts to
+  // round), and saturated magnitudes.
+  const double cases[] = {0.0,          -0.3,       0.37,
+                          -127.75,      1e6 + 0.1,  0x1p52 - 2.5,
+                          0x1p53 - 3.5, -0x1p53,    -0x1p53 - 2.0,
+                          -0x1p60,      0x1p60,     1e15 + 0.37};
+  for (double x : cases) {
+    for (uint64_t k : {uint64_t{0}, uint64_t{1}, uint64_t{7},
+                       uint64_t{1000}}) {
+      EXPECT_EQ(AddOnesSequentially(x, k), AddOnesBrute(x, k))
+          << "x=" << x << " k=" << k;
+    }
+  }
+}
+
+TEST(AddOnesSequentiallyTest, ExactForIntegerCounts) {
+  // The BasisFreq no-noise path: counts from zero stay exact integers.
+  EXPECT_EQ(AddOnesSequentially(0.0, 1u << 20), double{1u << 20});
+  // Huge k on a saturated value returns quickly and matches sequential
+  // semantics (every step is absorbed).
+  EXPECT_EQ(AddOnesSequentially(0x1p54, uint64_t{1} << 40), 0x1p54);
+}
+
 }  // namespace
 }  // namespace privbasis

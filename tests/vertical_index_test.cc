@@ -76,6 +76,36 @@ TEST_P(VerticalIndexPropertyTest, AgreesWithScan) {
 INSTANTIATE_TEST_SUITE_P(Seeds, VerticalIndexPropertyTest,
                          ::testing::Range<uint64_t>(1, 9));
 
+TEST(VerticalIndexTest, DensityThresholdSelectsBitmapItems) {
+  // Supports: item 0 → 3/4, item 1 → 2/4, item 2 → 1/4.
+  TransactionDatabase db = MakeDb({{0, 1}, {0, 1}, {0, 2}, {}});
+  VerticalIndex index(db, {.density_threshold = 0.5});
+  EXPECT_TRUE(index.IsDense(0));
+  EXPECT_TRUE(index.IsDense(1));
+  EXPECT_FALSE(index.IsDense(2));
+  EXPECT_EQ(index.NumDenseItems(), 2u);
+  // Dense items still expose their sorted tid-lists.
+  auto l0 = index.TidList(0);
+  ASSERT_EQ(l0.size(), 3u);
+  EXPECT_EQ(l0[2], 2u);
+  // All three backend combinations answer exactly.
+  EXPECT_EQ(index.SupportOf(Itemset({0, 1})), 2u);     // dense-dense
+  EXPECT_EQ(index.SupportOf(Itemset({0, 2})), 1u);     // dense-sparse
+  EXPECT_EQ(index.SupportOf(Itemset({0, 1, 2})), 0u);  // mixed triple
+}
+
+TEST(VerticalIndexTest, SupportOfManyMatchesSingleQueries) {
+  TransactionDatabase db = MakeRandomDb({.seed = 5, .universe = 10});
+  VerticalIndex index(db);
+  std::vector<Itemset> queries = {Itemset(), Itemset({1}), Itemset({2, 4}),
+                                  Itemset({0, 3, 7}), Itemset({9})};
+  std::vector<uint64_t> batch = index.SupportOfMany(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], index.SupportOf(queries[i])) << i;
+  }
+}
+
 TEST(VerticalIndexTest, MetadataExposed) {
   TransactionDatabase db = MakeDb({{0, 1}, {1}}, /*universe=*/5);
   VerticalIndex index(db);
