@@ -10,8 +10,12 @@
 #include <string>
 #include <utility>
 
+#include <algorithm>
+#include <vector>
+
 #include "baseline/tf.h"
 #include "common/env.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/privbasis.h"
@@ -41,27 +45,76 @@ inline void UnwrapStatus(const Status& status, const char* what) {
   }
 }
 
+/// Escapes a string for embedding in a JSON string literal, so scrapers
+/// never see a malformed PRIVBASIS_JSON line no matter what lands in a
+/// series label or dataset name.
+inline std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Machine-readable timing line: one JSON object per line, prefixed with
 /// "PRIVBASIS_JSON " so scrapers can `grep PRIVBASIS_JSON` it out of the
-/// human-readable tables. Every line carries the effective thread count,
-/// so perf trajectories stay comparable across machines and knobs.
+/// human-readable tables. Every line carries the effective thread count
+/// and the active SIMD level, so perf trajectories stay comparable
+/// across machines and knobs. `samples` holds one wall-time measurement
+/// per repetition (min-of-N is the trajectory statistic; one-shot phases
+/// pass a single sample and get reps=1, min=mean).
 ///
-///   PRIVBASIS_JSON {"phase":"ground_truth","dataset":"kosarak",
-///                   "k":100,"threads":4,"seconds":1.234567}
+///   PRIVBASIS_JSON {"phase":"ground_truth","dataset":"kosarak","k":100,
+///                   "reps":3,"min_ms":912.4,"mean_ms":934.1,
+///                   "threads":4,"simd":"avx2","seconds":0.912412}
+inline void EmitJsonSamples(
+    const char* phase, const std::vector<double>& samples,
+    std::initializer_list<std::pair<const char*, std::string>> tags = {},
+    std::initializer_list<std::pair<const char*, double>> values = {}) {
+  double min_s = 0.0;
+  double sum_s = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    min_s = (i == 0) ? samples[i] : std::min(min_s, samples[i]);
+    sum_s += samples[i];
+  }
+  const double mean_s = samples.empty() ? 0.0 : sum_s / samples.size();
+  std::printf("PRIVBASIS_JSON {\"phase\":\"%s\"", EscapeJson(phase).c_str());
+  for (const auto& [key, value] : tags) {
+    std::printf(",\"%s\":\"%s\"", EscapeJson(key).c_str(),
+                EscapeJson(value).c_str());
+  }
+  for (const auto& [key, value] : values) {
+    std::printf(",\"%s\":%g", EscapeJson(key).c_str(), value);
+  }
+  std::printf(",\"reps\":%zu,\"min_ms\":%.6f,\"mean_ms\":%.6f", samples.size(),
+              min_s * 1e3, mean_s * 1e3);
+  std::printf(",\"threads\":%zu,\"simd\":\"%s\",\"seconds\":%.6f}\n",
+              EffectiveThreads(0), simd::LevelName(simd::ActiveLevel()),
+              min_s);
+  std::fflush(stdout);
+}
+
 inline void EmitJsonTiming(
     const char* phase, double seconds,
     std::initializer_list<std::pair<const char*, std::string>> tags = {},
     std::initializer_list<std::pair<const char*, double>> values = {}) {
-  std::printf("PRIVBASIS_JSON {\"phase\":\"%s\"", phase);
-  for (const auto& [key, value] : tags) {
-    std::printf(",\"%s\":\"%s\"", key, value.c_str());
-  }
-  for (const auto& [key, value] : values) {
-    std::printf(",\"%s\":%g", key, value);
-  }
-  std::printf(",\"threads\":%zu,\"seconds\":%.6f}\n",
-              EffectiveThreads(0), seconds);
-  std::fflush(stdout);
+  EmitJsonSamples(phase, std::vector<double>{seconds}, tags, values);
 }
 
 /// Generates a profile's dataset with a fixed per-profile seed and prints

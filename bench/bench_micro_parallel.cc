@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/basis_freq.h"
 #include "data/synthetic.h"
 #include "data/vertical_index.h"
@@ -19,6 +20,7 @@
 namespace privbasis {
 namespace {
 
+using ::privbasis::bench::DenseQueries;
 using ::privbasis::bench::MakeFrequentItemBasis;
 
 const TransactionDatabase& Kosarak() {
@@ -37,25 +39,6 @@ const TransactionDatabase& Mushroom() {
     return std::move(r).value();
   }();
   return db;
-}
-
-/// Random itemsets over the most frequent items (the regime where the
-/// dense bitmap backend engages).
-std::vector<Itemset> DenseQueries(const TransactionDatabase& db, size_t count,
-                                  size_t size, uint64_t seed) {
-  std::vector<Item> order = db.ItemsByFrequency();
-  const size_t pool = std::min<size_t>(order.size(), 64);
-  Rng rng(seed);
-  std::vector<Itemset> queries;
-  queries.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    std::vector<Item> items;
-    for (size_t j = 0; j < size; ++j) {
-      items.push_back(order[rng.UniformInt(pool)]);
-    }
-    queries.push_back(Itemset(std::move(items)));
-  }
-  return queries;
 }
 
 /// Sharded scan throughput: the exact BasisFreq pipeline, zero noise so
@@ -93,6 +76,32 @@ void BM_IntersectBackend(benchmark::State& state) {
                           static_cast<int64_t>(queries.size()));
 }
 BENCHMARK(BM_IntersectBackend)->Arg(1024)->Arg(16)->Arg(0);
+
+/// Kernel-level A/B: the same dense-intersection workload pinned to the
+/// scalar (arg 0) vs AVX2 (arg 1) kernels. Supports are identical; only
+/// the time differs.
+void BM_IntersectSimdLevel(benchmark::State& state) {
+  const auto& db = Mushroom();
+  VerticalIndex index(db, {.density_threshold = 1.0 / 64.0});
+  auto queries = DenseQueries(db, 512, 4, 7);
+  const simd::Level level =
+      state.range(0) ? simd::Level::kAvx2 : simd::Level::kScalar;
+  if (level == simd::Level::kAvx2 && !simd::Avx2Supported()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  const simd::Level prev = simd::SetLevel(level);
+  for (auto _ : state) {
+    uint64_t sink = 0;
+    for (const auto& q : queries) sink += index.SupportOf(q);
+    benchmark::DoNotOptimize(sink);
+  }
+  simd::SetLevel(prev);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+  state.SetLabel(simd::LevelName(level));
+}
+BENCHMARK(BM_IntersectSimdLevel)->Arg(0)->Arg(1);
 
 /// Batch support counting across the pool.
 void BM_SupportOfManyThreads(benchmark::State& state) {

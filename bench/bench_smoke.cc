@@ -1,0 +1,171 @@
+// Perf-trajectory smoke suite: times every counting-engine hot path with
+// min-of-N wall timings and emits one PRIVBASIS_JSON line per phase —
+// the input `tools/perf_trajectory.py` scrapes into BENCH_<rev>.json.
+//
+// Unlike the Google-Benchmark micro benches this is a plain binary with a
+// fixed, fast (~seconds) workload, so CI can run it on every push and
+// diff the numbers against the committed baseline. Dense-intersection
+// phases run at both SIMD levels (tagged simd=scalar/avx2) for a
+// built-in A/B; everything else runs at the active level.
+//
+// Knobs: PRIVBASIS_SMOKE_REPS (min-of-N repetitions, default 5, min 3),
+// PRIVBASIS_SMOKE_SCALE (dataset scale multiplier, default 1.0), plus
+// the usual PRIVBASIS_THREADS / PRIVBASIS_SIMD / PRIVBASIS_BITMAP_DENSITY.
+#include <cstdlib>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/timer.h"
+#include "core/basis_freq.h"
+#include "data/synthetic.h"
+#include "data/vertical_index.h"
+#include "eval/ground_truth.h"
+#include "fim/apriori.h"
+#include "fim/fpgrowth.h"
+#include "fim/fptree.h"
+
+namespace privbasis::bench {
+namespace {
+
+size_t SmokeReps() {
+  const int64_t reps = GetEnvInt("PRIVBASIS_SMOKE_REPS", 5);
+  return static_cast<size_t>(std::max<int64_t>(3, reps));
+}
+
+double SmokeScale() {
+  const double scale = GetEnvDouble("PRIVBASIS_SMOKE_SCALE", 1.0);
+  return std::clamp(scale, 0.01, 10.0);
+}
+
+/// Runs `fn` reps times, collecting wall seconds per run, and emits the
+/// PRIVBASIS_JSON line. `fn` must do the full phase work each call.
+void TimePhase(const char* phase, const std::function<void()>& fn,
+               std::initializer_list<std::pair<const char*, std::string>>
+                   tags = {}) {
+  const size_t reps = SmokeReps();
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  EmitJsonSamples(phase, samples, tags);
+}
+
+void RunSuite() {
+  const double scale = SmokeScale();
+  TransactionDatabase mushroom = Unwrap(
+      GenerateDataset(SyntheticProfile::Mushroom(1.0 * scale), 42),
+      "GenerateDataset(mushroom)");
+  TransactionDatabase kosarak = Unwrap(
+      GenerateDataset(SyntheticProfile::Kosarak(0.05 * scale), 42),
+      "GenerateDataset(kosarak)");
+
+  // Dense intersections at both SIMD levels (A/B built in).
+  {
+    VerticalIndex index(mushroom);
+    auto queries = DenseQueries(mushroom, 512, 4, 7);
+    std::vector<simd::Level> levels{simd::Level::kScalar};
+    if (simd::Avx2Supported()) levels.push_back(simd::Level::kAvx2);
+    // EmitJsonSamples stamps the active simd level, so the two runs land
+    // under distinct trajectory keys without an explicit tag.
+    for (simd::Level level : levels) {
+      const simd::Level prev = simd::SetLevel(level);
+      TimePhase(
+          "intersect_dense",
+          [&] {
+            uint64_t sink = 0;
+            for (const auto& q : queries) sink += index.SupportOf(q);
+            if (sink == 0) std::abort();
+          },
+          {{"dataset", "mushroom"}});
+      simd::SetLevel(prev);
+    }
+  }
+
+  // Batched support counting over the pool.
+  {
+    VerticalIndex index(kosarak);
+    auto queries = DenseQueries(kosarak, 2048, 3, 11);
+    std::vector<uint64_t> out(queries.size());
+    TimePhase(
+        "support_of_many",
+        [&] { index.SupportOfMany(queries, std::span<uint64_t>(out)); },
+        {{"dataset", "kosarak"}});
+  }
+
+  // Index construction (CSR fill + bitmap build).
+  TimePhase(
+      "index_build",
+      [&] {
+        VerticalIndex index(kosarak);
+        if (index.NumTransactions() == 0) std::abort();
+      },
+      {{"dataset", "kosarak"}});
+
+  // BasisFreq packed-mask scan, zero noise so counting dominates.
+  {
+    BasisSet basis = MakeFrequentItemBasis(kosarak, 8, 8);
+    Rng rng(1);
+    BasisFreqOptions options;
+    options.inject_noise = false;
+    TimePhase(
+        "basis_freq_scan",
+        [&] {
+          auto result = BasisFreq(kosarak, basis, 100, 1.0, rng, nullptr,
+                                  options);
+          UnwrapStatus(result.status(), "BasisFreq");
+        },
+        {{"dataset", "kosarak"}});
+  }
+
+  // Global FP-tree construction alone, then full mines.
+  TimePhase(
+      "fptree_build",
+      [&] {
+        FpTree tree(kosarak, kosarak.NumTransactions() / 100);
+        if (tree.NumNodes() == 0) std::abort();
+      },
+      {{"dataset", "kosarak"}});
+  {
+    MiningOptions options;
+    options.min_support = mushroom.NumTransactions() * 40 / 100;
+    TimePhase(
+        "fpgrowth_mine",
+        [&] {
+          auto result = MineFpGrowth(mushroom, options);
+          UnwrapStatus(result.status(), "MineFpGrowth");
+        },
+        {{"dataset", "mushroom"}});
+    TimePhase(
+        "apriori_mine",
+        [&] {
+          auto result = MineApriori(mushroom, options);
+          UnwrapStatus(result.status(), "MineApriori");
+        },
+        {{"dataset", "mushroom"}});
+  }
+
+  // Ground-truth top-k (the path behind every figure bench).
+  TimePhase(
+      "ground_truth",
+      [&] {
+        auto truth = ComputeGroundTruth(kosarak, 200);
+        UnwrapStatus(truth.status(), "ComputeGroundTruth");
+      },
+      {{"dataset", "kosarak"}});
+}
+
+}  // namespace
+}  // namespace privbasis::bench
+
+int main() {
+  privbasis::bench::RunSuite();
+  return 0;
+}

@@ -3,12 +3,35 @@
 #ifndef PRIVBASIS_BENCH_BENCH_UTIL_H_
 #define PRIVBASIS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/basis.h"
 #include "data/transaction_db.h"
 
 namespace privbasis::bench {
+
+/// Random itemsets over the most frequent items — the regime where the
+/// dense bitmap backend engages. Shared by the micro benches and the
+/// smoke suite so their "dense query" workloads stay identical.
+inline std::vector<Itemset> DenseQueries(const TransactionDatabase& db,
+                                         size_t count, size_t size,
+                                         uint64_t seed) {
+  std::vector<Item> order = db.ItemsByFrequency();
+  const size_t pool = std::min<size_t>(order.size(), 64);
+  Rng rng(seed);
+  std::vector<Itemset> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<Item> items;
+    for (size_t j = 0; j < size; ++j) {
+      items.push_back(order[rng.UniformInt(pool)]);
+    }
+    queries.push_back(Itemset(std::move(items)));
+  }
+  return queries;
+}
 
 /// Bases of the given width and length over the most frequent items.
 inline BasisSet MakeFrequentItemBasis(const TransactionDatabase& db,

@@ -35,6 +35,9 @@ int NumThreads();
 /// Values ≥ 1 disable bitmaps; ≤ 0 densifies every item.
 double BitmapDensityThreshold();
 
+// The kernel dispatch level ("avx2" | "scalar") is the PRIVBASIS_SIMD
+// knob, resolved by common/simd.h (simd::ActiveLevel).
+
 }  // namespace privbasis
 
 #endif  // PRIVBASIS_COMMON_ENV_H_

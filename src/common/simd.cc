@@ -1,0 +1,247 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+
+#include "common/env.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PRIVBASIS_X86 1
+#else
+#define PRIVBASIS_X86 0
+#endif
+
+namespace privbasis::simd {
+
+namespace detail {
+
+uint64_t AndPopcountScalar(const uint64_t* a, const uint64_t* b,
+                           size_t words) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < words; ++w) {
+    total += static_cast<uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  return total;
+}
+
+uint64_t AndPopcountManyScalar(const uint64_t* const* lists, size_t k,
+                               size_t words) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t acc = lists[0][w];
+    for (size_t j = 1; j < k && acc != 0; ++j) acc &= lists[j][w];
+    total += static_cast<uint64_t>(std::popcount(acc));
+  }
+  return total;
+}
+
+void AndIntoScalar(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] &= src[w];
+}
+
+uint64_t OrGatherWordsScalar(const uint64_t* table, const uint32_t* idx,
+                             size_t n) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) acc |= table[idx[i]];
+  return acc;
+}
+
+#if PRIVBASIS_X86
+
+// AVX2 has no 64-bit lane popcount; use the classic nibble-LUT (pshufb)
+// counter with a horizontal byte-sum per 256-bit vector (Mula's method).
+__attribute__((target("avx2"))) static inline __m256i PopcountEpi64(
+    __m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) static inline uint64_t HorizontalSum(
+    __m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+__attribute__((target("avx2"))) uint64_t AndPopcountAvx2(const uint64_t* a,
+                                                         const uint64_t* b,
+                                                         size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_add_epi64(acc, PopcountEpi64(_mm256_and_si256(va, vb)));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; w < words; ++w) {
+    total += static_cast<uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) uint64_t AndPopcountManyAvx2(
+    const uint64_t* const* lists, size_t k, size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lists[0] + w));
+    for (size_t j = 1; j < k; ++j) {
+      v = _mm256_and_si256(
+          v, _mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(lists[j] + w)));
+    }
+    acc = _mm256_add_epi64(acc, PopcountEpi64(v));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; w < words; ++w) {
+    uint64_t v = lists[0][w];
+    for (size_t j = 1; j < k && v != 0; ++j) v &= lists[j][w];
+    total += static_cast<uint64_t>(std::popcount(v));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void AndIntoAvx2(uint64_t* dst,
+                                                 const uint64_t* src,
+                                                 size_t words) {
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_and_si256(vd, vs));
+  }
+  for (; w < words; ++w) dst[w] &= src[w];
+}
+
+__attribute__((target("avx2"))) uint64_t OrGatherWordsAvx2(
+    const uint64_t* table, const uint32_t* idx, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_or_si256(
+        acc, _mm256_i32gather_epi64(
+                 reinterpret_cast<const long long*>(table), vi, 8));
+  }
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i folded = _mm_or_si128(lo, hi);
+  uint64_t word = static_cast<uint64_t>(_mm_extract_epi64(folded, 0)) |
+                  static_cast<uint64_t>(_mm_extract_epi64(folded, 1));
+  for (; i < n; ++i) word |= table[idx[i]];
+  return word;
+}
+
+#endif  // PRIVBASIS_X86
+
+}  // namespace detail
+
+namespace {
+
+Level DetectLevel() {
+  const std::string mode = GetEnvString("PRIVBASIS_SIMD", "");
+  if (mode == "scalar") return Level::kScalar;
+  if (mode == "avx2") {
+    if (Avx2Supported()) return Level::kAvx2;
+    std::fprintf(stderr,
+                 "privbasis: PRIVBASIS_SIMD=avx2 requested but AVX2 is "
+                 "unavailable; falling back to scalar\n");
+    return Level::kScalar;
+  }
+  if (!mode.empty()) {
+    // A typo here would silently poison A/B comparisons — say so loudly.
+    std::fprintf(stderr,
+                 "privbasis: unrecognized PRIVBASIS_SIMD=\"%s\" (expected "
+                 "\"avx2\" or \"scalar\"); using auto-detection\n",
+                 mode.c_str());
+  }
+  return Avx2Supported() ? Level::kAvx2 : Level::kScalar;
+}
+
+std::atomic<Level>& ActiveLevelSlot() {
+  static std::atomic<Level> level{DetectLevel()};
+  return level;
+}
+
+}  // namespace
+
+bool Avx2Supported() {
+#if PRIVBASIS_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Level ActiveLevel() {
+  return ActiveLevelSlot().load(std::memory_order_relaxed);
+}
+
+const char* LevelName(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+Level SetLevel(Level level) {
+  if (level == Level::kAvx2 && !Avx2Supported()) level = Level::kScalar;
+  return ActiveLevelSlot().exchange(level, std::memory_order_relaxed);
+}
+
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t words) {
+#if PRIVBASIS_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    return detail::AndPopcountAvx2(a, b, words);
+  }
+#endif
+  return detail::AndPopcountScalar(a, b, words);
+}
+
+uint64_t AndPopcountMany(const uint64_t* const* lists, size_t k,
+                         size_t words) {
+  if (k == 1) return AndPopcount(lists[0], lists[0], words);
+#if PRIVBASIS_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    return detail::AndPopcountManyAvx2(lists, k, words);
+  }
+#endif
+  return detail::AndPopcountManyScalar(lists, k, words);
+}
+
+void AndInto(uint64_t* dst, const uint64_t* src, size_t words) {
+#if PRIVBASIS_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    detail::AndIntoAvx2(dst, src, words);
+    return;
+  }
+#endif
+  detail::AndIntoScalar(dst, src, words);
+}
+
+uint64_t OrGatherWords(const uint64_t* table, const uint32_t* idx, size_t n) {
+#if PRIVBASIS_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    return detail::OrGatherWordsAvx2(table, idx, n);
+  }
+#endif
+  return detail::OrGatherWordsScalar(table, idx, n);
+}
+
+}  // namespace privbasis::simd

@@ -1,0 +1,80 @@
+// Vectorized kernel layer for the counting engine's innermost loops.
+//
+// Every kernel has a scalar implementation and (on x86-64) an AVX2 one;
+// the dispatched entry points pick an implementation once per process,
+// from CPU detection overridable with the PRIVBASIS_SIMD env knob
+// ("avx2" | "scalar"). All kernels are exact integer computations, so the
+// implementations are bit-identical — the knob is a pure performance
+// (and A/B testing) switch, like PRIVBASIS_THREADS.
+//
+// Users: data/vertical_index (dense bitmap intersections), core/basis_freq
+// (packed-mask transaction scan), and anything else that ANDs 64-bit
+// words in bulk.
+#ifndef PRIVBASIS_COMMON_SIMD_H_
+#define PRIVBASIS_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace privbasis::simd {
+
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// True when this build and CPU can execute the AVX2 kernels.
+bool Avx2Supported();
+
+/// The level the dispatched kernels run at: AVX2 when supported, unless
+/// PRIVBASIS_SIMD overrides. Resolved once, then cached.
+Level ActiveLevel();
+
+/// "scalar" / "avx2".
+const char* LevelName(Level level);
+
+/// Forces the dispatch level (tests / A-B benches). kAvx2 requires
+/// Avx2Supported(). Returns the previous level.
+Level SetLevel(Level level);
+
+/// popcount(a & b) over `words` 64-bit words.
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t words);
+
+/// popcount(lists[0] & lists[1] & ... & lists[k-1]) over `words` words,
+/// fused: no intermediate bitmap is materialized. k must be >= 1.
+uint64_t AndPopcountMany(const uint64_t* const* lists, size_t k,
+                         size_t words);
+
+/// dst[w] &= src[w] for w in [0, words).
+void AndInto(uint64_t* dst, const uint64_t* src, size_t words);
+
+/// Fused masked-accumulate: OR-reduction of table[idx[i]] for i in
+/// [0, n). This is the per-transaction membership-mask kernel behind the
+/// BasisFreq packed scan (each index is an item id, each table word the
+/// item's precomputed basis-membership bits).
+uint64_t OrGatherWords(const uint64_t* table, const uint32_t* idx, size_t n);
+
+// Direct (undispatched) variants, exposed for equivalence tests and A/B
+// micro benches. The Avx2 variants must only be called when
+// Avx2Supported() is true.
+namespace detail {
+uint64_t AndPopcountScalar(const uint64_t* a, const uint64_t* b,
+                           size_t words);
+uint64_t AndPopcountManyScalar(const uint64_t* const* lists, size_t k,
+                               size_t words);
+void AndIntoScalar(uint64_t* dst, const uint64_t* src, size_t words);
+uint64_t OrGatherWordsScalar(const uint64_t* table, const uint32_t* idx,
+                             size_t n);
+#if defined(__x86_64__) || defined(__i386__)
+uint64_t AndPopcountAvx2(const uint64_t* a, const uint64_t* b, size_t words);
+uint64_t AndPopcountManyAvx2(const uint64_t* const* lists, size_t k,
+                             size_t words);
+void AndIntoAvx2(uint64_t* dst, const uint64_t* src, size_t words);
+uint64_t OrGatherWordsAvx2(const uint64_t* table, const uint32_t* idx,
+                           size_t n);
+#endif
+}  // namespace detail
+
+}  // namespace privbasis::simd
+
+#endif  // PRIVBASIS_COMMON_SIMD_H_

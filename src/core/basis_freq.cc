@@ -6,6 +6,7 @@
 
 #include "common/distributions.h"
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/error_variance.h"
 
@@ -73,25 +74,55 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
   BasisFreqResult result;
   if (w == 0) return result;
 
-  // Per-basis bit position of each member item, plus a flat CSR table of
-  // per-item (basis, bit) memberships for the single data scan — one
-  // contiguous array probe per token instead of a hash lookup.
+  // Per-basis bit layout, and the packed-mask decision: when the
+  // concatenated per-basis bit fields fit in one 64-bit word, every
+  // item's memberships collapse into a single precomputed OR-word, and
+  // the per-transaction mask computation becomes one fused gather+OR
+  // kernel call, with per-basis masks recovered by shifts. Wider basis
+  // sets build a flat CSR table of per-item (basis, bit) memberships
+  // instead — one contiguous array probe per token. Both paths produce
+  // identical integer bins; only the table the chosen path needs is
+  // built.
   const uint32_t universe = db.UniverseSize();
   std::vector<size_t> basis_len(w);
-  std::vector<uint32_t> memb_offsets(universe + 1, 0);
+  std::vector<uint32_t> bit_offset(w, 0);
+  std::vector<uint64_t> len_mask(w, 0);
+  uint64_t total_bits = 0;
   for (size_t i = 0; i < w; ++i) {
-    const Itemset& b = basis_set.basis(i);
-    basis_len[i] = b.size();
-    for (Item item : b) {
-      if (item < universe) ++memb_offsets[item + 1];
+    basis_len[i] = basis_set.basis(i).size();
+    // Clamp to 63: only a zero-length basis after exactly 64 packed bits
+    // can land here, and (word >> 63) & 0 is the correct empty mask while
+    // a shift by 64 would be UB.
+    bit_offset[i] = static_cast<uint32_t>(std::min<uint64_t>(total_bits, 63));
+    len_mask[i] = (basis_len[i] >= 64) ? ~uint64_t{0}
+                                       : (uint64_t{1} << basis_len[i]) - 1;
+    total_bits += basis_len[i];
+  }
+  const bool packed = total_bits <= 64 && universe < (uint32_t{1} << 31);
+  std::vector<uint64_t> item_word;
+  std::vector<uint32_t> memb_offsets;
+  std::vector<std::pair<uint32_t, uint32_t>> memb_entries;
+  if (packed) {
+    item_word.assign(universe, 0);
+    for (size_t i = 0; i < w; ++i) {
+      const Itemset& b = basis_set.basis(i);
+      for (uint32_t bit = 0; bit < b.size(); ++bit) {
+        if (b[bit] < universe) {
+          item_word[b[bit]] |= uint64_t{1} << (bit_offset[i] + bit);
+        }
+      }
     }
-  }
-  for (uint32_t i = 0; i < universe; ++i) {
-    memb_offsets[i + 1] += memb_offsets[i];
-  }
-  std::vector<std::pair<uint32_t, uint32_t>> memb_entries(
-      memb_offsets[universe]);
-  {
+  } else {
+    memb_offsets.assign(universe + 1, 0);
+    for (size_t i = 0; i < w; ++i) {
+      for (Item item : basis_set.basis(i)) {
+        if (item < universe) ++memb_offsets[item + 1];
+      }
+    }
+    for (uint32_t i = 0; i < universe; ++i) {
+      memb_offsets[i + 1] += memb_offsets[i];
+    }
+    memb_entries.resize(memb_offsets[universe]);
     std::vector<uint32_t> cursor(memb_offsets.begin(),
                                  memb_offsets.end() - 1);
     for (size_t i = 0; i < w; ++i) {
@@ -141,6 +172,17 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
         local.resize(w);
         for (size_t i = 0; i < w; ++i) {
           local[i].assign(uint64_t{1} << basis_len[i], 0);
+        }
+        if (packed) {
+          for (size_t t = shard_begin; t < shard_end; ++t) {
+            const auto txn = db.Transaction(t);
+            const uint64_t word =
+                simd::OrGatherWords(item_word.data(), txn.data(), txn.size());
+            for (size_t i = 0; i < w; ++i) {
+              ++local[i][(word >> bit_offset[i]) & len_mask[i]];
+            }
+          }
+          return;
         }
         std::vector<uint64_t> masks(w, 0);
         for (size_t t = shard_begin; t < shard_end; ++t) {

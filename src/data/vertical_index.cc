@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/env.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace privbasis {
@@ -138,6 +139,7 @@ struct QueryScratch {
   std::vector<std::span<const uint32_t>> sparse;
   std::vector<const uint64_t*> dense;
   std::vector<size_t> pos;
+  std::vector<uint64_t> combined;
 };
 
 QueryScratch& TlsScratch() {
@@ -171,16 +173,9 @@ uint64_t VerticalIndex::SupportOf(const Itemset& itemset) const {
   }
 
   if (scratch.sparse.empty()) {
-    // All-dense: word-wise AND + popcount across the bitmaps.
-    uint64_t support = 0;
-    for (size_t w = 0; w < bitmap_words_; ++w) {
-      uint64_t acc = scratch.dense[0][w];
-      for (size_t j = 1; j < scratch.dense.size() && acc != 0; ++j) {
-        acc &= scratch.dense[j][w];
-      }
-      support += static_cast<uint64_t>(std::popcount(acc));
-    }
-    return support;
+    // All-dense: k-way fused AND + popcount across the bitmaps.
+    return simd::AndPopcountMany(scratch.dense.data(), scratch.dense.size(),
+                                 bitmap_words_);
   }
 
   // Mixed / all-sparse: drive from the shortest sorted list; dense members
@@ -188,6 +183,17 @@ uint64_t VerticalIndex::SupportOf(const Itemset& itemset) const {
   std::sort(scratch.sparse.begin(), scratch.sparse.end(),
             [](const auto& a, const auto& b) { return a.size() < b.size(); });
   if (scratch.sparse.front().empty()) return 0;
+
+  if (scratch.dense.size() >= 2 &&
+      scratch.sparse.front().size() >= 2 * bitmap_words_) {
+    // Probe-heavy query: pre-AND the dense bitmaps into one (sequential
+    // vector kernel) so each candidate tid costs a single bit probe.
+    scratch.combined.assign(scratch.dense[0], scratch.dense[0] + bitmap_words_);
+    for (size_t j = 1; j < scratch.dense.size(); ++j) {
+      simd::AndInto(scratch.combined.data(), scratch.dense[j], bitmap_words_);
+    }
+    scratch.dense.assign(1, scratch.combined.data());
+  }
 
   uint64_t support = 0;
   scratch.pos.assign(scratch.sparse.size(), 0);
@@ -219,13 +225,7 @@ uint64_t VerticalIndex::SupportOfPair(Item a, Item b) const {
   const uint32_t ra = dense_rank_[a];
   const uint32_t rb = dense_rank_[b];
   if (ra != kNoDense && rb != kNoDense) {
-    const uint64_t* ba = Bitmap(ra);
-    const uint64_t* bb = Bitmap(rb);
-    uint64_t support = 0;
-    for (size_t w = 0; w < bitmap_words_; ++w) {
-      support += static_cast<uint64_t>(std::popcount(ba[w] & bb[w]));
-    }
-    return support;
+    return simd::AndPopcount(Bitmap(ra), Bitmap(rb), bitmap_words_);
   }
   if (ra != kNoDense || rb != kNoDense) {
     const uint32_t rank = (ra != kNoDense) ? ra : rb;

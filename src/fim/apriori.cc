@@ -1,6 +1,7 @@
 #include "fim/apriori.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
 
 namespace privbasis {
@@ -84,20 +85,38 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
     for (const auto& fi : level) frequent.insert(fi.items.items());
 
     // Join step: pairs sharing a (k−1)-prefix. `level` is sorted
-    // lexicographically, so joinable partners are contiguous.
+    // lexicographically, so joinable partners are contiguous. Candidates
+    // batch into bounded chunks counted by one SupportOfMany call each —
+    // the pool fans the queries out and reuses the per-thread query
+    // scratch instead of paying one dispatch per candidate, while the
+    // chunk cap keeps the level-2 all-pairs join (every pair of frequent
+    // items is a candidate) from materializing O(F²) itemsets at once.
+    constexpr size_t kCandidateChunk = 1 << 16;
+    std::vector<Itemset> candidates;
+    std::vector<uint64_t> supports;
     std::vector<FrequentItemset> next;
+    auto flush = [&] {
+      supports.resize(candidates.size());
+      index.SupportOfMany(candidates, std::span<uint64_t>(supports),
+                          options.num_threads);
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (supports[c] >= options.min_support) {
+          next.push_back(
+              FrequentItemset{std::move(candidates[c]), supports[c]});
+        }
+      }
+      candidates.clear();
+    };
     std::vector<Item> candidate;
     for (size_t i = 0; i < level.size(); ++i) {
       for (size_t j = i + 1; j < level.size(); ++j) {
         if (!JoinPrefix(level[i].items, level[j].items, &candidate)) break;
         if (!AllSubsetsFrequent(candidate, frequent)) continue;
-        uint64_t sup = index.SupportOf(Itemset::FromSorted(candidate));
-        if (sup >= options.min_support) {
-          next.push_back(
-              FrequentItemset{Itemset::FromSorted(candidate), sup});
-        }
+        candidates.push_back(Itemset::FromSorted(candidate));
+        if (candidates.size() >= kCandidateChunk) flush();
       }
     }
+    flush();
     level = std::move(next);
     ++level_num;
   }

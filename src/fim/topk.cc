@@ -81,15 +81,16 @@ void OfferLocked(const TopKContext& ctx, FrequentItemset candidate) {
 }
 
 /// Recursive FP-Growth specialized for top-k: ranks are visited in
-/// descending in-tree support (rank order) so the pool threshold rises as
-/// fast as possible, and branches upper-bounded below the threshold are
-/// pruned.
+/// descending in-tree support (the RanksBySupport permutation — a
+/// conditional tree's rank order is not support order) so the pool
+/// threshold rises as fast as possible, and branches upper-bounded below
+/// the threshold are pruned.
 void GrowTopK(const FpTree& tree, std::vector<Item>* suffix,
               TopKContext* ctx) {
-  for (uint32_t rank = 0; rank < tree.NumRanks(); ++rank) {
+  for (uint32_t rank : tree.RanksBySupport()) {
     uint64_t support = tree.SupportAt(rank);
     uint64_t threshold = CurrentThreshold(*ctx);
-    // Every pattern in this branch has support <= `support`; ranks are in
+    // Every pattern in this branch has support <= `support`; we iterate in
     // descending support order, so all later branches are bounded too.
     if (support < threshold) break;
     suffix->push_back(tree.ItemAt(rank));

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "fim/apriori.h"
+#include "fim/brute_force.h"
+#include "fim/fpgrowth.h"
 #include "test_util.h"
 
 namespace privbasis {
@@ -88,6 +93,145 @@ TEST(FpTreeTest, NodeCountBoundedByOccurrences) {
   TransactionDatabase db = MakeRandomDb({.seed = 7, .num_transactions = 100});
   FpTree tree(db, 1);
   EXPECT_LE(tree.NumNodes(), db.TotalItemOccurrences() + 1);
+}
+
+/// Structural invariants of the CSR arena: children slices sorted by rank
+/// (binary-searchable via FindChild), ranks strictly ascending along
+/// every root path, and the per-rank node index covering every node with
+/// counts summing to the rank's support.
+TEST(FpTreeTest, CsrLayoutInvariants) {
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    TransactionDatabase db = MakeRandomDb(
+        {.seed = seed, .num_transactions = 120, .universe = 10,
+         .item_prob = 0.4});
+    FpTree tree(db, 2);
+    size_t children_seen = 0;
+    for (uint32_t node = 0; node < tree.NumNodes(); ++node) {
+      auto kids = tree.Children(node);
+      children_seen += kids.size();
+      for (size_t i = 0; i < kids.size(); ++i) {
+        EXPECT_EQ(tree.NodeParent(kids[i]), node);
+        if (node != 0) EXPECT_GT(tree.NodeRank(kids[i]), tree.NodeRank(node));
+        if (i > 0) {
+          EXPECT_LT(tree.NodeRank(kids[i - 1]), tree.NodeRank(kids[i]));
+        }
+        EXPECT_EQ(tree.FindChild(node, tree.NodeRank(kids[i])), kids[i]);
+      }
+      EXPECT_EQ(tree.FindChild(node, FpTree::kNil - 2), FpTree::kNil);
+    }
+    EXPECT_EQ(children_seen, tree.NumNodes() - 1);  // every node but root
+
+    size_t indexed = 0;
+    for (uint32_t rank = 0; rank < tree.NumRanks(); ++rank) {
+      uint64_t total = 0;
+      for (uint32_t node : tree.NodesOfRank(rank)) {
+        EXPECT_EQ(tree.NodeRank(node), rank);
+        total += tree.NodeCount(node);
+        ++indexed;
+      }
+      EXPECT_EQ(total, tree.SupportAt(rank)) << "rank " << rank;
+    }
+    EXPECT_EQ(indexed, tree.NumNodes() - 1);
+
+    const auto& order = tree.RanksBySupport();
+    ASSERT_EQ(order.size(), tree.NumRanks());
+    for (size_t i = 1; i < order.size(); ++i) {
+      EXPECT_GE(tree.SupportAt(order[i - 1]), tree.SupportAt(order[i]));
+    }
+  }
+}
+
+/// Conditional trees keep the same invariants and the monotone remap
+/// preserves the relative order of surviving items.
+TEST(FpTreeTest, ConditionalTreeKeepsRelativeRankOrder) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 17, .num_transactions = 80, .universe = 9, .item_prob = 0.5});
+  FpTree tree(db, 1);
+  for (uint32_t rank = 1; rank < tree.NumRanks(); ++rank) {
+    FpTree cond = tree.ConditionalTree(rank, 2);
+    // Surviving items appear in the same relative order as in the parent.
+    std::vector<uint32_t> parent_positions;
+    for (uint32_t cr = 0; cr < cond.NumRanks(); ++cr) {
+      Item item = cond.ItemAt(cr);
+      uint32_t pos = FpTree::kNil;
+      for (uint32_t pr = 0; pr < rank; ++pr) {
+        if (tree.ItemAt(pr) == item) pos = pr;
+      }
+      ASSERT_NE(pos, FpTree::kNil);
+      parent_positions.push_back(pos);
+    }
+    EXPECT_TRUE(std::is_sorted(parent_positions.begin(),
+                               parent_positions.end()));
+  }
+}
+
+/// End-to-end oracle check: the CSR-arena tree mines exactly the
+/// brute-force pattern sets on seeded random databases, at every thread
+/// count.
+TEST(FpTreeTest, MinesIdenticalPatternSetsToBruteForce) {
+  for (uint64_t seed : {5u, 23u, 71u}) {
+    TransactionDatabase db = MakeRandomDb(
+        {.seed = seed, .num_transactions = 70, .universe = 11,
+         .item_prob = 0.45});
+    MiningOptions options;
+    options.min_support = 3;
+    options.max_length = 6;
+    auto want = MineBruteForce(db, options);
+    ASSERT_TRUE(want.ok());
+    for (size_t threads : {1u, 2u, 8u}) {
+      options.num_threads = threads;
+      auto got = MineFpGrowth(db, options);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->itemsets, want->itemsets)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+/// Oracle coverage for the >64-rank build path: trees with more than 64
+/// frequent items cannot pack paths into one 64-bit key and take the
+/// lexicographic BuildFromPaths merge instead. Cross-check FP-Growth
+/// against Apriori (an independent implementation) on such a tree.
+TEST(FpTreeTest, WideTreeUsesPathMergeAndMatchesApriori) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 97, .num_transactions = 400, .universe = 90,
+       .item_prob = 0.15});
+  MiningOptions options;
+  options.min_support = 2;
+  options.max_length = 4;
+  FpTree tree(db, options.min_support);
+  ASSERT_GT(tree.NumRanks(), 64u) << "universe too sparse for this test";
+  auto want = MineApriori(db, options);
+  ASSERT_TRUE(want.ok());
+  for (size_t threads : {1u, 4u}) {
+    options.num_threads = threads;
+    auto got = MineFpGrowth(db, options);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->itemsets, want->itemsets) << "threads=" << threads;
+  }
+}
+
+/// The parallel first projection level must keep the truncation contract
+/// deterministic: identical truncated sets at every thread count, with
+/// the early-stop flag engaged (max_patterns far below the full count).
+TEST(FpTreeTest, TruncatedMineIdenticalAcrossThreadCounts) {
+  TransactionDatabase db = MakeRandomDb(
+      {.seed = 41, .num_transactions = 90, .universe = 12,
+       .item_prob = 0.5});
+  std::vector<MiningResult> results;
+  for (size_t threads : {1u, 2u, 8u}) {
+    MiningOptions options;
+    options.min_support = 2;
+    options.max_patterns = 25;
+    options.num_threads = threads;
+    auto result = MineFpGrowth(db, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->aborted);
+    EXPECT_EQ(result->itemsets.size(), 25u);
+    results.push_back(std::move(result).value());
+  }
+  EXPECT_EQ(results[0].itemsets, results[1].itemsets);
+  EXPECT_EQ(results[0].itemsets, results[2].itemsets);
 }
 
 }  // namespace

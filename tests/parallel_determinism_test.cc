@@ -9,10 +9,12 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/basis_freq.h"
 #include "data/synthetic.h"
 #include "data/vertical_index.h"
 #include "fim/eclat.h"
+#include "fim/fpgrowth.h"
 #include "fim/topk.h"
 #include "test_util.h"
 
@@ -166,6 +168,64 @@ TEST(BitmapEquivalenceTest, PairPathsAgreeAcrossBackends) {
       const uint64_t expected = all_sparse.SupportOfPair(a, b);
       EXPECT_EQ(all_dense.SupportOfPair(a, b), expected);
       EXPECT_EQ(mixed.SupportOfPair(a, b), expected);
+    }
+  }
+}
+
+// SIMD-level equivalence: PRIVBASIS_SIMD is a pure performance knob like
+// the thread count. Supports, noisy BasisFreq outputs, and mined pattern
+// sets must be identical at scalar and AVX2 at every thread count.
+TEST(ParallelDeterminismTest, SimdLevelsProduceIdenticalResults) {
+  const auto& db = BigDb();
+  BasisSet basis = MakeFrequentItemBasis(db, 6, 6);
+  auto queries = [&] {
+    Rng rng(31);
+    std::vector<Itemset> out;
+    for (int trial = 0; trial < 200; ++trial) {
+      size_t size = 1 + rng.UniformInt(5);
+      std::vector<Item> items;
+      for (size_t i = 0; i < size; ++i) {
+        items.push_back(static_cast<Item>(rng.UniformInt(db.UniverseSize())));
+      }
+      out.push_back(Itemset(std::move(items)));
+    }
+    return out;
+  }();
+
+  std::vector<std::vector<uint64_t>> supports;
+  std::vector<BasisFreqResult> bf_results;
+  std::vector<MiningResult> mined;
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+    const simd::Level prev = simd::SetLevel(level);
+    for (size_t threads : {1u, 4u}) {
+      VerticalIndex index(db, {.density_threshold = 0.05,
+                               .num_threads = threads});
+      supports.push_back(index.SupportOfMany(queries, threads));
+
+      Rng rng(7);
+      BasisFreqOptions options;
+      options.num_threads = threads;
+      auto bf = BasisFreq(db, basis, 80, 1.0, rng, nullptr, options);
+      ASSERT_TRUE(bf.ok());
+      bf_results.push_back(std::move(bf).value());
+
+      MiningOptions mining;
+      mining.min_support = db.NumTransactions() / 3;
+      mining.num_threads = threads;
+      auto fp = MineFpGrowth(db, mining);
+      ASSERT_TRUE(fp.ok());
+      mined.push_back(std::move(fp).value());
+    }
+    simd::SetLevel(prev);
+  }
+  for (size_t i = 1; i < supports.size(); ++i) {
+    EXPECT_EQ(supports[i], supports[0]);
+    EXPECT_EQ(mined[i].itemsets, mined[0].itemsets);
+    ASSERT_EQ(bf_results[i].topk.size(), bf_results[0].topk.size());
+    for (size_t j = 0; j < bf_results[0].topk.size(); ++j) {
+      EXPECT_EQ(bf_results[i].topk[j].items, bf_results[0].topk[j].items);
+      EXPECT_EQ(bf_results[i].topk[j].noisy_count,
+                bf_results[0].topk[j].noisy_count);
     }
   }
 }

@@ -1,0 +1,121 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace privbasis {
+namespace {
+
+/// Word counts around every boundary the AVX2 kernels care about: empty,
+/// single word, the 4-word block edge ±1, and larger blocks with tails.
+const size_t kAdversarialWords[] = {0,  1,  2,  3,  4,   5,   7,  8,
+                                    9,  15, 16, 17, 63,  64,  65, 127,
+                                    128, 129, 1000, 1023, 1024, 1025};
+
+std::vector<uint64_t> RandomWords(Rng& rng, size_t words) {
+  std::vector<uint64_t> out(words);
+  for (auto& w : out) {
+    w = (static_cast<uint64_t>(rng.UniformInt(0xffffffffu)) << 32) ^
+        rng.UniformInt(0xffffffffu);
+  }
+  return out;
+}
+
+TEST(SimdTest, LevelNameRoundTrip) {
+  EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
+}
+
+TEST(SimdTest, AndPopcountAvx2MatchesScalar) {
+  if (!simd::Avx2Supported()) GTEST_SKIP() << "no AVX2 on this CPU";
+  Rng rng(1234);
+  for (size_t words : kAdversarialWords) {
+    for (int rep = 0; rep < 8; ++rep) {
+      auto a = RandomWords(rng, words);
+      auto b = RandomWords(rng, words);
+      EXPECT_EQ(simd::detail::AndPopcountScalar(a.data(), b.data(), words),
+                simd::detail::AndPopcountAvx2(a.data(), b.data(), words))
+          << "words=" << words;
+    }
+  }
+}
+
+TEST(SimdTest, AndPopcountManyAvx2MatchesScalar) {
+  if (!simd::Avx2Supported()) GTEST_SKIP() << "no AVX2 on this CPU";
+  Rng rng(99);
+  for (size_t words : kAdversarialWords) {
+    for (size_t k : {1u, 2u, 3u, 5u, 9u}) {
+      std::vector<std::vector<uint64_t>> lists;
+      std::vector<const uint64_t*> ptrs;
+      for (size_t j = 0; j < k; ++j) {
+        lists.push_back(RandomWords(rng, words));
+        ptrs.push_back(lists.back().data());
+      }
+      EXPECT_EQ(
+          simd::detail::AndPopcountManyScalar(ptrs.data(), k, words),
+          simd::detail::AndPopcountManyAvx2(ptrs.data(), k, words))
+          << "words=" << words << " k=" << k;
+    }
+  }
+}
+
+TEST(SimdTest, AndIntoAvx2MatchesScalar) {
+  if (!simd::Avx2Supported()) GTEST_SKIP() << "no AVX2 on this CPU";
+  Rng rng(7);
+  for (size_t words : kAdversarialWords) {
+    auto a = RandomWords(rng, words);
+    auto b = RandomWords(rng, words);
+    auto a2 = a;
+    simd::detail::AndIntoScalar(a.data(), b.data(), words);
+    simd::detail::AndIntoAvx2(a2.data(), b.data(), words);
+    EXPECT_EQ(a, a2) << "words=" << words;
+  }
+}
+
+TEST(SimdTest, OrGatherWordsAvx2MatchesScalar) {
+  if (!simd::Avx2Supported()) GTEST_SKIP() << "no AVX2 on this CPU";
+  Rng rng(55);
+  const size_t table_size = 300;
+  auto table = RandomWords(rng, table_size);
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 100u, 1001u}) {
+    std::vector<uint32_t> idx(n);
+    for (auto& i : idx) {
+      i = static_cast<uint32_t>(rng.UniformInt(table_size));
+    }
+    EXPECT_EQ(simd::detail::OrGatherWordsScalar(table.data(), idx.data(), n),
+              simd::detail::OrGatherWordsAvx2(table.data(), idx.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, DispatchedKernelsMatchScalarAtBothLevels) {
+  Rng rng(2024);
+  auto a = RandomWords(rng, 129);
+  auto b = RandomWords(rng, 129);
+  const uint64_t want =
+      simd::detail::AndPopcountScalar(a.data(), b.data(), a.size());
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+    const simd::Level prev = simd::SetLevel(level);
+    EXPECT_EQ(simd::AndPopcount(a.data(), b.data(), a.size()), want)
+        << simd::LevelName(level);
+    simd::SetLevel(prev);
+  }
+}
+
+TEST(SimdTest, SetLevelFallsBackWithoutAvx2) {
+  const simd::Level prev = simd::SetLevel(simd::Level::kAvx2);
+  // Whatever the CPU, the active level must be executable.
+  if (!simd::Avx2Supported()) {
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  } else {
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kAvx2);
+  }
+  simd::SetLevel(prev);
+}
+
+}  // namespace
+}  // namespace privbasis

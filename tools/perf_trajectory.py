@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Perf trajectory scraper for the PrivBasis bench suite.
+
+Runs ``bench_smoke`` (and optionally other bench binaries), scrapes the
+``PRIVBASIS_JSON`` lines out of their stdout, aggregates min-of-N wall
+timings per (phase, tags) key, and writes ``BENCH_<rev>.json`` into the
+trajectory directory. With ``--compare`` it diffs the fresh numbers
+against a committed baseline and exits nonzero on a regression beyond
+the threshold — the CI perf gate.
+
+Usage:
+    tools/perf_trajectory.py [--build-dir build] [--out-dir bench/trajectory]
+                             [--rev <id>] [--smoke]
+                             [--compare bench/trajectory/BENCH_baseline.json]
+                             [--threshold 0.25] [--extra-bench BIN ...]
+
+``--smoke`` shrinks the workload (PRIVBASIS_SMOKE_SCALE=0.3, min-of-7
+reps) so the gate finishes in seconds; absolute numbers from smoke runs
+are only comparable to other smoke runs.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+PREFIX = "PRIVBASIS_JSON "
+# Fields that describe the measurement (or the machine it ran on) rather
+# than identify the phase: "threads" varies across runners, so it stays
+# out of the entry key to keep baselines comparable.
+VALUE_FIELDS = {"seconds", "min_ms", "mean_ms", "reps", "threads"}
+
+
+def parse_lines(text):
+    """Yields dicts for every PRIVBASIS_JSON line in ``text``."""
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith(PREFIX):
+            continue
+        payload = line[len(PREFIX):]
+        try:
+            yield json.loads(payload)
+        except json.JSONDecodeError as err:
+            raise SystemExit(
+                f"malformed PRIVBASIS_JSON line (scraper bug or emitter "
+                f"regression): {payload!r}: {err}")
+
+
+def entry_key(record):
+    """Stable identity of a measurement: phase + identifying tags."""
+    parts = [f"phase={record.get('phase', '?')}"]
+    for key in sorted(record):
+        if key in VALUE_FIELDS or key == "phase":
+            continue
+        parts.append(f"{key}={record[key]}")
+    return " ".join(parts)
+
+
+def run_bench(binary, env_overrides):
+    env = dict(os.environ)
+    env.update(env_overrides)
+    print(f"[perf_trajectory] running {binary}", flush=True)
+    proc = subprocess.run([binary], capture_output=True, text=True, env=env)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"{binary} exited with {proc.returncode}")
+    return proc.stdout
+
+
+def collect(binaries, env_overrides):
+    entries = {}
+    for binary in binaries:
+        for record in parse_lines(run_bench(binary, env_overrides)):
+            key = entry_key(record)
+            prev = entries.get(key)
+            # Keep the best (minimum) timing seen for a key across
+            # binaries/repeats; reps accumulate for transparency.
+            if prev is None or record.get("min_ms", float("inf")) < prev.get(
+                    "min_ms", float("inf")):
+                merged = dict(record)
+                if prev is not None:
+                    merged["reps"] = int(prev.get("reps", 0)) + int(
+                        record.get("reps", 0))
+                entries[key] = merged
+            else:
+                prev["reps"] = int(prev.get("reps", 0)) + int(
+                    record.get("reps", 0))
+    return entries
+
+
+def git_rev(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], capture_output=True,
+            text=True, cwd=repo_root, check=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def compare(entries, baseline_path, threshold, smoke, min_ms_floor=1.0):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if bool(baseline.get("smoke")) != bool(smoke):
+        print(f"\n[perf_trajectory] SKIPPING compare: baseline "
+              f"{baseline_path} was recorded with smoke="
+              f"{baseline.get('smoke')} but this run has smoke={smoke}; "
+              f"timings are not comparable across workload scales")
+        return True
+    base_entries = baseline.get("entries", {})
+    regressions = []
+    missing = []
+    print(f"\n[perf_trajectory] comparing against {baseline_path} "
+          f"(threshold {threshold:.0%})")
+    for key in sorted(base_entries):
+        if key not in entries:
+            # A vanished key means the gate would pass vacuously (renamed
+            # phase, crashed emitter, missing SIMD level) — treat it as a
+            # failure so silent coverage loss cannot slip through.
+            print(f"  MISSING  {key} (baseline only — phase removed?)")
+            missing.append(key)
+            continue
+        old = base_entries[key].get("min_ms")
+        new = entries[key].get("min_ms")
+        if not old or new is None:
+            continue
+        ratio = new / old
+        marker = "ok "
+        if ratio > 1.0 + threshold:
+            # Entries below the floor are scheduler-jitter territory
+            # (tens of microseconds); report them but never gate on them.
+            if old < min_ms_floor:
+                marker = "noi"
+            else:
+                marker = "REG"
+                regressions.append((key, old, new, ratio))
+        print(f"  {marker}  {key}: {old:.3f} -> {new:.3f} ms "
+              f"({ratio - 1.0:+.1%} vs baseline)")
+    for key in sorted(set(entries) - set(base_entries)):
+        print(f"  NEW      {key}: {entries[key].get('min_ms', 0):.3f} ms")
+    if regressions:
+        print(f"\n[perf_trajectory] {len(regressions)} regression(s) beyond "
+              f"{threshold:.0%}:")
+        for key, old, new, ratio in regressions:
+            print(f"  {key}: {old:.3f} -> {new:.3f} ms ({ratio:.2f}x)")
+    if missing:
+        print(f"\n[perf_trajectory] {len(missing)} baseline entr"
+              f"{'y' if len(missing) == 1 else 'ies'} missing from this run "
+              f"— update the baseline if the phase was intentionally "
+              f"removed or renamed")
+    if regressions or missing:
+        return False
+    print("[perf_trajectory] no regressions")
+    return True
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(repo_root, "build"))
+    parser.add_argument("--out-dir",
+                        default=os.path.join(repo_root, "bench", "trajectory"))
+    parser.add_argument("--rev", default=None,
+                        help="trajectory id (default: git short rev)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for the CI gate")
+    parser.add_argument("--compare", default=None,
+                        help="baseline BENCH_*.json to diff against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed min_ms regression ratio (default 0.25)")
+    parser.add_argument("--min-ms-floor", type=float, default=1.0,
+                        help="baseline entries faster than this many ms are "
+                             "reported but not gated (sub-ms min-of-N "
+                             "timings are scheduler-jitter territory)")
+    parser.add_argument("--extra-bench", nargs="*", default=[],
+                        help="additional bench binaries to scrape")
+    args = parser.parse_args()
+
+    smoke_bin = os.path.join(args.build_dir, "bench_smoke")
+    if not os.path.exists(smoke_bin):
+        raise SystemExit(f"{smoke_bin} not found — build the bench_smoke "
+                         f"target first")
+    binaries = [smoke_bin] + args.extra_bench
+
+    env_overrides = {}
+    if args.smoke:
+        env_overrides["PRIVBASIS_SMOKE_SCALE"] = "0.3"
+        env_overrides["PRIVBASIS_SMOKE_REPS"] = "7"
+
+    entries = collect(binaries, env_overrides)
+    if not entries:
+        raise SystemExit("no PRIVBASIS_JSON lines scraped")
+
+    rev = args.rev or git_rev(repo_root)
+    doc = {
+        "rev": rev,
+        "smoke": args.smoke,
+        "entries": entries,
+    }
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{rev}.json")
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[perf_trajectory] wrote {out_path} ({len(entries)} entries)")
+
+    if args.compare:
+        if not compare(entries, args.compare, args.threshold, args.smoke,
+                       args.min_ms_floor):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
