@@ -21,6 +21,7 @@
 #include "core/privbasis.h"
 #include "data/dataset_stats.h"
 #include "data/synthetic.h"
+#include "engine/engine.h"
 #include "eval/experiment.h"
 #include "eval/ground_truth.h"
 #include "eval/table_printer.h"
@@ -134,21 +135,28 @@ inline TransactionDatabase MakeDataset(const SyntheticProfile& profile,
   return db;
 }
 
-/// PrivBasis as a ReleaseMethod, with the fk1 hint wired from ground
-/// truth.
+/// PrivBasis as a ReleaseMethod through the Engine, with the fk1 hint
+/// wired from ground truth.
 inline ReleaseMethod PbMethod(const TransactionDatabase& db, size_t k,
                               const GroundTruth& truth,
                               PrivBasisOptions options = {}) {
   options.fk1_support_hint = (options.eta >= 1.15)
                                  ? truth.fk1_support_eta12
                                  : truth.fk1_support_eta11;
-  return [&db, k,
-          options](double epsilon,
-                   Rng& rng) -> Result<std::vector<NoisyItemset>> {
-    auto result = RunPrivBasis(db, k, epsilon, rng, options);
-    if (!result.ok()) return result.status();
-    return std::move(result).value().topk;
-  };
+  QuerySpec spec;
+  spec.k = k;
+  spec.pb = options;
+  return EngineMethod(Dataset::Borrow(db), spec);
+}
+
+/// Same, against an already-shared Dataset handle (the fk1 hint comes
+/// from the handle's margin cache).
+inline ReleaseMethod PbMethod(std::shared_ptr<Dataset> dataset, size_t k,
+                              PrivBasisOptions options = {}) {
+  QuerySpec spec;
+  spec.k = k;
+  spec.pb = options;
+  return EngineMethod(std::move(dataset), spec);
 }
 
 /// TF as a ReleaseMethod, reusing one TfRunner across the sweep.
@@ -169,13 +177,15 @@ struct FigureCurve {
   double eta = 1.1;  ///< PB safety margin (paper: 1.1 or 1.2 by k)
 };
 
-/// Runs one full figure: generate the dataset, then for each curve mine
-/// ground truth and sweep PB and TF over the ε grid; print both panels.
+/// Runs one full figure through the Engine: generate the dataset once
+/// into a shared handle, then for each curve mine ground truth (cached on
+/// the handle, index shared across curves) and sweep PB and TF over the ε
+/// grid; print both panels.
 inline void RunFigure(const std::string& title,
                       const SyntheticProfile& profile,
                       const std::vector<FigureCurve>& curves,
                       const std::vector<double>& eps_grid) {
-  TransactionDatabase db = MakeDataset(profile);
+  std::shared_ptr<Dataset> dataset = Dataset::Create(MakeDataset(profile));
   SweepConfig config;
   config.epsilons = eps_grid;
   config.repeats = BenchRepeats();
@@ -183,9 +193,9 @@ inline void RunFigure(const std::string& title,
   std::vector<SweepSeries> all_series;
   for (const auto& curve : curves) {
     WallTimer timer;
-    GroundTruth truth =
-        Unwrap(ComputeGroundTruth(db, curve.k), "ComputeGroundTruth");
-    TopKStats stats = truth.stats;
+    std::shared_ptr<const GroundTruth> truth =
+        Unwrap(dataset->Truth(curve.k), "Dataset::Truth");
+    TopKStats stats = truth->stats;
     std::printf("[truth] k=%zu lambda=%u lambda2=%u lambda3=%u fk*N=%llu "
                 "(%.2fs)\n",
                 curve.k, stats.lambda, stats.lambda2, stats.lambda3,
@@ -202,17 +212,19 @@ inline void RunFigure(const std::string& title,
                            ",lam=" + std::to_string(stats.lambda);
     timer.Reset();
     all_series.push_back(Unwrap(
-        RunEpsilonSweep(pb_label, PbMethod(db, curve.k, truth, pb_options),
-                        truth, config),
+        RunEpsilonSweep(pb_label, PbMethod(dataset, curve.k, pb_options),
+                        *truth, config),
         "PB sweep"));
     EmitJsonTiming("sweep", timer.ElapsedSeconds(),
                    {{"dataset", profile.name}, {"series", pb_label}});
 
     timer.Reset();
-    TfOptions tf_options;
-    tf_options.m = curve.tf_m;
-    auto tf_runner = std::make_shared<TfRunner>(
-        Unwrap(TfRunner::Create(db, curve.k, tf_options), "TfRunner"));
+    QuerySpec tf_spec;
+    tf_spec.method = QueryMethod::kTruncatedFrequency;
+    tf_spec.k = curve.k;
+    tf_spec.tf.m = curve.tf_m;
+    auto tf_runner =
+        Unwrap(dataset->Tf(curve.k, tf_spec.tf), "Dataset::Tf");
     std::printf("[tf] k=%zu m=%zu explicit=%zu floor=%llu (%.2fs)\n",
                 curve.k, curve.tf_m, tf_runner->num_explicit(),
                 static_cast<unsigned long long>(tf_runner->floor_support()),
@@ -226,7 +238,8 @@ inline void RunFigure(const std::string& title,
                            ",m=" + std::to_string(curve.tf_m);
     timer.Reset();
     all_series.push_back(Unwrap(
-        RunEpsilonSweep(tf_label, TfMethod(tf_runner), truth, config),
+        RunEpsilonSweep(tf_label, EngineMethod(dataset, tf_spec), *truth,
+                        config),
         "TF sweep"));
     EmitJsonTiming("sweep", timer.ElapsedSeconds(),
                    {{"dataset", profile.name}, {"series", tf_label}});

@@ -1,19 +1,18 @@
 // Privacy amplification by subsampling: spend a larger mechanism budget
-// on a Poisson q-subsample while meeting the same end-to-end ε.
+// on a Poisson q-subsample while meeting the same end-to-end ε — one
+// QuerySpec knob on the Engine.
 //
 // On large datasets the subsample's binomial error can be much smaller
 // than the Laplace noise the amplified budget saves — this example
-// measures the trade on a kosarak-style clickstream.
+// measures the trade on a kosarak-style clickstream, with every variant
+// metered against the same Dataset ledger.
 //
 //   ./amplification
 #include <cstdio>
 
-#include "common/rng.h"
-#include "core/amplified.h"
-#include "core/privbasis.h"
 #include "data/synthetic.h"
 #include "dp/amplification.h"
-#include "eval/ground_truth.h"
+#include "engine/engine.h"
 #include "eval/metrics.h"
 
 int main() {
@@ -21,55 +20,58 @@ int main() {
   const size_t k = 100;
   const double epsilon = 0.4;
 
-  auto db = GenerateDataset(SyntheticProfile::Kosarak(/*scale=*/0.2), 88);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+  auto dataset =
+      Dataset::FromProfile(SyntheticProfile::Kosarak(/*scale=*/0.2), 88);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
+  const Dataset& ds = **dataset;
   std::printf("Clickstream: %zu sessions; end-to-end budget epsilon=%.2f\n\n",
-              db->NumTransactions(), epsilon);
+              ds.db().NumTransactions(), epsilon);
 
-  auto truth = ComputeGroundTruth(*db, k);
+  auto truth = ds.Truth(k);
   if (!truth.ok()) {
     std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("%-22s %-10s %-8s %-8s\n", "configuration", "mech eps",
-              "FNR", "RE");
+  std::printf("%-22s %-10s %-8s %-8s %-10s\n", "configuration", "mech eps",
+              "FNR", "RE", "eps spent");
   // Baseline: the whole dataset at epsilon.
   {
-    PrivBasisOptions options;
-    options.fk1_support_hint = truth->fk1_support_eta11;
-    Rng rng(1);
-    auto result = RunPrivBasis(*db, k, epsilon, rng, options);
-    if (!result.ok()) return 1;
-    UtilityMetrics m =
-        ComputeUtility(truth->topk.itemsets, result->topk, *truth->index);
-    std::printf("%-22s %-10.3f %-8.3f %-8.3f\n", "full data", epsilon,
-                m.fnr, m.relative_error);
+    auto release = Engine::Run(
+        ds, QuerySpec().WithTopK(k).WithEpsilon(epsilon).WithSeed(1));
+    if (!release.ok()) return 1;
+    UtilityMetrics m = ComputeUtility((*truth)->topk.itemsets,
+                                      release->itemsets, *(*truth)->index);
+    std::printf("%-22s %-10.3f %-8.3f %-8.3f %-10.3f\n", "full data",
+                epsilon, m.fnr, m.relative_error, release->epsilon_spent);
   }
   // Subsampled variants: smaller q buys a bigger mechanism budget.
   for (double q : {0.75, 0.5, 0.25}) {
-    AmplifiedOptions options;
-    options.sampling_rate = q;
-    Rng rng(static_cast<uint64_t>(q * 1000));
-    auto result = RunPrivBasisSubsampled(*db, k, epsilon, rng, options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    auto release = Engine::Run(
+        ds, QuerySpec()
+                .WithTopK(k)
+                .WithEpsilon(epsilon)
+                .WithAmplification(q)
+                .WithSeed(static_cast<uint64_t>(q * 1000)));
+    if (!release.ok()) {
+      std::fprintf(stderr, "%s\n", release.status().ToString().c_str());
       return 1;
     }
-    UtilityMetrics m =
-        ComputeUtility(truth->topk.itemsets, result->topk, *truth->index);
+    UtilityMetrics m = ComputeUtility((*truth)->topk.itemsets,
+                                      release->itemsets, *(*truth)->index);
     char label[32];
     std::snprintf(label, sizeof(label), "q=%.2f subsample", q);
-    std::printf("%-22s %-10.3f %-8.3f %-8.3f\n", label,
+    std::printf("%-22s %-10.3f %-8.3f %-8.3f %-10.3f\n", label,
                 MechanismEpsilonForTarget(q, epsilon), m.fnr,
-                m.relative_error);
+                m.relative_error, release->epsilon_spent);
   }
   std::printf(
       "\nAll rows satisfy the same end-to-end %.2f-DP guarantee; the\n"
-      "subsampled rows trade sampling error for reduced Laplace noise.\n",
-      epsilon);
+      "subsampled rows trade sampling error for reduced Laplace noise.\n"
+      "Ledger total across the four queries: %.3f\n",
+      epsilon, ds.accountant()->spent_epsilon());
   return 0;
 }

@@ -1,73 +1,63 @@
 // Clickstream scenario (kosarak-style): publish all page-sets visited by
 // more than a θ fraction of sessions — the threshold flavour of the FIM
-// problem. The paper reduces it to top-k (§4: pick k so that fk ≥ θ >
-// f_{k+1}); this example shows that reduction plus a look inside the
-// multi-basis machinery.
+// problem, served by the Engine's threshold mode (the paper's §4
+// reduction to top-k plus a post-processing filter on noisy
+// frequencies). Also a look inside the multi-basis machinery.
 //
 //   ./clickstream
 #include <cstdio>
 
-#include "common/rng.h"
-#include "core/privbasis.h"
 #include "data/synthetic.h"
-#include "fim/topk.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace privbasis;
   const double theta = 0.02;  // "frequent" = in >= 2% of sessions
   const double epsilon = 1.0;
 
-  auto db = GenerateDataset(SyntheticProfile::Kosarak(/*scale=*/0.05), 77);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+  auto dataset =
+      Dataset::FromProfile(SyntheticProfile::Kosarak(/*scale=*/0.05), 77);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  const double n = static_cast<double>(db->NumTransactions());
-  std::printf("Clickstream: %zu sessions over %u pages; theta = %.3f\n",
-              db->NumTransactions(), db->UniverseSize(), theta);
+  const Dataset& ds = **dataset;
+  const double n = static_cast<double>(ds.db().NumTransactions());
+  std::printf("Clickstream: %zu sessions over %u pages; theta = %.3f\n\n",
+              ds.db().NumTransactions(), ds.db().UniverseSize(), theta);
 
-  // Threshold -> k reduction. (This step uses the exact data; a fully
-  // private deployment would estimate k from a noisy prefix — the paper
-  // treats the conversion as given.)
-  const uint64_t theta_count = static_cast<uint64_t>(theta * n);
-  size_t k = 0;
-  {
-    auto probe = MineTopK(*db, 2000);
-    if (!probe.ok()) return 1;
-    for (const auto& fi : probe->itemsets) {
-      if (fi.support >= theta_count) ++k;
-    }
-  }
-  std::printf("Reduction: %zu itemsets sit above theta -> k = %zu\n\n", k, k);
-
-  Rng rng(31337);
-  auto result = RunPrivBasis(*db, k, epsilon, rng);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+  // Threshold mode: the Engine runs the top-k machinery at the candidate
+  // cap and keeps releases whose *noisy* frequency clears θ — a pure
+  // post-processing filter, so the privacy cost is one PrivBasis run.
+  auto release = Engine::Run(
+      ds, QuerySpec()
+              .WithThreshold(theta, /*k_cap=*/400)
+              .WithEpsilon(epsilon)
+              .WithSeed(31337));
+  if (!release.ok()) {
+    std::fprintf(stderr, "%s\n", release.status().ToString().c_str());
     return 1;
   }
 
   // Inspect the basis set PrivBasis chose: the dimensionality reduction
   // at the heart of the method.
-  std::printf("lambda = %u, lambda2 = %u\n", result->lambda,
-              result->lambda2);
+  std::printf("lambda = %u, lambda2 = %u\n", release->lambda,
+              release->lambda2);
   std::printf("basis set: w = %zu, max length = %zu\n",
-              result->basis_set.Width(), result->basis_set.Length());
-  for (size_t i = 0; i < std::min<size_t>(result->basis_set.Width(), 8); ++i) {
+              release->basis_set.Width(), release->basis_set.Length());
+  for (size_t i = 0; i < std::min<size_t>(release->basis_set.Width(), 8);
+       ++i) {
     std::printf("  B%zu = %s\n", i + 1,
-                result->basis_set.basis(i).ToString().c_str());
+                release->basis_set.basis(i).ToString().c_str());
   }
-  if (result->basis_set.Width() > 8) std::printf("  ...\n");
+  if (release->basis_set.Width() > 8) std::printf("  ...\n");
 
-  // Keep only releases whose *noisy* frequency clears theta.
-  size_t kept = 0;
-  for (const auto& itemset : result->topk) {
-    if (itemset.noisy_count >= static_cast<double>(theta_count)) ++kept;
-  }
-  std::printf("\nReleased %zu itemsets with noisy frequency >= theta "
-              "(of %zu candidates released)\n", kept, result->topk.size());
-  for (size_t i = 0; i < std::min<size_t>(result->topk.size(), 10); ++i) {
-    const auto& itemset = result->topk[i];
+  std::printf("\nReleased %zu page-sets with noisy frequency >= theta "
+              "(epsilon spent %.3f)\n",
+              release->itemsets.size(), release->epsilon_spent);
+  for (size_t i = 0; i < std::min<size_t>(release->itemsets.size(), 10);
+       ++i) {
+    const auto& itemset = release->itemsets[i];
     std::printf("  %-20s noisy f = %.4f\n", itemset.items.ToString().c_str(),
                 itemset.noisy_count / n);
   }

@@ -4,71 +4,71 @@
 //
 // The example walks the full decision a practitioner faces:
 //   1. mine the exact (non-private) top-k as the yardstick,
-//   2. release under several privacy budgets,
+//   2. release under several privacy budgets through one shared Dataset,
 //   3. measure what each budget costs in FNR / relative error,
 //   4. inspect which co-purchase patterns survived.
 //
 //   ./market_basket
 #include <cstdio>
 
-#include "common/rng.h"
-#include "core/privbasis.h"
 #include "data/synthetic.h"
-#include "eval/ground_truth.h"
+#include "engine/engine.h"
 #include "eval/metrics.h"
 
 int main() {
   using namespace privbasis;
   const size_t k = 50;
 
-  auto db = GenerateDataset(SyntheticProfile::Retail(/*scale=*/0.4), 2024);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+  auto dataset =
+      Dataset::FromProfile(SyntheticProfile::Retail(/*scale=*/0.4), 2024);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
+  const Dataset& ds = **dataset;
   std::printf("Retail-style dataset: %zu receipts, %u products\n",
-              db->NumTransactions(), db->UniverseSize());
+              ds.db().NumTransactions(), ds.db().UniverseSize());
 
-  // 1. The exact answer (what we could publish with no privacy at all).
-  auto truth = ComputeGroundTruth(*db, k);
+  // 1. The exact answer (what we could publish with no privacy at all),
+  //    cached on the handle — every query below reuses this mining pass.
+  auto truth = ds.Truth(k);
   if (!truth.ok()) {
     std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
     return 1;
   }
   std::printf("Exact top-%zu: lambda=%u items, %u pairs, %u triples\n\n", k,
-              truth->stats.lambda, truth->stats.lambda2,
-              truth->stats.lambda3);
+              (*truth)->stats.lambda, (*truth)->stats.lambda2,
+              (*truth)->stats.lambda3);
 
-  // 2./3. Private releases across budgets.
-  PrivBasisOptions options;
-  options.fk1_support_hint = truth->fk1_support_eta11;
+  // 2./3. Private releases across budgets — one QuerySpec, varied ε.
   std::printf("%-8s %-8s %-8s %-10s %s\n", "epsilon", "FNR", "RE", "basisW",
               "basisLen");
   for (double epsilon : {0.25, 0.5, 1.0, 2.0}) {
-    Rng rng(900 + static_cast<uint64_t>(epsilon * 100));
-    auto result = RunPrivBasis(*db, k, epsilon, rng, options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    QuerySpec spec = QuerySpec().WithTopK(k).WithEpsilon(epsilon).WithSeed(
+        900 + static_cast<uint64_t>(epsilon * 100));
+    auto release = Engine::Run(ds, spec);
+    if (!release.ok()) {
+      std::fprintf(stderr, "%s\n", release.status().ToString().c_str());
       return 1;
     }
-    UtilityMetrics m =
-        ComputeUtility(truth->topk.itemsets, result->topk, *truth->index);
+    UtilityMetrics m = ComputeUtility((*truth)->topk.itemsets,
+                                      release->itemsets, *(*truth)->index);
     std::printf("%-8.2f %-8.3f %-8.3f %-10zu %zu\n", epsilon, m.fnr,
-                m.relative_error, result->basis_set.Width(),
-                result->basis_set.Length());
+                m.relative_error, release->basis_set.Width(),
+                release->basis_set.Length());
   }
 
   // 4. The patterns a moderate budget actually preserves.
-  Rng rng(4242);
-  auto release = RunPrivBasis(*db, k, 1.0, rng, options);
+  auto release =
+      Engine::Run(ds, QuerySpec().WithTopK(k).WithEpsilon(1.0).WithSeed(4242));
   if (!release.ok()) return 1;
-  double n = static_cast<double>(db->NumTransactions());
+  double n = static_cast<double>(ds.db().NumTransactions());
   std::printf("\nCo-purchase patterns (size >= 2) released at epsilon=1:\n");
-  for (const auto& itemset : release->topk) {
+  for (const auto& itemset : release->itemsets) {
     if (itemset.items.size() < 2) continue;
     std::printf("  %-24s noisy f = %.4f  (exact %.4f)\n",
                 itemset.items.ToString().c_str(), itemset.noisy_count / n,
-                truth->index->FrequencyOf(itemset.items));
+                (*truth)->index->FrequencyOf(itemset.items));
   }
   return 0;
 }

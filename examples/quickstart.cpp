@@ -1,43 +1,53 @@
-// Quickstart: release the top-20 frequent itemsets of a small transaction
-// dataset under 1.0-differential privacy, in ~30 lines.
+// Quickstart: the canonical Engine example — release the top-20 frequent
+// itemsets of a small transaction dataset under 1.0-differential privacy.
 //
 //   ./quickstart
 #include <cstdio>
 
-#include "common/rng.h"
-#include "core/privbasis.h"
 #include "data/synthetic.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace privbasis;
 
-  // 1. Get a dataset. Any TransactionDatabase works — build one with
-  //    TransactionDatabase::Builder, load FIMI text with ReadFimiFile, or
-  //    generate a synthetic one as here.
-  auto db = GenerateDataset(SyntheticProfile::Mushroom(/*scale=*/0.5),
-                            /*seed=*/42);
-  if (!db.ok()) {
-    std::fprintf(stderr, "dataset: %s\n", db.status().ToString().c_str());
+  // 1. Open a Dataset handle. Any source works — take ownership of a
+  //    TransactionDatabase with Dataset::Create, load FIMI text with
+  //    Dataset::FromFimiFile, or generate a synthetic profile as here.
+  //    The handle owns the privacy-budget ledger: this dataset may spend
+  //    at most ε = 3.0 across ALL queries, ever.
+  auto dataset = Dataset::FromProfile(SyntheticProfile::Mushroom(0.5),
+                                      /*seed=*/42, {.total_epsilon = 3.0});
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
     return 1;
   }
 
-  // 2. Run PrivBasis: top k = 20 itemsets with total privacy budget
-  //    epsilon = 1.0. All randomness flows through an explicit Rng.
-  Rng rng(7);
-  auto result = RunPrivBasis(*db, /*k=*/20, /*epsilon=*/1.0, rng);
-  if (!result.ok()) {
-    std::fprintf(stderr, "privbasis: %s\n",
-                 result.status().ToString().c_str());
+  // 2. Run a query: top k = 20 itemsets with budget ε = 1.0 drawn from
+  //    the dataset's ledger. The spec validates centrally; all
+  //    randomness derives from the seed, so reruns are bit-identical.
+  auto release = Engine::Run(
+      *dataset, QuerySpec().WithTopK(20).WithEpsilon(1.0).WithSeed(7));
+  if (!release.ok()) {
+    std::fprintf(stderr, "query: %s\n", release.status().ToString().c_str());
     return 1;
   }
 
   // 3. Use the release. Noisy frequencies = noisy_count / N.
-  double n = static_cast<double>(db->NumTransactions());
-  std::printf("lambda=%u  basis: %s\n", result->lambda,
-              result->basis_set.ToString().c_str());
-  for (const auto& itemset : result->topk) {
+  double n = static_cast<double>((*dataset)->db().NumTransactions());
+  std::printf("lambda=%u  basis: %s\n", release->lambda,
+              release->basis_set.ToString().c_str());
+  for (const auto& itemset : release->itemsets) {
     std::printf("  %-24s noisy f = %.4f\n", itemset.items.ToString().c_str(),
                 itemset.noisy_count / n);
   }
+
+  // 4. The ledger metered the spend: a second identical query costs
+  //    another 1.0, and the Engine refuses (kBudgetExhausted) once the
+  //    dataset's 3.0 runs dry — no silent over-spending.
+  std::printf("budget: spent %.2f of %.2f, %.2f remaining\n",
+              release->epsilon_spent_total,
+              (*dataset)->accountant()->total_epsilon(),
+              release->epsilon_remaining);
   return 0;
 }

@@ -1,17 +1,15 @@
 // Search-log scenario (AOL-style): the λ ≈ k regime where nearly all top
 // itemsets are single keywords. This is the paper's Figure 5 setting —
 // the one place the TF baseline is competitive — so the example runs both
-// methods side by side and prints the (small) gap.
+// methods side by side through one Engine facade (the TF preprocessing is
+// cached on the Dataset handle and reused across every ε) and prints the
+// (small) gap.
 //
 //   ./search_log
 #include <cstdio>
-#include <memory>
 
-#include "baseline/tf.h"
-#include "common/rng.h"
-#include "core/privbasis.h"
 #include "data/synthetic.h"
-#include "eval/ground_truth.h"
+#include "engine/engine.h"
 #include "eval/metrics.h"
 
 int main() {
@@ -20,56 +18,54 @@ int main() {
 
   // Note: the AOL regime needs a large N — the top-200 frequency cutoff
   // is ~0.02, and at small scale the DP noise would swamp it entirely.
-  auto db = GenerateDataset(SyntheticProfile::Aol(/*scale=*/0.4), 555);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+  auto dataset =
+      Dataset::FromProfile(SyntheticProfile::Aol(/*scale=*/0.4), 555);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
+  const Dataset& ds = **dataset;
   std::printf("Search log: %zu users, %u distinct keywords\n",
-              db->NumTransactions(), db->UniverseSize());
+              ds.db().NumTransactions(), ds.db().UniverseSize());
 
-  auto truth = ComputeGroundTruth(*db, k);
+  auto truth = ds.Truth(k);
   if (!truth.ok()) {
     std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
     return 1;
   }
   std::printf("Exact top-%zu: lambda = %u (nearly all singletons), "
               "%u pairs, %u triples\n\n",
-              k, truth->stats.lambda, truth->stats.lambda2,
-              truth->stats.lambda3);
+              k, (*truth)->stats.lambda, (*truth)->stats.lambda2,
+              (*truth)->stats.lambda3);
 
   // TF degenerates gracefully here: m = 1 turns it into private frequent-
-  // keyword mining over the full 2.3M-keyword candidate space.
-  TfOptions tf_options;
-  tf_options.m = 1;
-  auto tf_runner = TfRunner::Create(*db, k, tf_options);
-  if (!tf_runner.ok()) {
-    std::fprintf(stderr, "%s\n", tf_runner.status().ToString().c_str());
-    return 1;
-  }
-
-  PrivBasisOptions pb_options;
-  pb_options.fk1_support_hint = truth->fk1_support_eta11;
+  // keyword mining over the full keyword candidate space. The expensive
+  // TfRunner preprocessing is built once, on first use, on the handle.
+  QuerySpec tf_spec;
+  tf_spec.WithMethod(QueryMethod::kTruncatedFrequency).WithTopK(k);
+  tf_spec.tf.m = 1;
 
   std::printf("%-8s | %-10s %-10s | %-10s %-10s\n", "epsilon", "PB FNR",
               "PB RE", "TF FNR", "TF RE");
   for (double epsilon : {0.5, 0.75, 1.0}) {
-    Rng rng(1000 + static_cast<uint64_t>(epsilon * 100));
-    auto pb = RunPrivBasis(*db, k, epsilon, rng, pb_options);
+    const uint64_t seed = 1000 + static_cast<uint64_t>(epsilon * 100);
+    auto pb = Engine::Run(
+        ds, QuerySpec().WithTopK(k).WithEpsilon(epsilon).WithSeed(seed));
     if (!pb.ok()) {
       std::fprintf(stderr, "%s\n", pb.status().ToString().c_str());
       return 1;
     }
-    UtilityMetrics pb_m =
-        ComputeUtility(truth->topk.itemsets, pb->topk, *truth->index);
+    UtilityMetrics pb_m = ComputeUtility((*truth)->topk.itemsets,
+                                         pb->itemsets, *(*truth)->index);
 
-    auto tf = tf_runner->Run(epsilon, rng);
+    auto tf = Engine::Run(
+        ds, QuerySpec(tf_spec).WithEpsilon(epsilon).WithSeed(seed + 1));
     if (!tf.ok()) {
       std::fprintf(stderr, "%s\n", tf.status().ToString().c_str());
       return 1;
     }
-    UtilityMetrics tf_m =
-        ComputeUtility(truth->topk.itemsets, tf->released, *truth->index);
+    UtilityMetrics tf_m = ComputeUtility((*truth)->topk.itemsets,
+                                         tf->itemsets, *(*truth)->index);
 
     std::printf("%-8.2f | %-10.3f %-10.3f | %-10.3f %-10.3f\n", epsilon,
                 pb_m.fnr, pb_m.relative_error, tf_m.fnr,

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kIoError = 5,
   kResourceExhausted = 6,
   kInternal = 7,
+  /// A privacy-budget ledger would be overdrawn by the requested spend.
+  kBudgetExhausted = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -62,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

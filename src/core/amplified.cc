@@ -4,9 +4,11 @@
 
 namespace privbasis {
 
-Result<PrivBasisResult> RunPrivBasisSubsampled(
+namespace detail {
+
+Result<PrivBasisResult> RunPrivBasisSubsampledImpl(
     const TransactionDatabase& db, size_t k, double epsilon, Rng& rng,
-    const AmplifiedOptions& options) {
+    const AmplifiedOptions& options, PrivacyAccountant& accountant) {
   if (!(epsilon > 0.0)) {
     return Status::InvalidArgument("epsilon must be > 0");
   }
@@ -20,16 +22,38 @@ Result<PrivBasisResult> RunPrivBasisSubsampled(
   const double mechanism_epsilon = MechanismEpsilonForTarget(q, epsilon);
   PrivBasisOptions base = options.base;
   base.fk1_support_hint = 0;  // must be computed on the subsample
+  // The subsample run spends against its own mechanism-budget ledger;
+  // only the amplified end-to-end ε is charged to the caller's.
+  PrivacyAccountant mechanism_accountant(mechanism_epsilon);
   PRIVBASIS_ASSIGN_OR_RETURN(
       PrivBasisResult result,
-      RunPrivBasis(sample, k, mechanism_epsilon, rng, base));
+      RunPrivBasisImpl(sample, k, mechanism_epsilon, rng, base,
+                       mechanism_accountant));
   // Rescale counts from the subsample to the full dataset.
   for (auto& itemset : result.topk) {
     itemset.noisy_count /= q;
   }
-  // Report the end-to-end guarantee, not the per-run mechanism budget.
-  result.epsilon_spent = AmplifiedEpsilon(q, result.epsilon_spent);
+  // Charge (and report) the end-to-end guarantee, not the per-run
+  // mechanism budget — read back from the ledger, not recomputed.
+  const double amplified =
+      AmplifiedEpsilon(q, mechanism_accountant.spent_epsilon());
+  PRIVBASIS_RETURN_NOT_OK(accountant.Consume(
+      amplified, "PrivBasis(subsampled q=" + std::to_string(q) + ")"));
+  result.epsilon_spent = accountant.spent_epsilon();
   return result;
+}
+
+}  // namespace detail
+
+Result<PrivBasisResult> RunPrivBasisSubsampled(
+    const TransactionDatabase& db, size_t k, double epsilon, Rng& rng,
+    const AmplifiedOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  PrivacyAccountant accountant(epsilon);
+  return detail::RunPrivBasisSubsampledImpl(db, k, epsilon, rng, options,
+                                            accountant);
 }
 
 }  // namespace privbasis

@@ -88,23 +88,51 @@ std::vector<uint64_t> CountPairSupports(const TransactionDatabase& db,
   return counts;
 }
 
-Result<PrivBasisResult> RunPrivBasis(const TransactionDatabase& db, size_t k,
-                                     double epsilon, Rng& rng,
-                                     const PrivBasisOptions& options) {
+Status ValidatePrivBasisOptions(size_t k, double epsilon,
+                                const PrivBasisOptions& options) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be > 0");
-  const double alpha_sum =
-      options.alpha1 + options.alpha2 + options.alpha3;
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be > 0 and finite");
+  }
+  const double alpha_sum = options.alpha1 + options.alpha2 + options.alpha3;
   if (options.alpha1 <= 0 || options.alpha2 <= 0 || options.alpha3 <= 0 ||
       alpha_sum > 1.0 + 1e-9) {
     return Status::InvalidArgument(
         "alpha1, alpha2, alpha3 must be positive and sum to at most 1");
   }
+  if (options.eta < 1.0) {
+    return Status::InvalidArgument(
+        "eta must be >= 1 (GetLambda targets the ceil(eta*k)-th itemset)");
+  }
+  if (options.max_basis_length == 0) {
+    return Status::InvalidArgument("max_basis_length must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<PrivBasisResult> RunPrivBasis(const TransactionDatabase& db, size_t k,
+                                     double epsilon, Rng& rng,
+                                     const PrivBasisOptions& options) {
+  // The impl validates (k, ε, options); a bad ε only reaches the
+  // accountant ctor's assert via the impl path, so guard it here.
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be > 0 and finite");
+  }
+  PrivacyAccountant accountant(epsilon);
+  return detail::RunPrivBasisImpl(db, k, epsilon, rng, options, accountant);
+}
+
+namespace detail {
+
+Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,
+                                         size_t k, double epsilon, Rng& rng,
+                                         const PrivBasisOptions& options,
+                                         PrivacyAccountant& accountant) {
+  PRIVBASIS_RETURN_NOT_OK(ValidatePrivBasisOptions(k, epsilon, options));
   if (db.NumTransactions() == 0 || db.UniverseSize() == 0) {
     return Status::InvalidArgument("empty database");
   }
 
-  PrivacyAccountant accountant(epsilon);
   PrivBasisResult result;
 
   // Step 1: λ.
@@ -214,5 +242,7 @@ Result<PrivBasisResult> RunPrivBasis(const TransactionDatabase& db, size_t k,
   result.epsilon_spent = accountant.spent_epsilon();
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace privbasis

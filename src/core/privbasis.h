@@ -21,6 +21,7 @@
 #include "core/basis.h"
 #include "core/basis_freq.h"
 #include "data/transaction_db.h"
+#include "dp/budget.h"
 #include "fim/miner.h"
 
 namespace privbasis {
@@ -70,10 +71,36 @@ struct PrivBasisResult {
   double epsilon_spent = 0;  ///< total privacy budget actually consumed
 };
 
+/// Validates the (k, ε, options) triple of one PrivBasis query: k ≥ 1,
+/// ε > 0 and finite, α1/α2/α3 positive with α1+α2+α3 ≤ 1, η ≥ 1, and
+/// max_basis_length ≥ 1. The single source of truth for option checks —
+/// QuerySpec::Validate, the Engine, and the deprecated free functions all
+/// route through it.
+Status ValidatePrivBasisOptions(size_t k, double epsilon,
+                                const PrivBasisOptions& options);
+
+/// DEPRECATED: thin wrapper kept for one PR — new code should go through
+/// `Engine::Run(dataset, QuerySpec)` (engine/engine.h), which shares the
+/// per-dataset caches and meters ε against the dataset's Accountant.
+///
 /// Runs Algorithm 3 with total privacy budget `epsilon`.
 Result<PrivBasisResult> RunPrivBasis(const TransactionDatabase& db, size_t k,
                                      double epsilon, Rng& rng,
                                      const PrivBasisOptions& options = {});
+
+namespace detail {
+
+/// Mechanism implementation behind RunPrivBasis and Engine::Run: every ε
+/// expenditure is drawn from `accountant`, which must be a fresh
+/// run-scoped ledger with at least `epsilon` of headroom (the wrappers
+/// construct one per call). `result.epsilon_spent` is read back from the
+/// accountant, never recomputed.
+Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,
+                                         size_t k, double epsilon, Rng& rng,
+                                         const PrivBasisOptions& options,
+                                         PrivacyAccountant& accountant);
+
+}  // namespace detail
 
 // --- exposed sub-steps (unit-tested individually) ----------------------
 

@@ -4,6 +4,18 @@
 
 namespace privbasis {
 
+namespace detail {
+
+void FilterByNoisyThreshold(double theta, size_t num_transactions,
+                            std::vector<NoisyItemset>* released) {
+  const double theta_count = theta * static_cast<double>(num_transactions);
+  std::erase_if(*released, [theta_count](const NoisyItemset& itemset) {
+    return itemset.noisy_count < theta_count;
+  });
+}
+
+}  // namespace detail
+
 Result<PrivBasisResult> RunPrivBasisThreshold(
     const TransactionDatabase& db, double theta, size_t k_cap,
     double epsilon, Rng& rng, const PrivBasisOptions& options) {
@@ -15,13 +27,7 @@ Result<PrivBasisResult> RunPrivBasisThreshold(
   }
   PRIVBASIS_ASSIGN_OR_RETURN(
       PrivBasisResult result, RunPrivBasis(db, k_cap, epsilon, rng, options));
-  const double theta_count =
-      theta * static_cast<double>(db.NumTransactions());
-  // Post-processing filter on the already-released noisy counts: no
-  // additional privacy cost.
-  std::erase_if(result.topk, [theta_count](const NoisyItemset& itemset) {
-    return itemset.noisy_count < theta_count;
-  });
+  detail::FilterByNoisyThreshold(theta, db.NumTransactions(), &result.topk);
   return result;
 }
 

@@ -11,6 +11,9 @@
 
 namespace privbasis {
 
+/// DEPRECATED: thin wrapper kept for one PR — new code should go through
+/// `Engine::Run` with `QuerySpec::WithThreshold` (engine/engine.h).
+///
 /// Releases itemsets with noisy frequency ≥ theta under ε-DP.
 ///
 /// `k_cap` bounds the candidate release the filter operates on (it plays
@@ -20,6 +23,16 @@ namespace privbasis {
 Result<PrivBasisResult> RunPrivBasisThreshold(
     const TransactionDatabase& db, double theta, size_t k_cap,
     double epsilon, Rng& rng, const PrivBasisOptions& options = {});
+
+namespace detail {
+
+/// The θ post-processing filter shared by the wrapper and the Engine:
+/// drops released itemsets whose noisy count falls below θ·N. Pure
+/// post-processing on an already-released answer — no privacy cost.
+void FilterByNoisyThreshold(double theta, size_t num_transactions,
+                            std::vector<NoisyItemset>* released);
+
+}  // namespace detail
 
 }  // namespace privbasis
 

@@ -5,12 +5,6 @@
 
 namespace privbasis {
 
-namespace {
-// Relative slack for accumulated floating-point error in budget splits
-// (e.g. α1 + α2 + α3 intended to sum to exactly 1).
-constexpr double kTolerance = 1e-9;
-}  // namespace
-
 PrivacyAccountant::PrivacyAccountant(double total_epsilon)
     : total_(total_epsilon) {
   assert(total_epsilon > 0.0);
@@ -21,8 +15,8 @@ Status PrivacyAccountant::Consume(double epsilon, const std::string& label) {
     return Status::InvalidArgument("epsilon must be positive and finite: " +
                                    label);
   }
-  if (spent_ + epsilon > total_ * (1.0 + kTolerance)) {
-    return Status::FailedPrecondition(
+  if (spent_ + epsilon > total_ * (1.0 + kBudgetTolerance)) {
+    return Status::BudgetExhausted(
         "privacy budget exceeded by '" + label + "': spent " +
         std::to_string(spent_) + " + " + std::to_string(epsilon) + " > " +
         std::to_string(total_));

@@ -12,6 +12,13 @@
 
 namespace privbasis {
 
+/// Relative slack every budget ledger allows for accumulated
+/// floating-point error in ε splits (e.g. α1 + α2 + α3 intended to sum
+/// to exactly 1). Shared by PrivacyAccountant and the Engine's
+/// Accountant so a spend one ledger accepts is never rejected by the
+/// other.
+inline constexpr double kBudgetTolerance = 1e-9;
+
 /// Tracks consumption of a fixed ε budget. Not thread-safe (experiments
 /// are single-threaded per run).
 class PrivacyAccountant {

@@ -1,0 +1,108 @@
+#include "engine/accountant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "dp/budget.h"
+
+namespace privbasis {
+
+Accountant::Accountant(double total_epsilon) : total_(total_epsilon) {
+  assert(total_epsilon > 0.0);
+}
+
+Result<BudgetLease> Accountant::Acquire(double epsilon, std::string label) {
+  if (!(epsilon > 0.0) || std::isinf(epsilon) || std::isnan(epsilon)) {
+    return Status::InvalidArgument(
+        "budget reservation must be positive and finite: " + label);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spent_ + reserved_ + epsilon > total_ * (1.0 + kBudgetTolerance)) {
+    return Status::BudgetExhausted(
+        "privacy budget exhausted by '" + label + "': spent " +
+        std::to_string(spent_) + " + reserved " + std::to_string(reserved_) +
+        " + " + std::to_string(epsilon) + " > total " +
+        std::to_string(total_));
+  }
+  reserved_ += epsilon;
+  return BudgetLease(this, epsilon, std::move(label));
+}
+
+double Accountant::spent_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_;
+}
+
+double Accountant::remaining_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - spent_ - reserved_;
+}
+
+double Accountant::reserved_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_;
+}
+
+std::vector<Accountant::Entry> Accountant::ledger() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void Accountant::CommitReservation(double reserved, double actual,
+                                   const std::string& label,
+                                   std::vector<Entry> breakdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ -= reserved;
+  spent_ += actual;
+  if (breakdown.empty()) {
+    entries_.push_back(Entry{label, actual});
+  } else {
+    for (auto& entry : breakdown) {
+      entry.label = label + "/" + entry.label;
+      entries_.push_back(std::move(entry));
+    }
+  }
+}
+
+BudgetLease::BudgetLease(Accountant* accountant, double reserved,
+                         std::string label)
+    : accountant_(accountant), reserved_(reserved), label_(std::move(label)) {}
+
+BudgetLease::BudgetLease(BudgetLease&& other) noexcept
+    : accountant_(std::exchange(other.accountant_, nullptr)),
+      reserved_(other.reserved_),
+      label_(std::move(other.label_)) {}
+
+BudgetLease& BudgetLease::operator=(BudgetLease&& other) noexcept {
+  if (this != &other) {
+    if (accountant_ != nullptr) {
+      accountant_->CommitReservation(reserved_, reserved_,
+                                     label_ + " (aborted)", {});
+    }
+    accountant_ = std::exchange(other.accountant_, nullptr);
+    reserved_ = other.reserved_;
+    label_ = std::move(other.label_);
+  }
+  return *this;
+}
+
+BudgetLease::~BudgetLease() {
+  if (accountant_ != nullptr) {
+    // Fail-safe: an uncommitted lease charges its full reservation.
+    accountant_->CommitReservation(reserved_, reserved_,
+                                   label_ + " (aborted)", {});
+  }
+}
+
+void BudgetLease::Commit(double actual,
+                         std::vector<Accountant::Entry> breakdown) {
+  if (accountant_ == nullptr) return;
+  actual = std::min(actual, reserved_);
+  accountant_->CommitReservation(reserved_, actual, label_,
+                                 std::move(breakdown));
+  accountant_ = nullptr;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,122 @@
+// Accountant: the per-dataset privacy-budget ledger behind the Engine.
+//
+// Sequential composition: mechanisms satisfying ε1-, ..., εm-DP compose to
+// (Σεi)-DP, so a dataset served by many queries is protected exactly when
+// every release draws its ε through one shared ledger. The Accountant is
+// that ledger: queries *reserve* budget up front via an RAII BudgetLease,
+// run their mechanism, and *commit* the amount actually consumed (≤ the
+// reservation — e.g. an amplified run commits the end-to-end ε, a PB run
+// with unspent α-slack commits the metered sum). A reservation that would
+// overdraw the budget fails with StatusCode::kBudgetExhausted and nothing
+// is recorded.
+//
+// Fail-safe semantics: a lease destroyed without Commit() charges its FULL
+// reservation (labelled "(aborted)"). A mechanism that dies halfway may
+// already have observed noise, so rolling the reservation back could
+// silently under-count; over-counting is the only safe default for a
+// privacy ledger.
+//
+// Thread-safe: concurrent Engine::Run calls on one shared Dataset race on
+// Acquire/Commit only through the internal mutex.
+#ifndef PRIVBASIS_ENGINE_ACCOUNTANT_H_
+#define PRIVBASIS_ENGINE_ACCOUNTANT_H_
+
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/budget.h"
+
+namespace privbasis {
+
+class BudgetLease;
+
+/// Thread-safe ε ledger with reserve/commit semantics. See file comment.
+class Accountant {
+ public:
+  /// One committed expenditure — the same shape the run-scoped
+  /// PrivacyAccountant records, so mechanism breakdowns pass through
+  /// without conversion.
+  using Entry = PrivacyAccountant::Entry;
+
+  /// Sentinel budget: track every spend but never refuse one.
+  static constexpr double kUnlimited =
+      std::numeric_limits<double>::infinity();
+
+  /// `total_epsilon` must be > 0 (kUnlimited allowed).
+  explicit Accountant(double total_epsilon);
+
+  Accountant(const Accountant&) = delete;
+  Accountant& operator=(const Accountant&) = delete;
+
+  /// Reserves `epsilon` of the remaining budget for one query. Fails with
+  /// kBudgetExhausted (recording nothing) when spent + outstanding
+  /// reservations + epsilon would exceed the total beyond a small
+  /// floating-point tolerance; fails with kInvalidArgument when epsilon is
+  /// not positive and finite.
+  Result<BudgetLease> Acquire(double epsilon, std::string label);
+
+  double total_epsilon() const { return total_; }
+  /// Committed spend (excludes outstanding reservations).
+  double spent_epsilon() const;
+  /// Budget not yet committed or reserved.
+  double remaining_epsilon() const;
+  /// Outstanding (acquired but not yet committed) reservations.
+  double reserved_epsilon() const;
+  /// Snapshot of the committed ledger, in commit order.
+  std::vector<Entry> ledger() const;
+
+ private:
+  friend class BudgetLease;
+
+  // Lease back-end (takes mu_ itself). `actual` must be ≤ reserved
+  // (+tolerance); `breakdown` itemizes the spend (empty = one entry of
+  // `actual` under `label`).
+  void CommitReservation(double reserved, double actual,
+                         const std::string& label,
+                         std::vector<Entry> breakdown);
+
+  mutable std::mutex mu_;
+  double total_;
+  double spent_ = 0.0;
+  double reserved_ = 0.0;
+  std::vector<Entry> entries_;
+};
+
+/// RAII handle over one reservation. Move-only. Commit() finalizes the
+/// actual spend; destruction without Commit() charges the full
+/// reservation (see the fail-safe note above).
+class BudgetLease {
+ public:
+  BudgetLease(BudgetLease&& other) noexcept;
+  BudgetLease& operator=(BudgetLease&& other) noexcept;
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+  ~BudgetLease();
+
+  double reserved() const { return reserved_; }
+
+  /// Commits `actual` (≤ reserved + tolerance, clamped to the
+  /// reservation) and releases the unspent remainder. `breakdown`
+  /// optionally itemizes the spend in the ledger; its ε values should sum
+  /// to `actual`. Idempotent: only the first call has an effect.
+  void Commit(double actual, std::vector<Accountant::Entry> breakdown = {});
+
+  /// Commits the full reservation (the common "mechanism spends exactly
+  /// what it asked for" case).
+  void CommitAll() { Commit(reserved_); }
+
+ private:
+  friend class Accountant;
+  BudgetLease(Accountant* accountant, double reserved, std::string label);
+
+  Accountant* accountant_;  // null after move-out or commit
+  double reserved_ = 0.0;
+  std::string label_;
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_ENGINE_ACCOUNTANT_H_

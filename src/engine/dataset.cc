@@ -1,0 +1,139 @@
+#include "engine/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "data/dataset_io.h"
+#include "fim/topk.h"
+
+namespace privbasis {
+
+Dataset::Dataset(std::shared_ptr<const TransactionDatabase> db,
+                 Options options)
+    : db_(std::move(db)),
+      options_(options),
+      accountant_(std::make_shared<Accountant>(options.total_epsilon)) {}
+
+std::shared_ptr<Dataset> Dataset::Create(TransactionDatabase db,
+                                         Options options) {
+  return std::shared_ptr<Dataset>(new Dataset(
+      std::make_shared<const TransactionDatabase>(std::move(db)), options));
+}
+
+Result<std::shared_ptr<Dataset>> Dataset::FromFimiFile(const std::string& path,
+                                                       Options options) {
+  PRIVBASIS_ASSIGN_OR_RETURN(LoadedDataset loaded, ReadFimiFile(path));
+  return Create(std::move(loaded.db), options);
+}
+
+Result<std::shared_ptr<Dataset>> Dataset::FromProfile(
+    const SyntheticProfile& profile, uint64_t seed, Options options) {
+  PRIVBASIS_ASSIGN_OR_RETURN(TransactionDatabase db,
+                             GenerateDataset(profile, seed));
+  return Create(std::move(db), options);
+}
+
+std::shared_ptr<Dataset> Dataset::Borrow(const TransactionDatabase& db,
+                                         Options options) {
+  // Aliasing handle: shares the caller's storage, deletes nothing.
+  return std::shared_ptr<Dataset>(new Dataset(
+      std::shared_ptr<const TransactionDatabase>(&db,
+                                                 [](const auto*) {}),
+      options));
+}
+
+const DatasetStats& Dataset::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!stats_.has_value()) {
+    ++counters_.stats_builds;
+    stats_ = ComputeDatasetStats(*db_);
+  }
+  return *stats_;
+}
+
+const std::shared_ptr<const VerticalIndex>& Dataset::IndexLocked() const {
+  if (index_ == nullptr) {
+    ++counters_.index_builds;
+    index_ = std::make_shared<const VerticalIndex>(
+        *db_, VerticalIndex::Options{.num_threads = options_.num_threads});
+  }
+  return index_;
+}
+
+std::shared_ptr<const VerticalIndex> Dataset::Index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return IndexLocked();
+}
+
+Result<uint64_t> Dataset::MarginSupportLocked(size_t k1) const {
+  auto it = margin_supports_.find(k1);
+  if (it != margin_supports_.end()) return it->second;
+  ++counters_.margin_mines;
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      TopKResult top, MineTopK(*db_, k1, /*max_length=*/0,
+                               options_.num_threads));
+  margin_supports_.emplace(k1, top.kth_support);
+  return top.kth_support;
+}
+
+Result<uint64_t> Dataset::MarginSupport(size_t k, double eta) const {
+  // Identical arithmetic to RunPrivBasisImpl's internal computation, so a
+  // cache hit yields the bit-identical fk1 hint.
+  const size_t k1 =
+      static_cast<size_t>(std::ceil(static_cast<double>(k) * eta));
+  std::lock_guard<std::mutex> lock(mu_);
+  return MarginSupportLocked(k1);
+}
+
+Result<std::shared_ptr<const GroundTruth>> Dataset::Truth(size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = truths_.find(k);
+  if (it != truths_.end()) return it->second;
+  ++counters_.truth_mines;
+
+  // One shared implementation with eval/ground_truth.cc, attaching this
+  // handle's VerticalIndex instead of building another.
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      GroundTruth truth,
+      ComputeGroundTruth(*db_, k, IndexLocked(), options_.num_threads));
+  // The one mining pass also warms the margin cache for η = 1.1/1.2 —
+  // the keys MarginSupport would compute for those etas.
+  if (!truth.topk.itemsets.empty()) {
+    const size_t k11 =
+        static_cast<size_t>(std::ceil(1.1 * static_cast<double>(k)));
+    const size_t k12 =
+        static_cast<size_t>(std::ceil(1.2 * static_cast<double>(k)));
+    margin_supports_.emplace(k11, truth.fk1_support_eta11);
+    margin_supports_.emplace(k12, truth.fk1_support_eta12);
+  }
+  auto gt = std::make_shared<const GroundTruth>(std::move(truth));
+  truths_.emplace(k, gt);
+  return gt;
+}
+
+Dataset::TfKey Dataset::MakeTfKey(size_t k, const TfOptions& options) {
+  return TfKey{k, options.m, options.explicit_limit, options.rho,
+               static_cast<int>(options.selection)};
+}
+
+Result<std::shared_ptr<const TfRunner>> Dataset::Tf(
+    size_t k, const TfOptions& options) const {
+  const TfKey key = MakeTfKey(k, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tf_runners_.find(key);
+  if (it != tf_runners_.end()) return it->second;
+  ++counters_.tf_builds;
+  PRIVBASIS_ASSIGN_OR_RETURN(TfRunner runner,
+                             TfRunner::Create(*db_, k, options));
+  auto shared = std::make_shared<const TfRunner>(std::move(runner));
+  tf_runners_.emplace(key, shared);
+  return std::shared_ptr<const TfRunner>(std::move(shared));
+}
+
+Dataset::CacheCounters Dataset::cache_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,56 @@
+// Engine: the single public query facade of the library.
+//
+//   auto dataset = Dataset::FromProfile(SyntheticProfile::Mushroom(0.5), 42,
+//                                       {.total_epsilon = 4.0});
+//   auto release = Engine::Run(*dataset,
+//                              QuerySpec().WithTopK(20).WithEpsilon(1.0));
+//
+// One call = one private release: the spec is validated centrally, the
+// query's ε is reserved from the dataset's Accountant (overdraft →
+// kBudgetExhausted before any noise is drawn), the mechanism runs against
+// the dataset's memoized caches (so repeated queries skip the
+// data-dependent setup), the metered spend is committed to the ledger,
+// and the unified Release carries the itemsets, optional rules, and
+// ledger-derived budget diagnostics.
+//
+// In the spirit of PIQL's success-tolerant facade, failure is a value:
+// every outcome — invalid spec, exhausted budget, mechanism error — comes
+// back as a Status the caller can route on, never an exception.
+#ifndef PRIVBASIS_ENGINE_ENGINE_H_
+#define PRIVBASIS_ENGINE_ENGINE_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/dataset.h"
+#include "engine/query.h"
+
+namespace privbasis {
+
+class Engine {
+ public:
+  /// Runs one query with a fresh RNG stream seeded from `spec.seed`.
+  /// Deterministic: same dataset + same spec = bit-identical Release,
+  /// warm or cold caches, sequential or concurrent.
+  static Result<Release> Run(const Dataset& dataset, const QuerySpec& spec);
+
+  /// Advanced overload threading a caller-owned RNG (`spec.seed` is
+  /// ignored). Used by the deprecated free-function wrappers and the
+  /// sweep harness, which manage their own streams.
+  static Result<Release> Run(const Dataset& dataset, const QuerySpec& spec,
+                             Rng& rng);
+
+  /// Convenience for shared handles.
+  static Result<Release> Run(const std::shared_ptr<Dataset>& dataset,
+                             const QuerySpec& spec) {
+    if (dataset == nullptr) {
+      return Status::InvalidArgument("null dataset handle");
+    }
+    return Run(*dataset, spec);
+  }
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_ENGINE_ENGINE_H_

@@ -1,0 +1,60 @@
+#include "engine/query.h"
+
+#include <cmath>
+
+namespace privbasis {
+
+const char* QueryMethodName(QueryMethod method) {
+  switch (method) {
+    case QueryMethod::kPrivBasis:
+      return "pb";
+    case QueryMethod::kTruncatedFrequency:
+      return "tf";
+  }
+  return "unknown";
+}
+
+std::string QuerySpec::LedgerLabel() const {
+  return label.empty() ? QueryMethodName(method) : label;
+}
+
+Status QuerySpec::Validate() const {
+  if (k == 0) {
+    return Status::InvalidArgument(theta > 0.0 ? "k_cap must be >= 1"
+                                               : "k must be >= 1");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be > 0 and finite");
+  }
+  if (theta < 0.0 || theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  if (!(sampling_rate > 0.0) || sampling_rate > 1.0) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  if (derive_rules && (!(rule_options.min_confidence > 0.0) ||
+                       rule_options.min_confidence > 1.0)) {
+    return Status::InvalidArgument("rule min confidence must be in (0, 1]");
+  }
+  switch (method) {
+    case QueryMethod::kPrivBasis:
+      return ValidatePrivBasisOptions(k, epsilon, pb);
+    case QueryMethod::kTruncatedFrequency:
+      if (theta > 0.0) {
+        return Status::InvalidArgument(
+            "threshold mode is PrivBasis-only (TF has no noisy-count "
+            "filter semantics)");
+      }
+      if (sampling_rate < 1.0) {
+        return Status::InvalidArgument(
+            "subsampling amplification is PrivBasis-only");
+      }
+      if (tf.m == 0) {
+        return Status::InvalidArgument("TF itemset-length cap m must be >= 1");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown query method");
+}
+
+}  // namespace privbasis

@@ -1,8 +1,20 @@
 #include "eval/experiment.h"
 
 #include "common/math_util.h"
+#include "engine/engine.h"
 
 namespace privbasis {
+
+ReleaseMethod EngineMethod(std::shared_ptr<Dataset> dataset, QuerySpec spec) {
+  return [dataset = std::move(dataset), spec](
+             double epsilon, Rng& rng) -> Result<std::vector<NoisyItemset>> {
+    QuerySpec point = spec;
+    point.epsilon = epsilon;
+    PRIVBASIS_ASSIGN_OR_RETURN(Release release,
+                               Engine::Run(*dataset, point, rng));
+    return std::move(release.itemsets);
+  };
+}
 
 Result<SweepSeries> RunEpsilonSweep(const std::string& label,
                                     const ReleaseMethod& method,

@@ -9,8 +9,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "common/status.h"
+#include "engine/dataset.h"
+#include "engine/query.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "fim/miner.h"
@@ -21,6 +25,15 @@ namespace privbasis {
 /// RNG and returns the released itemsets.
 using ReleaseMethod =
     std::function<Result<std::vector<NoisyItemset>>(double epsilon, Rng& rng)>;
+
+/// The Engine as a ReleaseMethod: each invocation runs `spec` against
+/// `dataset` with spec.epsilon overridden to the sweep point's ε and the
+/// sweep's own RNG stream threaded through (spec.seed is ignored — the
+/// harness derives per-(ε, rep) streams itself). The canonical way to
+/// put a method under the sweep harness — shares the dataset's caches
+/// across every (ε, repetition) pair and meters each run against its
+/// Accountant.
+ReleaseMethod EngineMethod(std::shared_ptr<Dataset> dataset, QuerySpec spec);
 
 /// Aggregated metrics at one ε.
 struct SweepPoint {

@@ -6,14 +6,15 @@
 
 namespace privbasis {
 
-Result<GroundTruth> ComputeGroundTruth(const TransactionDatabase& db,
-                                       size_t k) {
+Result<GroundTruth> ComputeGroundTruth(
+    const TransactionDatabase& db, size_t k,
+    std::shared_ptr<const VerticalIndex> shared_index, size_t num_threads) {
   GroundTruth gt;
   // One mining pass at the largest k we need (η = 1.2 margin) provides
   // the top-k prefix and both margin supports. Mining and index
   // construction each fan out over the pool (PRIVBASIS_THREADS), so
   // figure benches no longer serialize on ground truth.
-  const size_t threads = EffectiveThreads(0);
+  const size_t threads = EffectiveThreads(num_threads);
   size_t k12 = static_cast<size_t>(std::ceil(1.2 * static_cast<double>(k)));
   PRIVBASIS_ASSIGN_OR_RETURN(TopKResult top12,
                              MineTopK(db, k12, /*max_length=*/0, threads));
@@ -31,8 +32,10 @@ Result<GroundTruth> ComputeGroundTruth(const TransactionDatabase& db,
     gt.fk1_support_eta11 = top12.itemsets[i11].support;
     gt.fk1_support_eta12 = top12.itemsets.back().support;
   }
-  gt.index = std::make_shared<VerticalIndex>(
-      db, VerticalIndex::Options{.num_threads = threads});
+  gt.index = shared_index != nullptr
+                 ? std::move(shared_index)
+                 : std::make_shared<VerticalIndex>(
+                       db, VerticalIndex::Options{.num_threads = threads});
   return gt;
 }
 

@@ -22,13 +22,18 @@ struct GroundTruth {
   /// PrivBasis fk1 hint. Computed lazily by the harness.
   uint64_t fk1_support_eta11 = 0;  ///< η = 1.1
   uint64_t fk1_support_eta12 = 0;  ///< η = 1.2
-  std::shared_ptr<VerticalIndex> index;
+  std::shared_ptr<const VerticalIndex> index;
 };
 
 /// Mines the exact top-k (unbounded length) plus the η-margin supports
-/// and builds the support index.
-Result<GroundTruth> ComputeGroundTruth(const TransactionDatabase& db,
-                                       size_t k);
+/// and builds the support index. Pass `shared_index` to attach an
+/// already-built index instead of constructing another (the Dataset
+/// handle's cache does this); `num_threads` 0 = the PRIVBASIS_THREADS
+/// env knob.
+Result<GroundTruth> ComputeGroundTruth(
+    const TransactionDatabase& db, size_t k,
+    std::shared_ptr<const VerticalIndex> shared_index = nullptr,
+    size_t num_threads = 0);
 
 }  // namespace privbasis
 

@@ -1,0 +1,139 @@
+// The Engine's privacy-budget ledger: reserve/commit semantics, overdraft
+// refusal, fail-safe abort charging, and thread safety.
+#include "engine/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace privbasis {
+namespace {
+
+TEST(AccountantTest, AcquireCommitTracksSpend) {
+  Accountant accountant(1.0);
+  EXPECT_EQ(accountant.total_epsilon(), 1.0);
+  {
+    auto lease = accountant.Acquire(0.4, "q1");
+    ASSERT_TRUE(lease.ok());
+    EXPECT_NEAR(accountant.reserved_epsilon(), 0.4, 1e-12);
+    EXPECT_EQ(accountant.spent_epsilon(), 0.0);
+    lease->Commit(0.4);
+  }
+  EXPECT_NEAR(accountant.spent_epsilon(), 0.4, 1e-12);
+  EXPECT_EQ(accountant.reserved_epsilon(), 0.0);
+  EXPECT_NEAR(accountant.remaining_epsilon(), 0.6, 1e-12);
+  auto ledger = accountant.ledger();
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger[0].label, "q1");
+  EXPECT_NEAR(ledger[0].epsilon, 0.4, 1e-12);
+}
+
+TEST(AccountantTest, CommitLessThanReservedReleasesRemainder) {
+  Accountant accountant(1.0);
+  auto lease = accountant.Acquire(0.5, "amplified");
+  ASSERT_TRUE(lease.ok());
+  lease->Commit(0.3);  // e.g. an amplified run's end-to-end ε < target
+  EXPECT_NEAR(accountant.spent_epsilon(), 0.3, 1e-12);
+  EXPECT_NEAR(accountant.remaining_epsilon(), 0.7, 1e-12);
+}
+
+TEST(AccountantTest, OverdraftReturnsBudgetExhausted) {
+  Accountant accountant(1.0);
+  auto first = accountant.Acquire(0.8, "a");
+  ASSERT_TRUE(first.ok());
+  // Outstanding reservations count against the budget.
+  auto second = accountant.Acquire(0.3, "b");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kBudgetExhausted);
+  first->Commit(0.1);
+  // After the small commit the headroom is back.
+  auto third = accountant.Acquire(0.3, "c");
+  EXPECT_TRUE(third.ok());
+  third->CommitAll();
+  EXPECT_NEAR(accountant.spent_epsilon(), 0.4, 1e-12);
+}
+
+TEST(AccountantTest, RejectsNonPositiveOrInfiniteReservation) {
+  Accountant accountant(1.0);
+  EXPECT_EQ(accountant.Acquire(0.0, "zero").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.Acquire(-1.0, "neg").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant
+                .Acquire(std::numeric_limits<double>::infinity(), "inf")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AccountantTest, AbandonedLeaseChargesFullReservation) {
+  // Fail-safe: a mechanism that died mid-run may have observed noise, so
+  // the uncommitted lease must charge its whole reservation.
+  Accountant accountant(1.0);
+  { auto lease = accountant.Acquire(0.6, "crashed"); ASSERT_TRUE(lease.ok()); }
+  EXPECT_NEAR(accountant.spent_epsilon(), 0.6, 1e-12);
+  auto ledger = accountant.ledger();
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger[0].label, "crashed (aborted)");
+}
+
+TEST(AccountantTest, CommitIsIdempotent) {
+  Accountant accountant(1.0);
+  auto lease = accountant.Acquire(0.5, "q");
+  ASSERT_TRUE(lease.ok());
+  lease->Commit(0.5);
+  lease->Commit(0.5);  // no effect
+  EXPECT_NEAR(accountant.spent_epsilon(), 0.5, 1e-12);
+  EXPECT_EQ(accountant.ledger().size(), 1u);
+}
+
+TEST(AccountantTest, BreakdownEntriesArePrefixedWithLeaseLabel) {
+  Accountant accountant(1.0);
+  auto lease = accountant.Acquire(1.0, "pb");
+  ASSERT_TRUE(lease.ok());
+  lease->Commit(1.0, {{"GetLambda", 0.1}, {"BasisFreq", 0.9}});
+  auto ledger = accountant.ledger();
+  ASSERT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger[0].label, "pb/GetLambda");
+  EXPECT_EQ(ledger[1].label, "pb/BasisFreq");
+  EXPECT_NEAR(accountant.spent_epsilon(), 1.0, 1e-12);
+}
+
+TEST(AccountantTest, UnlimitedBudgetTracksButNeverRefuses) {
+  Accountant accountant(Accountant::kUnlimited);
+  for (int i = 0; i < 100; ++i) {
+    auto lease = accountant.Acquire(10.0, "q");
+    ASSERT_TRUE(lease.ok());
+    lease->CommitAll();
+  }
+  EXPECT_NEAR(accountant.spent_epsilon(), 1000.0, 1e-9);
+  EXPECT_EQ(accountant.remaining_epsilon(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(AccountantTest, ConcurrentAcquiresNeverOversubscribe) {
+  // 32 threads each try to take 0.1 from a budget of 1.0: exactly 10 can
+  // ever succeed regardless of interleaving.
+  Accountant accountant(1.0);
+  std::atomic<int> granted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(32);
+  for (int t = 0; t < 32; ++t) {
+    threads.emplace_back([&accountant, &granted] {
+      auto lease = accountant.Acquire(0.1, "t");
+      if (lease.ok()) {
+        lease->CommitAll();
+        granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(granted.load(), 10);
+  EXPECT_NEAR(accountant.spent_epsilon(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace privbasis

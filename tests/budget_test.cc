@@ -30,7 +30,7 @@ TEST(BudgetTest, RejectsOverspend) {
   ASSERT_TRUE(accountant.Consume(0.9, "a").ok());
   Status over = accountant.Consume(0.2, "b");
   EXPECT_FALSE(over.ok());
-  EXPECT_EQ(over.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(over.code(), StatusCode::kBudgetExhausted);
   // Failed consumption must not be recorded.
   EXPECT_NEAR(accountant.spent_epsilon(), 0.9, 1e-12);
   EXPECT_EQ(accountant.entries().size(), 1u);

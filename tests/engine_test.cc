@@ -1,0 +1,345 @@
+// The Engine facade: central validation, budget metering across repeated
+// queries, cache transparency (warm == cold, bit for bit), concurrency
+// determinism, and equivalence with the deprecated free functions.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/amplified.h"
+#include "core/privbasis.h"
+#include "core/threshold.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace privbasis {
+namespace {
+
+using ::privbasis::testing::MakeDb;
+using ::privbasis::testing::MakeRandomDb;
+
+std::shared_ptr<Dataset> SmallDataset(double total_epsilon =
+                                          Accountant::kUnlimited) {
+  return Dataset::Create(MakeRandomDb({.seed = 7, .num_transactions = 200}),
+                         {.total_epsilon = total_epsilon});
+}
+
+bool SameRelease(const std::vector<NoisyItemset>& a,
+                 const std::vector<NoisyItemset>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].items == b[i].items) || a[i].noisy_count != b[i].noisy_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(QuerySpecTest, ValidateCentralizesOptionChecks) {
+  EXPECT_FALSE(QuerySpec().WithTopK(0).Validate().ok());
+  EXPECT_FALSE(QuerySpec().WithEpsilon(0.0).Validate().ok());
+  EXPECT_FALSE(QuerySpec().WithEpsilon(-1.0).Validate().ok());
+  EXPECT_FALSE(
+      QuerySpec()
+          .WithEpsilon(std::numeric_limits<double>::infinity())
+          .Validate()
+          .ok());
+  EXPECT_FALSE(QuerySpec().WithThreshold(1.5, 10).Validate().ok());
+  EXPECT_FALSE(QuerySpec().WithThreshold(0.1, 0).Validate().ok());
+  EXPECT_FALSE(QuerySpec().WithAmplification(0.0).Validate().ok());
+  EXPECT_FALSE(QuerySpec().WithAmplification(1.5).Validate().ok());
+  EXPECT_FALSE(QuerySpec().WithRules(0.0).Validate().ok());
+
+  QuerySpec bad_alpha;
+  bad_alpha.pb.alpha1 = 0.5;
+  bad_alpha.pb.alpha2 = 0.5;
+  bad_alpha.pb.alpha3 = 0.5;
+  EXPECT_FALSE(bad_alpha.Validate().ok());
+  QuerySpec zero_alpha;
+  zero_alpha.pb.alpha1 = 0.0;
+  EXPECT_FALSE(zero_alpha.Validate().ok());
+  QuerySpec bad_eta;
+  bad_eta.pb.eta = 0.9;
+  EXPECT_FALSE(bad_eta.Validate().ok());
+
+  QuerySpec tf;
+  tf.WithMethod(QueryMethod::kTruncatedFrequency);
+  tf.tf.m = 0;
+  EXPECT_FALSE(tf.Validate().ok());
+  tf.tf.m = 2;
+  EXPECT_TRUE(tf.Validate().ok());
+  // Threshold mode and amplification are PrivBasis-only.
+  EXPECT_FALSE(QuerySpec(tf).WithThreshold(0.1, 10).Validate().ok());
+  EXPECT_FALSE(QuerySpec(tf).WithAmplification(0.5).Validate().ok());
+
+  EXPECT_TRUE(QuerySpec().Validate().ok());
+  EXPECT_TRUE(QuerySpec().WithThreshold(0.1, 100).Validate().ok());
+}
+
+TEST(EngineTest, InvalidSpecRejectedBeforeAnySpend) {
+  auto dataset = SmallDataset(1.0);
+  auto release = Engine::Run(*dataset, QuerySpec().WithTopK(0));
+  EXPECT_FALSE(release.ok());
+  EXPECT_EQ(release.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dataset->accountant()->spent_epsilon(), 0.0);
+}
+
+TEST(EngineTest, BudgetExhaustionAcrossRepeatedQueries) {
+  auto dataset = SmallDataset(/*total_epsilon=*/1.0);
+  QuerySpec spec = QuerySpec().WithTopK(5).WithEpsilon(0.4);
+  ASSERT_TRUE(Engine::Run(*dataset, QuerySpec(spec).WithSeed(1)).ok());
+  ASSERT_TRUE(Engine::Run(*dataset, QuerySpec(spec).WithSeed(2)).ok());
+  // Third 0.4 query would overdraw 1.0: refused with kBudgetExhausted
+  // before any noise is drawn, and nothing is recorded.
+  auto third = Engine::Run(*dataset, QuerySpec(spec).WithSeed(3));
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_NEAR(dataset->accountant()->spent_epsilon(), 0.8, 1e-9);
+  // A smaller query still fits.
+  auto small = Engine::Run(
+      *dataset, QuerySpec(spec).WithEpsilon(0.2).WithSeed(4));
+  EXPECT_TRUE(small.ok());
+  EXPECT_NEAR(dataset->accountant()->remaining_epsilon(), 0.0, 1e-9);
+}
+
+TEST(EngineTest, PreNoiseFailureChargesNothing) {
+  // A deterministic setup failure (TF preprocessing: fewer than k
+  // itemsets of length ≤ m) happens before the budget reservation, so
+  // it must not consume any of a finite dataset budget.
+  auto dataset = Dataset::Create(MakeDb({{0, 1}, {0, 1}, {1}}),
+                                 {.total_epsilon = 1.0});
+  QuerySpec spec;
+  spec.WithMethod(QueryMethod::kTruncatedFrequency)
+      .WithTopK(1000)
+      .WithEpsilon(0.5);
+  spec.tf.m = 1;
+  auto release = Engine::Run(*dataset, spec);
+  EXPECT_FALSE(release.ok());
+  EXPECT_EQ(release.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dataset->accountant()->spent_epsilon(), 0.0);
+  EXPECT_TRUE(dataset->accountant()->ledger().empty());
+  // The budget is fully available for a valid follow-up query.
+  auto ok = Engine::Run(
+      *dataset, QuerySpec().WithTopK(2).WithEpsilon(1.0).WithSeed(1));
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(EngineTest, EpsilonSpentComesFromLedger) {
+  auto dataset = SmallDataset();
+  auto release = Engine::Run(
+      *dataset, QuerySpec().WithTopK(10).WithEpsilon(0.8).WithSeed(5));
+  ASSERT_TRUE(release.ok());
+  EXPECT_GT(release->epsilon_spent, 0.0);
+  EXPECT_LE(release->epsilon_spent, 0.8 + 1e-9);
+  // The release's number IS the ledger's number.
+  EXPECT_NEAR(release->epsilon_spent, dataset->accountant()->spent_epsilon(),
+              1e-12);
+  // And the itemized entries sum to it.
+  double itemized = 0.0;
+  for (const auto& entry : dataset->accountant()->ledger()) {
+    itemized += entry.epsilon;
+  }
+  EXPECT_NEAR(itemized, release->epsilon_spent, 1e-12);
+}
+
+TEST(EngineTest, AmplifiedSpendEqualsMeteredSpend) {
+  auto dataset = SmallDataset();
+  const double target = 1.0;
+  auto release = Engine::Run(*dataset, QuerySpec()
+                                           .WithTopK(10)
+                                           .WithEpsilon(target)
+                                           .WithAmplification(0.5)
+                                           .WithSeed(9));
+  ASSERT_TRUE(release.ok()) << release.status();
+  // End-to-end guarantee ≤ target, and reported == committed.
+  EXPECT_LE(release->epsilon_spent, target + 1e-9);
+  EXPECT_GT(release->epsilon_spent, 0.0);
+  EXPECT_NEAR(release->epsilon_spent, dataset->accountant()->spent_epsilon(),
+              1e-12);
+}
+
+TEST(EngineTest, WarmCacheResultsIdenticalToColdCache) {
+  TransactionDatabase db = MakeRandomDb({.seed = 11, .num_transactions = 300});
+  QuerySpec spec = QuerySpec().WithTopK(12).WithEpsilon(1.0).WithSeed(77);
+
+  // Cold: a fresh handle per run.
+  auto cold = Engine::Run(*Dataset::Create(db), spec);
+  ASSERT_TRUE(cold.ok());
+
+  // Warm: one handle, second query hits every cache.
+  auto dataset = Dataset::Create(db);
+  auto first = Engine::Run(*dataset, spec);
+  ASSERT_TRUE(first.ok());
+  auto counters_after_first = dataset->cache_counters();
+  auto warm = Engine::Run(*dataset, spec);
+  ASSERT_TRUE(warm.ok());
+  auto counters_after_second = dataset->cache_counters();
+
+  // The second run rebuilt nothing...
+  EXPECT_EQ(counters_after_second.margin_mines,
+            counters_after_first.margin_mines);
+  EXPECT_EQ(counters_after_second.index_builds,
+            counters_after_first.index_builds);
+  // ...and produced the bit-identical release.
+  EXPECT_TRUE(SameRelease(cold->itemsets, warm->itemsets));
+  EXPECT_TRUE(SameRelease(first->itemsets, warm->itemsets));
+  EXPECT_EQ(cold->lambda, warm->lambda);
+  EXPECT_EQ(cold->lambda2, warm->lambda2);
+}
+
+TEST(EngineTest, ConcurrentRunsBitIdenticalToSequential) {
+  auto dataset = SmallDataset();
+  constexpr int kQueries = 8;
+
+  // Sequential reference, one seed per query.
+  std::vector<std::vector<NoisyItemset>> sequential(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    auto release = Engine::Run(
+        *dataset,
+        QuerySpec().WithTopK(10).WithEpsilon(1.0).WithSeed(100 + q));
+    ASSERT_TRUE(release.ok());
+    sequential[q] = std::move(release->itemsets);
+  }
+
+  // Same queries, all at once, on a second (cold) shared handle.
+  auto shared = SmallDataset();
+  std::vector<std::vector<NoisyItemset>> concurrent(kQueries);
+  std::vector<Status> statuses(kQueries);
+  std::vector<std::thread> threads;
+  threads.reserve(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    threads.emplace_back([&shared, &concurrent, &statuses, q] {
+      auto release = Engine::Run(
+          *shared,
+          QuerySpec().WithTopK(10).WithEpsilon(1.0).WithSeed(100 + q));
+      statuses[q] = release.status();
+      if (release.ok()) concurrent[q] = std::move(release->itemsets);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int q = 0; q < kQueries; ++q) {
+    ASSERT_TRUE(statuses[q].ok()) << statuses[q];
+    EXPECT_TRUE(SameRelease(sequential[q], concurrent[q])) << "query " << q;
+  }
+  // All eight queries were metered.
+  EXPECT_NEAR(shared->accountant()->spent_epsilon(),
+              dataset->accountant()->spent_epsilon(), 1e-9);
+}
+
+TEST(EngineTest, MatchesDeprecatedFreeFunctions) {
+  TransactionDatabase db = MakeRandomDb({.seed = 13, .num_transactions = 250});
+  auto dataset = Dataset::Create(db);
+
+  {  // Plain top-k.
+    Rng rng(21);
+    auto old_result = RunPrivBasis(db, 15, 1.0, rng);
+    ASSERT_TRUE(old_result.ok());
+    auto release = Engine::Run(
+        *dataset, QuerySpec().WithTopK(15).WithEpsilon(1.0).WithSeed(21));
+    ASSERT_TRUE(release.ok());
+    EXPECT_TRUE(SameRelease(old_result->topk, release->itemsets));
+    EXPECT_NEAR(old_result->epsilon_spent, release->epsilon_spent, 1e-12);
+  }
+  {  // Threshold mode.
+    Rng rng(23);
+    auto old_result = RunPrivBasisThreshold(db, 0.3, 40, 1.0, rng);
+    ASSERT_TRUE(old_result.ok());
+    auto release = Engine::Run(
+        *dataset,
+        QuerySpec().WithThreshold(0.3, 40).WithEpsilon(1.0).WithSeed(23));
+    ASSERT_TRUE(release.ok());
+    EXPECT_TRUE(SameRelease(old_result->topk, release->itemsets));
+  }
+  {  // Subsampled.
+    Rng rng(25);
+    AmplifiedOptions amplified;
+    amplified.sampling_rate = 0.6;
+    auto old_result = RunPrivBasisSubsampled(db, 15, 1.0, rng, amplified);
+    ASSERT_TRUE(old_result.ok());
+    auto release = Engine::Run(*dataset, QuerySpec()
+                                             .WithTopK(15)
+                                             .WithEpsilon(1.0)
+                                             .WithAmplification(0.6)
+                                             .WithSeed(25));
+    ASSERT_TRUE(release.ok());
+    EXPECT_TRUE(SameRelease(old_result->topk, release->itemsets));
+    EXPECT_NEAR(old_result->epsilon_spent, release->epsilon_spent, 1e-12);
+  }
+}
+
+TEST(EngineTest, ThresholdModeFiltersByNoisyFrequency) {
+  TransactionDatabase db = MakeDb({{0, 1, 2}, {0, 1, 2}, {0, 1}, {0}, {1, 2},
+                                   {0, 1, 2}, {0, 2}, {0, 1}});
+  auto dataset = Dataset::Create(db);
+  const double theta = 0.3;
+  auto release = Engine::Run(
+      *dataset,
+      QuerySpec().WithThreshold(theta, 40).WithEpsilon(300.0).WithSeed(3));
+  ASSERT_TRUE(release.ok());
+  ASSERT_FALSE(release->itemsets.empty());
+  const double theta_count = theta * static_cast<double>(8);
+  for (const auto& itemset : release->itemsets) {
+    EXPECT_GE(itemset.noisy_count, theta_count);
+  }
+}
+
+TEST(EngineTest, RuleDerivationRidesTheRelease) {
+  // Near-exact release at huge ε: rules must connect released subsets.
+  TransactionDatabase db = MakeDb(
+      {{0, 1}, {0, 1}, {0, 1}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}, {2}});
+  auto dataset = Dataset::Create(db);
+  auto release = Engine::Run(*dataset, QuerySpec()
+                                           .WithTopK(6)
+                                           .WithEpsilon(500.0)
+                                           .WithRules(0.5)
+                                           .WithSeed(17));
+  ASSERT_TRUE(release.ok());
+  EXPECT_FALSE(release->rules.empty());
+  for (const auto& rule : release->rules) {
+    EXPECT_GE(rule.confidence, 0.5);
+  }
+}
+
+TEST(EngineTest, TfMethodSharesRunnerAcrossQueries) {
+  auto dataset = SmallDataset();
+  QuerySpec spec;
+  spec.WithMethod(QueryMethod::kTruncatedFrequency).WithTopK(8);
+  spec.tf.m = 2;
+  ASSERT_TRUE(Engine::Run(*dataset, QuerySpec(spec).WithSeed(1)).ok());
+  auto counters = dataset->cache_counters();
+  EXPECT_EQ(counters.tf_builds, 1u);
+  ASSERT_TRUE(Engine::Run(*dataset, QuerySpec(spec).WithSeed(2)).ok());
+  EXPECT_EQ(dataset->cache_counters().tf_builds, 1u);  // reused
+  // A different configuration builds its own runner.
+  QuerySpec other = spec;
+  other.tf.m = 1;
+  ASSERT_TRUE(Engine::Run(*dataset, QuerySpec(other).WithSeed(3)).ok());
+  EXPECT_EQ(dataset->cache_counters().tf_builds, 2u);
+}
+
+TEST(DatasetTest, BorrowSharesCallerStorage) {
+  TransactionDatabase db = MakeRandomDb({.seed = 31});
+  auto handle = Dataset::Borrow(db);
+  EXPECT_EQ(&handle->db(), &db);
+  EXPECT_TRUE(Engine::Run(*handle, QuerySpec().WithTopK(5)).ok());
+}
+
+TEST(DatasetTest, TruthSharesTheHandleIndex) {
+  auto dataset = SmallDataset();
+  auto truth = dataset->Truth(10);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ((*truth)->index.get(), dataset->Index().get());
+  // The one mining pass also warmed both margin keys.
+  auto counters = dataset->cache_counters();
+  EXPECT_EQ(counters.truth_mines, 1u);
+  EXPECT_EQ(counters.index_builds, 1u);
+  ASSERT_TRUE(dataset->MarginSupport(10, 1.1).ok());
+  ASSERT_TRUE(dataset->MarginSupport(10, 1.2).ok());
+  EXPECT_EQ(dataset->cache_counters().margin_mines, 0u);
+}
+
+}  // namespace
+}  // namespace privbasis

@@ -1,39 +1,33 @@
 // End-to-end behaviour of the full pipeline on scaled-down paper
-// profiles: the directional claims the evaluation section rests on.
+// profiles, driven through the Engine facade: the directional claims the
+// evaluation section rests on.
 #include <gtest/gtest.h>
 
-#include "baseline/tf.h"
-#include "core/privbasis.h"
 #include "data/synthetic.h"
+#include "engine/engine.h"
 #include "eval/experiment.h"
-#include "eval/ground_truth.h"
 
 namespace privbasis {
 namespace {
 
-ReleaseMethod PbMethod(const TransactionDatabase& db, size_t k,
-                       const GroundTruth& truth) {
-  PrivBasisOptions options;
-  options.fk1_support_hint = truth.fk1_support_eta11;
-  return [&db, k, options](double epsilon,
-                           Rng& rng) -> Result<std::vector<NoisyItemset>> {
-    auto r = RunPrivBasis(db, k, epsilon, rng, options);
-    if (!r.ok()) return r.status();
-    return std::move(r).value().topk;
-  };
+std::shared_ptr<Dataset> MakeProfileDataset(const SyntheticProfile& profile,
+                                            uint64_t seed) {
+  auto dataset = Dataset::FromProfile(profile, seed);
+  EXPECT_TRUE(dataset.ok()) << dataset.status();
+  return dataset.ok() ? *dataset : nullptr;
 }
 
 TEST(IntegrationTest, MushroomPbNearZeroFnrAtModerateEpsilon) {
   // Paper Figure 1: PB FNR ≈ 0 for ε ≥ 0.5 on mushroom.
-  auto db = GenerateDataset(SyntheticProfile::Mushroom(0.5), 101);
-  ASSERT_TRUE(db.ok());
-  auto truth = ComputeGroundTruth(*db, 50);
+  auto dataset = MakeProfileDataset(SyntheticProfile::Mushroom(0.5), 101);
+  ASSERT_NE(dataset, nullptr);
+  auto truth = dataset->Truth(50);
   ASSERT_TRUE(truth.ok());
   SweepConfig config;
   config.epsilons = {1.0};
   config.repeats = 3;
-  auto series =
-      RunEpsilonSweep("pb", PbMethod(*db, 50, *truth), *truth, config);
+  auto series = RunEpsilonSweep(
+      "pb", EngineMethod(dataset, QuerySpec().WithTopK(50)), **truth, config);
   ASSERT_TRUE(series.ok());
   EXPECT_LE(series->points[0].fnr_mean, 0.1);
   EXPECT_LE(series->points[0].re_mean, 0.1);
@@ -42,30 +36,24 @@ TEST(IntegrationTest, MushroomPbNearZeroFnrAtModerateEpsilon) {
 TEST(IntegrationTest, PbBeatsTfOnDenseDataAtLargerK) {
   // The paper's headline: on dense data with k large enough that TF's
   // truncation degenerates, PB's FNR is far lower than TF's.
-  auto db = GenerateDataset(SyntheticProfile::Mushroom(0.5), 103);
-  ASSERT_TRUE(db.ok());
+  auto dataset = MakeProfileDataset(SyntheticProfile::Mushroom(0.5), 103);
+  ASSERT_NE(dataset, nullptr);
   const size_t k = 60;
-  auto truth = ComputeGroundTruth(*db, k);
+  auto truth = dataset->Truth(k);
   ASSERT_TRUE(truth.ok());
   SweepConfig config;
   config.epsilons = {1.0};
   config.repeats = 3;
 
-  auto pb = RunEpsilonSweep("pb", PbMethod(*db, k, *truth), *truth, config);
+  auto pb = RunEpsilonSweep(
+      "pb", EngineMethod(dataset, QuerySpec().WithTopK(k)), **truth, config);
   ASSERT_TRUE(pb.ok());
 
-  TfOptions tf_options;
-  tf_options.m = 2;
-  auto runner = TfRunner::Create(*db, k, tf_options);
-  ASSERT_TRUE(runner.ok());
-  auto runner_ptr = std::make_shared<TfRunner>(std::move(runner).value());
-  ReleaseMethod tf = [runner_ptr](double epsilon, Rng& rng)
-      -> Result<std::vector<NoisyItemset>> {
-    auto r = runner_ptr->Run(epsilon, rng);
-    if (!r.ok()) return r.status();
-    return std::move(r).value().released;
-  };
-  auto tf_series = RunEpsilonSweep("tf", tf, *truth, config);
+  QuerySpec tf_spec;
+  tf_spec.WithMethod(QueryMethod::kTruncatedFrequency).WithTopK(k);
+  tf_spec.tf.m = 2;
+  auto tf_series =
+      RunEpsilonSweep("tf", EngineMethod(dataset, tf_spec), **truth, config);
   ASSERT_TRUE(tf_series.ok());
 
   EXPECT_LT(pb->points[0].fnr_mean, tf_series->points[0].fnr_mean)
@@ -77,16 +65,16 @@ TEST(IntegrationTest, PbBeatsTfOnDenseDataAtLargerK) {
 
 TEST(IntegrationTest, FnrImprovesWithEpsilon) {
   // Loose monotonicity: FNR at ε=2.0 must beat FNR at ε=0.05 clearly.
-  auto db = GenerateDataset(SyntheticProfile::Mushroom(0.3), 107);
-  ASSERT_TRUE(db.ok());
+  auto dataset = MakeProfileDataset(SyntheticProfile::Mushroom(0.3), 107);
+  ASSERT_NE(dataset, nullptr);
   const size_t k = 40;
-  auto truth = ComputeGroundTruth(*db, k);
+  auto truth = dataset->Truth(k);
   ASSERT_TRUE(truth.ok());
   SweepConfig config;
   config.epsilons = {0.05, 2.0};
   config.repeats = 3;
-  auto series =
-      RunEpsilonSweep("pb", PbMethod(*db, k, *truth), *truth, config);
+  auto series = RunEpsilonSweep(
+      "pb", EngineMethod(dataset, QuerySpec().WithTopK(k)), **truth, config);
   ASSERT_TRUE(series.ok());
   EXPECT_GT(series->points[0].fnr_mean, series->points[1].fnr_mean);
 }
@@ -94,48 +82,58 @@ TEST(IntegrationTest, FnrImprovesWithEpsilon) {
 TEST(IntegrationTest, MultiBasisPathOnSparseProfile) {
   // A scaled-down kosarak: λ > 12 forces the multi-basis machinery
   // (pairs, cliques, merging) end to end.
-  auto db = GenerateDataset(SyntheticProfile::Kosarak(0.02), 109);
-  ASSERT_TRUE(db.ok());
+  auto dataset = MakeProfileDataset(SyntheticProfile::Kosarak(0.02), 109);
+  ASSERT_NE(dataset, nullptr);
   const size_t k = 60;
-  Rng rng(111);
   PrivBasisOptions options;
-  auto result = RunPrivBasis(*db, k, 1.0, rng, options);
-  ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_GT(result->lambda, 12u);
-  EXPECT_GT(result->basis_set.Width(), 1u);
-  EXPECT_LE(result->basis_set.Length(), options.max_basis_length);
-  EXPECT_EQ(result->topk.size(), k);
-  EXPECT_LE(result->epsilon_spent, 1.0 + 1e-9);
+  auto release = Engine::Run(
+      *dataset, QuerySpec().WithTopK(k).WithEpsilon(1.0).WithSeed(111));
+  ASSERT_TRUE(release.ok()) << release.status();
+  EXPECT_GT(release->lambda, 12u);
+  EXPECT_GT(release->basis_set.Width(), 1u);
+  EXPECT_LE(release->basis_set.Length(), options.max_basis_length);
+  EXPECT_EQ(release->itemsets.size(), k);
+  EXPECT_LE(release->epsilon_spent, 1.0 + 1e-9);
+  // Ledger agreement: the release's diagnostics ARE the ledger's numbers.
+  EXPECT_NEAR(release->epsilon_spent,
+              dataset->accountant()->spent_epsilon(), 1e-12);
 }
 
 TEST(IntegrationTest, TfDegenerateRegimeMatchesTable2b) {
   // At paper scale kosarak+m=2+k=200 is degenerate for ε ≤ 1; the scaled
   // dataset keeps N smaller so γ (∝ 1/N) is even larger — still
   // degenerate.
-  auto db = GenerateDataset(SyntheticProfile::Kosarak(0.02), 113);
-  ASSERT_TRUE(db.ok());
+  auto dataset = MakeProfileDataset(SyntheticProfile::Kosarak(0.02), 113);
+  ASSERT_NE(dataset, nullptr);
   TfOptions options;
   options.m = 2;
-  auto runner = TfRunner::Create(*db, 100, options);
+  auto runner = dataset->Tf(100, options);
   ASSERT_TRUE(runner.ok());
-  EXPECT_TRUE(runner->Effectiveness(1.0).degenerate);
+  EXPECT_TRUE((*runner)->Effectiveness(1.0).degenerate);
 }
 
 TEST(IntegrationTest, EveryMechanismRoutesThroughAccountant) {
-  // Audit: a full PB run plus a TF run both fit in a shared budget of
-  // 2ε and fail beyond it.
+  // Audit: PB and TF queries on one dataset share its ledger; the budget
+  // refuses the query that would overdraw it.
   auto db = GenerateDataset(SyntheticProfile::Mushroom(0.1), 115);
   ASSERT_TRUE(db.ok());
-  PrivacyAccountant accountant(1.0);
-  Rng rng(117);
-  TfOptions tf_options;
-  tf_options.m = 1;
-  auto runner = TfRunner::Create(*db, 10, tf_options);
-  ASSERT_TRUE(runner.ok());
-  ASSERT_TRUE(runner->Run(0.5, rng, &accountant).ok());
-  ASSERT_TRUE(runner->Run(0.5, rng, &accountant).ok());
-  EXPECT_FALSE(runner->Run(0.1, rng, &accountant).ok());
-  EXPECT_NEAR(accountant.spent_epsilon(), 1.0, 1e-9);
+  auto dataset =
+      Dataset::Create(std::move(db).value(), {.total_epsilon = 1.0});
+
+  QuerySpec tf_spec;
+  tf_spec.WithMethod(QueryMethod::kTruncatedFrequency).WithTopK(10);
+  tf_spec.tf.m = 1;
+  ASSERT_TRUE(
+      Engine::Run(*dataset, QuerySpec(tf_spec).WithEpsilon(0.5).WithSeed(1))
+          .ok());
+  ASSERT_TRUE(
+      Engine::Run(*dataset, QuerySpec(tf_spec).WithEpsilon(0.5).WithSeed(2))
+          .ok());
+  auto over =
+      Engine::Run(*dataset, QuerySpec(tf_spec).WithEpsilon(0.1).WithSeed(3));
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_NEAR(dataset->accountant()->spent_epsilon(), 1.0, 1e-9);
 }
 
 }  // namespace

@@ -22,6 +22,8 @@ TEST(StatusTest, FactoryConstructors) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::BudgetExhausted("x").code(),
+            StatusCode::kBudgetExhausted);
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
@@ -34,6 +36,8 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kBudgetExhausted),
+               "BudgetExhausted");
 }
 
 TEST(StatusTest, Equality) {

@@ -1,28 +1,28 @@
-// privbasis_cli: command-line front end for the library.
+// privbasis_cli: command-line front end for the library, built on the
+// Engine facade (engine/engine.h).
 //
 // Reads a FIMI-format transaction file (or generates one of the paper's
-// synthetic profiles), runs PrivBasis or the TF baseline, and prints the
-// released itemsets as TSV (items, noisy count, noisy frequency).
+// synthetic profiles) into a Dataset handle, runs one query through
+// Engine::Run, and prints the released itemsets as TSV (items, noisy
+// count, noisy frequency).
+//
+// Exit codes: 0 success, 1 runtime error (I/O, budget exhausted), 2 bad
+// usage (flag parsing or QuerySpec validation).
 //
 // Examples:
 //   privbasis_cli --input basket.dat --k 100 --epsilon 1.0
 //   privbasis_cli --profile mushroom --scale 0.5 --k 50 --method tf --m 2
 //   privbasis_cli --profile kosarak --scale 0.1 --threshold 0.02 --kcap 400
-//   privbasis_cli --input basket.dat --k 50 --rules 0.6
+//   privbasis_cli --input basket.dat --k 50 --rules 0.6 --budget 2.0
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 
-#include "baseline/tf.h"
-#include "common/rng.h"
-#include "core/association_rules.h"
-#include "core/privbasis.h"
-#include "core/threshold.h"
-#include "data/dataset_io.h"
 #include "data/dataset_stats.h"
 #include "data/synthetic.h"
+#include "engine/engine.h"
 
 namespace privbasis {
 namespace {
@@ -39,6 +39,8 @@ struct CliOptions {
   double threshold = 0.0;     // >0: threshold mode (PB only)
   size_t k_cap = 500;         // threshold-mode candidate cap
   double rules = 0.0;         // >0: derive rules at this min confidence
+  double budget = 0.0;        // >0: total dataset budget (default unlimited)
+  double sample = 1.0;        // <1: subsampling amplification rate
   bool quiet = false;
 };
 
@@ -48,7 +50,7 @@ void PrintUsage(const char* argv0) {
       "usage: %s [--input FILE | --profile NAME [--scale S]]\n"
       "          [--method pb|tf] [--k K] [--epsilon E] [--seed SEED]\n"
       "          [--m M] [--threshold T --kcap CAP] [--rules MINCONF]\n"
-      "          [--quiet]\n"
+      "          [--budget B] [--sample Q] [--quiet]\n"
       "\n"
       "  --input FILE     FIMI-format transactions (one per line)\n"
       "  --profile NAME   synthetic dataset: retail mushroom pumsb-star\n"
@@ -57,11 +59,15 @@ void PrintUsage(const char* argv0) {
       "  --method pb|tf   PrivBasis (default) or the Bhaskar et al.\n"
       "                   truncated-frequency baseline\n"
       "  --k K            top-k to release (default 100)\n"
-      "  --epsilon E      privacy budget (default 1.0)\n"
+      "  --epsilon E      privacy budget of this query (default 1.0)\n"
       "  --m M            TF itemset-length cap (default 2)\n"
       "  --threshold T    release itemsets with noisy frequency >= T\n"
       "  --kcap CAP       candidate cap for threshold mode (default 500)\n"
       "  --rules C        also print association rules with confidence >= C\n"
+      "  --budget B       total dataset budget the query is metered\n"
+      "                   against (default: unlimited, spend still tracked)\n"
+      "  --sample Q       run on a Poisson Q-subsample with the\n"
+      "                   amplification-adjusted budget (PB only)\n"
       "  --quiet          suppress the dataset/stats banner\n",
       argv0);
 }
@@ -108,6 +114,18 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
       options.k_cap = std::strtoull(value, nullptr, 10);
     } else if (flag == "--rules") {
       options.rules = std::strtod(value, nullptr);
+    } else if (flag == "--budget") {
+      // Fail closed: the one flag that CAPS privacy spending must never
+      // be silently ignored on a bad value.
+      char* end = nullptr;
+      options.budget = std::strtod(value, &end);
+      if (end == value || *end != '\0' || !(options.budget > 0.0)) {
+        std::fprintf(stderr, "--budget must be a positive number, got %s\n",
+                     value);
+        return std::nullopt;
+      }
+    } else if (flag == "--sample") {
+      options.sample = std::strtod(value, nullptr);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return std::nullopt;
@@ -120,11 +138,11 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
   return options;
 }
 
-Result<TransactionDatabase> LoadDataset(const CliOptions& options) {
+Result<std::shared_ptr<Dataset>> LoadDataset(const CliOptions& options) {
+  Dataset::Options dataset_options;
+  if (options.budget > 0.0) dataset_options.total_epsilon = options.budget;
   if (!options.input.empty()) {
-    PRIVBASIS_ASSIGN_OR_RETURN(LoadedDataset loaded,
-                               ReadFimiFile(options.input));
-    return std::move(loaded.db);
+    return Dataset::FromFimiFile(options.input, dataset_options);
   }
   SyntheticProfile profile;
   if (options.profile == "retail") {
@@ -141,62 +159,70 @@ Result<TransactionDatabase> LoadDataset(const CliOptions& options) {
     return Status::InvalidArgument("unknown profile '" + options.profile +
                                    "'");
   }
-  return GenerateDataset(profile, options.seed);
+  return Dataset::FromProfile(profile, options.seed, dataset_options);
 }
 
-int RunCli(const CliOptions& options) {
-  auto db = LoadDataset(options);
-  if (!db.ok()) {
-    std::fprintf(stderr, "dataset: %s\n", db.status().ToString().c_str());
+Result<QuerySpec> BuildSpec(const CliOptions& options) {
+  QuerySpec spec;
+  spec.WithEpsilon(options.epsilon).WithSeed(options.seed).WithTopK(
+      options.k);
+  if (options.method == "pb") {
+    spec.WithMethod(QueryMethod::kPrivBasis);
+  } else if (options.method == "tf") {
+    spec.WithMethod(QueryMethod::kTruncatedFrequency);
+    spec.tf.m = options.m;
+  } else {
+    return Status::InvalidArgument("unknown method '" + options.method +
+                                   "' (expected pb or tf)");
+  }
+  // Mode flags are applied regardless of method so that Validate() — not
+  // a silent drop here — rejects unsupported combinations (e.g. tf +
+  // --threshold, tf + --sample, out-of-range rates) with exit code 2.
+  if (options.threshold != 0.0) {
+    spec.WithThreshold(options.threshold, options.k_cap);
+  }
+  if (options.sample != 1.0) spec.WithAmplification(options.sample);
+  if (options.rules != 0.0) spec.WithRules(options.rules);
+  return spec;
+}
+
+int RunCli(const char* argv0, const CliOptions& options) {
+  auto spec = BuildSpec(options);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    PrintUsage(argv0);
+    return 2;
+  }
+  // Validate before paying for dataset generation/loading, so bad specs
+  // fail fast with usage.
+  if (Status valid = spec->Validate(); !valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    PrintUsage(argv0);
+    return 2;
+  }
+
+  auto dataset = LoadDataset(options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
     return 1;
   }
   if (!options.quiet) {
     std::fprintf(stderr, "[privbasis_cli] %s\n",
-                 ComputeDatasetStats(*db).ToString().c_str());
+                 (*dataset)->Stats().ToString().c_str());
   }
-  const double n = static_cast<double>(db->NumTransactions());
-  Rng rng(options.seed);
+  const double n = static_cast<double>((*dataset)->db().NumTransactions());
 
-  std::vector<NoisyItemset> released;
-  if (options.method == "pb") {
-    if (options.threshold > 0.0) {
-      auto result = RunPrivBasisThreshold(*db, options.threshold,
-                                          options.k_cap, options.epsilon,
-                                          rng);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
-      released = std::move(result).value().topk;
-    } else {
-      auto result = RunPrivBasis(*db, options.k, options.epsilon, rng);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
-      released = std::move(result).value().topk;
-    }
-  } else if (options.method == "tf") {
-    TfOptions tf_options;
-    tf_options.m = options.m;
-    auto runner = TfRunner::Create(*db, options.k, tf_options);
-    if (!runner.ok()) {
-      std::fprintf(stderr, "%s\n", runner.status().ToString().c_str());
-      return 1;
-    }
-    auto result = runner->Run(options.epsilon, rng);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    released = std::move(result).value().released;
-  } else {
-    std::fprintf(stderr, "unknown method '%s'\n", options.method.c_str());
+  // The spec was fully validated above, so any error from here on is a
+  // runtime problem (bad data, exhausted budget): exit 1, not 2.
+  auto release = Engine::Run(*dataset, *spec);
+  if (!release.ok()) {
+    std::fprintf(stderr, "%s\n", release.status().ToString().c_str());
     return 1;
   }
 
   std::printf("# items\tnoisy_count\tnoisy_frequency\n");
-  for (const auto& itemset : released) {
+  for (const auto& itemset : release->itemsets) {
     std::string items;
     for (size_t i = 0; i < itemset.items.size(); ++i) {
       if (i > 0) items += ' ';
@@ -207,17 +233,21 @@ int RunCli(const CliOptions& options) {
   }
 
   if (options.rules > 0.0) {
-    RuleOptions rule_options;
-    rule_options.min_confidence = options.rules;
-    auto rules = ExtractRules(released, db->NumTransactions(), rule_options);
-    if (!rules.ok()) {
-      std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
-      return 1;
-    }
     std::printf("# association rules (min confidence %.2f)\n", options.rules);
-    for (const auto& rule : *rules) {
+    for (const auto& rule : release->rules) {
       std::printf("%s\n", rule.ToString().c_str());
     }
+  }
+  if (!options.quiet) {
+    std::string remaining;
+    if (options.budget > 0.0) {
+      remaining = "; dataset budget remaining " +
+                  std::to_string(release->epsilon_remaining);
+    }
+    std::fprintf(stderr,
+                 "[privbasis_cli] epsilon spent %.6f of %.6f requested%s\n",
+                 release->epsilon_spent, release->epsilon_requested,
+                 remaining.c_str());
   }
   return 0;
 }
@@ -231,5 +261,5 @@ int main(int argc, char** argv) {
     privbasis::PrintUsage(argv[0]);
     return 2;
   }
-  return privbasis::RunCli(*options);
+  return privbasis::RunCli(argv[0], *options);
 }
