@@ -5,7 +5,6 @@
 // sampling error at q ≥ 0.25 is small, so moderate subsampling should be
 // near-free while q → 0 must eventually hurt.
 #include "bench_common.h"
-#include "core/amplified.h"
 #include "dp/amplification.h"
 
 namespace privbasis {
@@ -22,22 +21,15 @@ void Run() {
   config.repeats = BenchRepeats();
 
   std::vector<SweepSeries> series;
+  // One shared handle: the q = 1 rows reuse the cached margin; each
+  // subsampled run mines its own subsample margin as before.
+  auto dataset = Dataset::Borrow(db);
   // q = 1 is plain PrivBasis (the baseline row).
   for (double q : {1.0, 0.5, 0.25, 0.1}) {
-    ReleaseMethod method =
-        [&db, k, q](double epsilon,
-                    Rng& rng) -> Result<std::vector<NoisyItemset>> {
-      if (q >= 1.0) {
-        auto result = RunPrivBasis(db, k, epsilon, rng);
-        if (!result.ok()) return result.status();
-        return std::move(result).value().topk;
-      }
-      AmplifiedOptions options;
-      options.sampling_rate = q;
-      auto result = RunPrivBasisSubsampled(db, k, epsilon, rng, options);
-      if (!result.ok()) return result.status();
-      return std::move(result).value().topk;
-    };
+    QuerySpec spec;
+    spec.k = k;
+    if (q < 1.0) spec.sampling_rate = q;
+    ReleaseMethod method = EngineMethod(dataset, spec);
     char label[48];
     std::snprintf(label, sizeof(label), "q=%.2f(eps'=%.2f@0.5)", q,
                   MechanismEpsilonForTarget(q, 0.5));

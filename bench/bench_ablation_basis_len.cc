@@ -27,8 +27,9 @@ void Run() {
     options.max_basis_length = cap;
     options.fk1_support_hint = truth.fk1_support_eta11;
     // Probe the constructed basis shape once (fixed seed).
-    Rng probe_rng(7);
-    auto probe = RunPrivBasis(db, k, 1.0, probe_rng, options);
+    QuerySpec probe_spec = QuerySpec().WithTopK(k).WithSeed(7);
+    probe_spec.pb = options;
+    auto probe = Engine::Run(*Dataset::Borrow(db), probe_spec);
     size_t w = probe.ok() ? probe->basis_set.Width() : 0;
     size_t len = probe.ok() ? probe->basis_set.Length() : 0;
 

@@ -21,13 +21,17 @@ void RunOn(const SyntheticProfile& profile, size_t k) {
   options.fk1_support_hint = truth.fk1_support_eta11;
 
   std::vector<SweepSeries> series;
+  auto dataset = Dataset::Borrow(db);
   for (bool repair : {false, true}) {
+    QuerySpec spec;
+    spec.k = k;
+    spec.pb = options;
+    ReleaseMethod pb = EngineMethod(dataset, spec);
     ReleaseMethod method =
-        [&db, k, options, repair](
-            double epsilon, Rng& rng) -> Result<std::vector<NoisyItemset>> {
-      auto result = RunPrivBasis(db, k, epsilon, rng, options);
-      if (!result.ok()) return result.status();
-      auto released = std::move(result).value().topk;
+        [pb, repair](double epsilon,
+                     Rng& rng) -> Result<std::vector<NoisyItemset>> {
+      PRIVBASIS_ASSIGN_OR_RETURN(std::vector<NoisyItemset> released,
+                                 pb(epsilon, rng));
       if (repair) EnforceMonotoneConsistency(&released);
       return released;
     };

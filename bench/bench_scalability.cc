@@ -21,11 +21,11 @@ void Run() {
           MineTopK(db, static_cast<size_t>(1.1 * k) + 1), "MineTopK");
       double mine_s = mine_timer.ElapsedSeconds();
 
-      PrivBasisOptions options;
-      options.fk1_support_hint = top.kth_support;
-      Rng rng(7);
+      QuerySpec spec = QuerySpec().WithTopK(k).WithSeed(7);
+      spec.pb.fk1_support_hint = top.kth_support;
+      auto handle = Dataset::Borrow(db);
       WallTimer run_timer;
-      auto result = RunPrivBasis(db, k, 1.0, rng, options);
+      auto result = Engine::Run(*handle, spec);
       double run_s = run_timer.ElapsedSeconds();
       if (!result.ok()) {
         std::fprintf(stderr, "run failed: %s\n",

@@ -29,6 +29,8 @@
 #include "fim/apriori.h"
 #include "fim/fpgrowth.h"
 #include "fim/fptree.h"
+#include "server/server.h"
+#include "server/wire.h"
 
 namespace privbasis::bench {
 namespace {
@@ -204,6 +206,42 @@ void RunSuite() {
           UnwrapStatus(release.status(), "Engine::Run (warm)");
         },
         {{"dataset", "kosarak"}});
+  }
+
+  // Query-server round trip over loopback HTTP: the full service path
+  // (accept, parse, route, Engine::Run on a warm handle, serialize) for
+  // a batch of 16 requests. Measures the wire + dispatch overhead the
+  // server adds on top of engine_query_warm.
+  {
+    server::ServerOptions options;
+    options.num_threads = 4;
+    server::QueryServer qserver(options);
+    UnwrapStatus(qserver.Start(), "QueryServer::Start");
+    const std::string id = qserver.registry().Register(
+        Dataset::Borrow(kosarak));
+    const std::string body =
+        "{\"dataset\":\"" + id + "\",\"k\":50,\"epsilon\":1.0,\"seed\":9}";
+    // Warm the handle's caches once so the phase times steady-state
+    // requests, not the first-touch mine.
+    {
+      auto warm_up = server::HttpCall(qserver.host(), qserver.port(), "POST",
+                                      "/v1/query", body, 60'000);
+      UnwrapStatus(warm_up.status(), "server warm-up query");
+      if (warm_up->status != 200) std::abort();
+    }
+    TimePhase(
+        "server_latency",
+        [&] {
+          for (int i = 0; i < 16; ++i) {
+            auto response = server::HttpCall(qserver.host(), qserver.port(),
+                                             "POST", "/v1/query", body,
+                                             60'000);
+            UnwrapStatus(response.status(), "server query");
+            if (response->status != 200) std::abort();
+          }
+        },
+        {{"dataset", "kosarak"}});
+    qserver.Stop();
   }
 }
 

@@ -1,0 +1,88 @@
+// Thin POSIX TCP helpers under the query server (server/http.h) and its
+// in-process clients (tests, bench_smoke's server_latency phase): listen
+// with ephemeral-port support, connect with timeout, and deadline-bounded
+// read/write built on poll(2). No buffering or protocol knowledge — that
+// lives in server/http.
+//
+// Every blocking operation takes an absolute steady_clock deadline rather
+// than a per-call timeout, so one request-scoped deadline bounds an
+// arbitrary number of partial reads/writes (the server's per-request
+// deadline contract).
+#ifndef PRIVBASIS_COMMON_NET_H_
+#define PRIVBASIS_COMMON_NET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace privbasis::net {
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// A deadline that never fires (for trusted in-process peers).
+Deadline NoDeadline();
+
+/// Deadline `ms` milliseconds from now.
+Deadline DeadlineAfterMs(int64_t ms);
+
+/// Owning file-descriptor handle (closes on destruction; move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { Close(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes now (idempotent).
+  void Close();
+  /// Releases ownership without closing.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to `host:port` (SO_REUSEADDR,
+/// non-blocking accept via poll). port 0 binds an ephemeral port — read
+/// it back with LocalPort.
+Result<Fd> ListenTcp(const std::string& host, uint16_t port,
+                     int backlog = 128);
+
+/// The locally bound port of a socket (after ListenTcp with port 0).
+Result<uint16_t> LocalPort(const Fd& fd);
+
+/// Accepts one connection, waiting until `deadline`. Returns an invalid
+/// Fd (not an error) on deadline expiry so accept loops can poll a stop
+/// flag between waits.
+Result<Fd> AcceptWithDeadline(const Fd& listen_fd, Deadline deadline);
+
+/// Connects to `host:port`, failing once `deadline` passes.
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
+                      Deadline deadline);
+
+/// Reads up to `len` bytes. Returns 0 on orderly EOF; blocks (via poll)
+/// until data, EOF, or the deadline. Deadline expiry is
+/// kDeadlineExceeded-like: Status kResourceExhausted("deadline ...").
+Result<size_t> ReadSome(const Fd& fd, char* buf, size_t len,
+                        Deadline deadline);
+
+/// Waits (without consuming) until `fd` is readable — data or EOF.
+/// Returns false on deadline expiry, so idle loops can interleave a
+/// stop-flag check between short waits instead of parking in one long
+/// poll.
+Result<bool> PollReadable(const Fd& fd, Deadline deadline);
+
+/// Writes all of `data` before `deadline` or fails.
+Status WriteAll(const Fd& fd, std::string_view data, Deadline deadline);
+
+}  // namespace privbasis::net
+
+#endif  // PRIVBASIS_COMMON_NET_H_

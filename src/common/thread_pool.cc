@@ -146,6 +146,14 @@ void ThreadPool::ParallelFor(
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::RunAll(const std::vector<std::function<void()>>& tasks,
                         size_t parallelism) {
   ParallelFor(0, tasks.size(), 1, parallelism,

@@ -64,6 +64,14 @@ class ThreadPool {
   void RunAll(const std::vector<std::function<void()>>& tasks,
               size_t parallelism = 0);
 
+  /// Enqueues one detached task (the query server's connection handoff).
+  /// Unlike the fork-join entry points this does not block; the task runs
+  /// whenever a worker frees up. Requires a pool with ≥ 1 worker (a
+  /// zero-worker pool has nothing to ever run it). Tasks still queued at
+  /// destruction are executed before the workers join — a submitted task
+  /// is never silently dropped.
+  void Submit(std::function<void()> task);
+
  private:
   void WorkerLoop();
   void EnsureWorkers(size_t target);

@@ -45,15 +45,4 @@ Result<PrivBasisResult> RunPrivBasisSubsampledImpl(
 
 }  // namespace detail
 
-Result<PrivBasisResult> RunPrivBasisSubsampled(
-    const TransactionDatabase& db, size_t k, double epsilon, Rng& rng,
-    const AmplifiedOptions& options) {
-  if (!(epsilon > 0.0)) {
-    return Status::InvalidArgument("epsilon must be > 0");
-  }
-  PrivacyAccountant accountant(epsilon);
-  return detail::RunPrivBasisSubsampledImpl(db, k, epsilon, rng, options,
-                                            accountant);
-}
-
 }  // namespace privbasis

@@ -16,26 +16,20 @@ struct AmplifiedOptions {
   PrivBasisOptions base;
 };
 
-/// DEPRECATED: thin wrapper kept for one PR — new code should go through
-/// `Engine::Run` with `QuerySpec::WithAmplification` (engine/engine.h).
-///
-/// Runs PrivBasis on a Poisson subsample of `db` with mechanism budget
-/// ε' = ln(1 + (e^ε − 1)/q), which amplifies back to ε-DP end to end.
-/// Released counts are rescaled by 1/q to estimate full-dataset counts.
-/// Note the fk1 hint in `options.base` is ignored (it would leak the
-/// full dataset's statistics into the subsample run); the subsample's
-/// own top-k margin is mined instead.
-Result<PrivBasisResult> RunPrivBasisSubsampled(
-    const TransactionDatabase& db, size_t k, double epsilon, Rng& rng,
-    const AmplifiedOptions& options = {});
-
 namespace detail {
 
-/// Implementation behind RunPrivBasisSubsampled and Engine::Run: the
-/// subsample run meters its mechanism budget ε' against an inner ledger,
-/// and the amplified end-to-end guarantee ln(1 + q·(e^{ε'_spent} − 1)) —
-/// never more than the target `epsilon` — is charged to `accountant` as
-/// one entry, so reported spend always equals metered spend.
+/// Implementation behind `Engine::Run` with
+/// `QuerySpec::WithAmplification` (the public subsampled entry point):
+/// runs PrivBasis on a Poisson q-subsample with mechanism budget
+/// ε' = ln(1 + (e^ε − 1)/q), which amplifies back to ε-DP end to end;
+/// released counts are rescaled by 1/q to estimate full-dataset counts.
+/// The subsample run meters ε' against an inner ledger, and the
+/// amplified end-to-end guarantee ln(1 + q·(e^{ε'_spent} − 1)) — never
+/// more than the target `epsilon` — is charged to `accountant` as one
+/// entry, so reported spend always equals metered spend. The fk1 hint in
+/// `options.base` is ignored (it would leak the full dataset's
+/// statistics into the subsample run); the subsample's own top-k margin
+/// is mined instead.
 Result<PrivBasisResult> RunPrivBasisSubsampledImpl(
     const TransactionDatabase& db, size_t k, double epsilon, Rng& rng,
     const AmplifiedOptions& options, PrivacyAccountant& accountant);

@@ -110,18 +110,6 @@ Status ValidatePrivBasisOptions(size_t k, double epsilon,
   return Status::OK();
 }
 
-Result<PrivBasisResult> RunPrivBasis(const TransactionDatabase& db, size_t k,
-                                     double epsilon, Rng& rng,
-                                     const PrivBasisOptions& options) {
-  // The impl validates (k, ε, options); a bad ε only reaches the
-  // accountant ctor's assert via the impl path, so guard it here.
-  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::InvalidArgument("epsilon must be > 0 and finite");
-  }
-  PrivacyAccountant accountant(epsilon);
-  return detail::RunPrivBasisImpl(db, k, epsilon, rng, options, accountant);
-}
-
 namespace detail {
 
 Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,

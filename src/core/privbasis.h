@@ -79,22 +79,14 @@ struct PrivBasisResult {
 Status ValidatePrivBasisOptions(size_t k, double epsilon,
                                 const PrivBasisOptions& options);
 
-/// DEPRECATED: thin wrapper kept for one PR — new code should go through
-/// `Engine::Run(dataset, QuerySpec)` (engine/engine.h), which shares the
-/// per-dataset caches and meters ε against the dataset's Accountant.
-///
-/// Runs Algorithm 3 with total privacy budget `epsilon`.
-Result<PrivBasisResult> RunPrivBasis(const TransactionDatabase& db, size_t k,
-                                     double epsilon, Rng& rng,
-                                     const PrivBasisOptions& options = {});
-
 namespace detail {
 
-/// Mechanism implementation behind RunPrivBasis and Engine::Run: every ε
+/// Mechanism implementation behind Engine::Run (the single public entry
+/// point — the pre-Engine free-function wrappers are gone): every ε
 /// expenditure is drawn from `accountant`, which must be a fresh
-/// run-scoped ledger with at least `epsilon` of headroom (the wrappers
-/// construct one per call). `result.epsilon_spent` is read back from the
-/// accountant, never recomputed.
+/// run-scoped ledger with at least `epsilon` of headroom (the Engine
+/// constructs one per call). `result.epsilon_spent` is read back from
+/// the accountant, never recomputed.
 Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,
                                          size_t k, double epsilon, Rng& rng,
                                          const PrivBasisOptions& options,

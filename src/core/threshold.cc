@@ -16,19 +16,4 @@ void FilterByNoisyThreshold(double theta, size_t num_transactions,
 
 }  // namespace detail
 
-Result<PrivBasisResult> RunPrivBasisThreshold(
-    const TransactionDatabase& db, double theta, size_t k_cap,
-    double epsilon, Rng& rng, const PrivBasisOptions& options) {
-  if (!(theta > 0.0) || theta > 1.0) {
-    return Status::InvalidArgument("theta must be in (0, 1]");
-  }
-  if (k_cap == 0) {
-    return Status::InvalidArgument("k_cap must be >= 1");
-  }
-  PRIVBASIS_ASSIGN_OR_RETURN(
-      PrivBasisResult result, RunPrivBasis(db, k_cap, epsilon, rng, options));
-  detail::FilterByNoisyThreshold(theta, db.NumTransactions(), &result.topk);
-  return result;
-}
-
 }  // namespace privbasis

@@ -11,24 +11,15 @@
 
 namespace privbasis {
 
-/// DEPRECATED: thin wrapper kept for one PR — new code should go through
-/// `Engine::Run` with `QuerySpec::WithThreshold` (engine/engine.h).
-///
-/// Releases itemsets with noisy frequency ≥ theta under ε-DP.
-///
-/// `k_cap` bounds the candidate release the filter operates on (it plays
-/// the role of the paper's k; choose it comfortably above the expected
-/// number of θ-frequent itemsets — itemsets beyond the cap can never be
-/// released). theta ∈ (0, 1].
-Result<PrivBasisResult> RunPrivBasisThreshold(
-    const TransactionDatabase& db, double theta, size_t k_cap,
-    double epsilon, Rng& rng, const PrivBasisOptions& options = {});
-
 namespace detail {
 
-/// The θ post-processing filter shared by the wrapper and the Engine:
-/// drops released itemsets whose noisy count falls below θ·N. Pure
+/// The θ post-processing filter behind `Engine::Run` with
+/// `QuerySpec::WithThreshold` (the public threshold entry point): drops
+/// released itemsets whose noisy count falls below θ·N. Pure
 /// post-processing on an already-released answer — no privacy cost.
+/// `k_cap` (the spec's k) bounds the candidate release the filter
+/// operates on; choose it comfortably above the expected number of
+/// θ-frequent itemsets — itemsets beyond the cap can never be released.
 void FilterByNoisyThreshold(double theta, size_t num_transactions,
                             std::vector<NoisyItemset>* released);
 

@@ -44,37 +44,39 @@ std::shared_ptr<Dataset> Dataset::Borrow(const TransactionDatabase& db,
 }
 
 const DatasetStats& Dataset::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!stats_.has_value()) {
-    ++counters_.stats_builds;
-    stats_ = ComputeDatasetStats(*db_);
+  std::lock_guard<std::mutex> lock(stats_.mu);
+  if (!stats_.built) {
+    stats_builds_.fetch_add(1, std::memory_order_relaxed);
+    stats_.value = ComputeDatasetStats(*db_);
+    stats_.built = true;
   }
-  return *stats_;
-}
-
-const std::shared_ptr<const VerticalIndex>& Dataset::IndexLocked() const {
-  if (index_ == nullptr) {
-    ++counters_.index_builds;
-    index_ = std::make_shared<const VerticalIndex>(
-        *db_, VerticalIndex::Options{.num_threads = options_.num_threads});
-  }
-  return index_;
+  // Safe to return by reference: the cell is a member (stable address)
+  // and the value is never rewritten once built.
+  return stats_.value;
 }
 
 std::shared_ptr<const VerticalIndex> Dataset::Index() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return IndexLocked();
+  std::lock_guard<std::mutex> lock(index_.mu);
+  if (!index_.built) {
+    index_builds_.fetch_add(1, std::memory_order_relaxed);
+    index_.value = std::make_shared<const VerticalIndex>(
+        *db_, VerticalIndex::Options{.num_threads = options_.num_threads});
+    index_.built = true;
+  }
+  return index_.value;
 }
 
-Result<uint64_t> Dataset::MarginSupportLocked(size_t k1) const {
-  auto it = margin_supports_.find(k1);
-  if (it != margin_supports_.end()) return it->second;
-  ++counters_.margin_mines;
+Result<uint64_t> Dataset::BuildMarginSupport(size_t k1) const {
+  auto cell = margins_.CellFor(k1);
+  std::lock_guard<std::mutex> lock(cell->mu);
+  if (cell->built) return cell->value;
+  margin_mines_.fetch_add(1, std::memory_order_relaxed);
   PRIVBASIS_ASSIGN_OR_RETURN(
       TopKResult top, MineTopK(*db_, k1, /*max_length=*/0,
                                options_.num_threads));
-  margin_supports_.emplace(k1, top.kth_support);
-  return top.kth_support;
+  cell->value = top.kth_support;
+  cell->built = true;
+  return cell->value;
 }
 
 Result<uint64_t> Dataset::MarginSupport(size_t k, double eta) const {
@@ -82,34 +84,45 @@ Result<uint64_t> Dataset::MarginSupport(size_t k, double eta) const {
   // cache hit yields the bit-identical fk1 hint.
   const size_t k1 =
       static_cast<size_t>(std::ceil(static_cast<double>(k) * eta));
-  std::lock_guard<std::mutex> lock(mu_);
-  return MarginSupportLocked(k1);
+  return BuildMarginSupport(k1);
 }
 
 Result<std::shared_ptr<const GroundTruth>> Dataset::Truth(size_t k) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = truths_.find(k);
-  if (it != truths_.end()) return it->second;
-  ++counters_.truth_mines;
+  auto cell = truths_.CellFor(k);
+  std::lock_guard<std::mutex> lock(cell->mu);
+  if (cell->built) return cell->value;
+  truth_mines_.fetch_add(1, std::memory_order_relaxed);
 
   // One shared implementation with eval/ground_truth.cc, attaching this
-  // handle's VerticalIndex instead of building another.
+  // handle's VerticalIndex instead of building another. (Index() takes
+  // the index cell's own lock — independent of this truth cell's.)
   PRIVBASIS_ASSIGN_OR_RETURN(
       GroundTruth truth,
-      ComputeGroundTruth(*db_, k, IndexLocked(), options_.num_threads));
-  // The one mining pass also warms the margin cache for η = 1.1/1.2 —
-  // the keys MarginSupport would compute for those etas.
+      ComputeGroundTruth(*db_, k, Index(), options_.num_threads));
+  // The one mining pass also warms the margin cells for η = 1.1/1.2 —
+  // the keys MarginSupport would compute for those etas. Lock order is
+  // truth cell → margin cell, and MarginSupport takes margin cells only,
+  // so there is no cycle. A margin cell that lost the race to its own
+  // miner keeps the mined value (both are the same exact statistic).
   if (!truth.topk.itemsets.empty()) {
     const size_t k11 =
         static_cast<size_t>(std::ceil(1.1 * static_cast<double>(k)));
     const size_t k12 =
         static_cast<size_t>(std::ceil(1.2 * static_cast<double>(k)));
-    margin_supports_.emplace(k11, truth.fk1_support_eta11);
-    margin_supports_.emplace(k12, truth.fk1_support_eta12);
+    const std::pair<size_t, uint64_t> warm[] = {
+        {k11, truth.fk1_support_eta11}, {k12, truth.fk1_support_eta12}};
+    for (const auto& [k1, support] : warm) {
+      auto margin_cell = margins_.CellFor(k1);
+      std::lock_guard<std::mutex> margin_lock(margin_cell->mu);
+      if (!margin_cell->built) {
+        margin_cell->value = support;
+        margin_cell->built = true;
+      }
+    }
   }
-  auto gt = std::make_shared<const GroundTruth>(std::move(truth));
-  truths_.emplace(k, gt);
-  return gt;
+  cell->value = std::make_shared<const GroundTruth>(std::move(truth));
+  cell->built = true;
+  return cell->value;
 }
 
 Dataset::TfKey Dataset::MakeTfKey(size_t k, const TfOptions& options) {
@@ -119,21 +132,25 @@ Dataset::TfKey Dataset::MakeTfKey(size_t k, const TfOptions& options) {
 
 Result<std::shared_ptr<const TfRunner>> Dataset::Tf(
     size_t k, const TfOptions& options) const {
-  const TfKey key = MakeTfKey(k, options);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tf_runners_.find(key);
-  if (it != tf_runners_.end()) return it->second;
-  ++counters_.tf_builds;
+  auto cell = tf_runners_.CellFor(MakeTfKey(k, options));
+  std::lock_guard<std::mutex> lock(cell->mu);
+  if (cell->built) return cell->value;
+  tf_builds_.fetch_add(1, std::memory_order_relaxed);
   PRIVBASIS_ASSIGN_OR_RETURN(TfRunner runner,
                              TfRunner::Create(*db_, k, options));
-  auto shared = std::make_shared<const TfRunner>(std::move(runner));
-  tf_runners_.emplace(key, shared);
-  return std::shared_ptr<const TfRunner>(std::move(shared));
+  cell->value = std::make_shared<const TfRunner>(std::move(runner));
+  cell->built = true;
+  return cell->value;
 }
 
 Dataset::CacheCounters Dataset::cache_counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  CacheCounters counters;
+  counters.stats_builds = stats_builds_.load(std::memory_order_relaxed);
+  counters.index_builds = index_builds_.load(std::memory_order_relaxed);
+  counters.margin_mines = margin_mines_.load(std::memory_order_relaxed);
+  counters.truth_mines = truth_mines_.load(std::memory_order_relaxed);
+  counters.tf_builds = tf_builds_.load(std::memory_order_relaxed);
+  return counters;
 }
 
 }  // namespace privbasis

@@ -6,11 +6,14 @@
 //
 // All of it is built lazily and memoized thread-safely, so a service
 // holding one Dataset pays the data-dependent setup cost ONCE and every
-// subsequent Engine::Run pays only the mechanism cost. One mutex guards
-// all caches and is held across builds — warm lookups are a cheap
-// lock+find, but concurrent COLD builds on one handle serialize (a
-// deliberate simplicity tradeoff; the builds themselves fan out over
-// the thread pool, and per-entry locking is a future refinement). The memoized
+// subsequent Engine::Run pays only the mechanism cost. Locking is
+// per-cache-entry: every entry (the stats, the index, each margin k1,
+// each ground-truth k, each TF configuration) has its own build mutex,
+// so concurrent COLD builds of *different* entries proceed in parallel —
+// 16 clients first-touching a fresh handle through the query server do
+// not serialize behind one another — while two racers on the SAME entry
+// still build it exactly once (the second blocks, then reads). A failed
+// build caches nothing; the next caller retries. The memoized
 // quantities are exact data-dependent statistics, not noise draws, so
 // caching changes nothing statistically: a warm query returns the
 // bit-identical release a cold one would (tests/engine_test.cc enforces
@@ -21,10 +24,10 @@
 #ifndef PRIVBASIS_ENGINE_DATASET_H_
 #define PRIVBASIS_ENGINE_DATASET_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <tuple>
 
@@ -68,9 +71,8 @@ class Dataset {
       const SyntheticProfile& profile, uint64_t seed, Options options = {});
 
   /// Non-owning view over a caller-owned database, which must outlive the
-  /// returned handle. Exists for the deprecated free-function wrappers
-  /// and for harnesses that already hold a TransactionDatabase by value;
-  /// new code should prefer Create().
+  /// returned handle. Exists for harnesses and tests that already hold a
+  /// TransactionDatabase by value; new code should prefer Create().
   static std::shared_ptr<Dataset> Borrow(const TransactionDatabase& db,
                                          Options options = {});
 
@@ -92,7 +94,7 @@ class Dataset {
   std::shared_ptr<const VerticalIndex> Index() const;
 
   /// Memoized support of the ⌈η·k⌉-th most frequent itemset — the
-  /// PrivBasis fk1 hint. Exactly the quantity RunPrivBasis would mine
+  /// PrivBasis fk1 hint. Exactly the quantity the mechanism would mine
   /// internally, so warm and cold queries are bit-identical.
   Result<uint64_t> MarginSupport(size_t k, double eta) const;
 
@@ -107,7 +109,8 @@ class Dataset {
                                              const TfOptions& options) const;
 
   /// How many times each expensive cache entry was actually built —
-  /// a second query on a warm Dataset must not move these (tests and the
+  /// a second query on a warm Dataset must not move these, and N racers
+  /// on one cold entry must move them by exactly one (tests and the
   /// bench_smoke warm/cold phases assert on them).
   struct CacheCounters {
     size_t stats_builds = 0;
@@ -121,11 +124,35 @@ class Dataset {
  private:
   Dataset(std::shared_ptr<const TransactionDatabase> db, Options options);
 
-  /// Mines MineTopK(k1) and records its k1-th support. Caller holds mu_.
-  Result<uint64_t> MarginSupportLocked(size_t k1) const;
+  /// One lazily built cache entry with its own build lock. `value` is
+  /// written exactly once, under `mu`, before `built` flips to true; a
+  /// failed build leaves `built` false so the next caller retries.
+  template <typename T>
+  struct CacheCell {
+    std::mutex mu;
+    bool built = false;
+    T value{};
+  };
 
-  /// Lazy index build shared by Index() and Truth(). Caller holds mu_.
-  const std::shared_ptr<const VerticalIndex>& IndexLocked() const;
+  /// Keyed cache entries: a small map mutex guards only the cell table
+  /// (find-or-insert is O(log n) pointer work); the expensive build runs
+  /// under the individual cell's lock, so different keys build in
+  /// parallel.
+  template <typename K, typename V>
+  struct KeyedCache {
+    std::mutex map_mu;
+    std::map<K, std::shared_ptr<CacheCell<V>>> cells;
+
+    std::shared_ptr<CacheCell<V>> CellFor(const K& key) {
+      std::lock_guard<std::mutex> lock(map_mu);
+      auto& cell = cells[key];
+      if (cell == nullptr) cell = std::make_shared<CacheCell<V>>();
+      return cell;
+    }
+  };
+
+  /// Mines MineTopK(k1) into the k1 margin cell (no-op when built).
+  Result<uint64_t> BuildMarginSupport(size_t k1) const;
 
   using TfKey = std::tuple<size_t, size_t, uint64_t, double, int>;
   static TfKey MakeTfKey(size_t k, const TfOptions& options);
@@ -134,13 +161,18 @@ class Dataset {
   Options options_;
   std::shared_ptr<Accountant> accountant_;
 
-  mutable std::mutex mu_;
-  mutable std::optional<DatasetStats> stats_;
-  mutable std::shared_ptr<const VerticalIndex> index_;
-  mutable std::map<size_t, uint64_t> margin_supports_;  // k1 -> support
-  mutable std::map<size_t, std::shared_ptr<const GroundTruth>> truths_;
-  mutable std::map<TfKey, std::shared_ptr<const TfRunner>> tf_runners_;
-  mutable CacheCounters counters_;
+  mutable CacheCell<DatasetStats> stats_;
+  mutable CacheCell<std::shared_ptr<const VerticalIndex>> index_;
+  mutable KeyedCache<size_t, uint64_t> margins_;  // k1 -> support
+  mutable KeyedCache<size_t, std::shared_ptr<const GroundTruth>> truths_;
+  mutable KeyedCache<TfKey, std::shared_ptr<const TfRunner>> tf_runners_;
+  // Build counters are independent atomics: they are bumped inside
+  // different cell locks, never one common one.
+  mutable std::atomic<size_t> stats_builds_{0};
+  mutable std::atomic<size_t> index_builds_{0};
+  mutable std::atomic<size_t> margin_mines_{0};
+  mutable std::atomic<size_t> truth_mines_{0};
+  mutable std::atomic<size_t> tf_builds_{0};
 };
 
 }  // namespace privbasis

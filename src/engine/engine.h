@@ -36,8 +36,8 @@ class Engine {
   static Result<Release> Run(const Dataset& dataset, const QuerySpec& spec);
 
   /// Advanced overload threading a caller-owned RNG (`spec.seed` is
-  /// ignored). Used by the deprecated free-function wrappers and the
-  /// sweep harness, which manage their own streams.
+  /// ignored). Used by the sweep harness and statistical tests, which
+  /// draw many releases from one continuing stream.
   static Result<Release> Run(const Dataset& dataset, const QuerySpec& spec,
                              Rng& rng);
 

@@ -26,8 +26,10 @@ Status QuerySpec::Validate() const {
   if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
     return Status::InvalidArgument("epsilon must be > 0 and finite");
   }
-  if (theta < 0.0 || theta > 1.0) {
-    return Status::InvalidArgument("theta must be in (0, 1]");
+  // !(θ ≥ 0) rather than θ < 0 so NaN is rejected too.
+  if (!(theta >= 0.0) || theta > 1.0) {
+    return Status::InvalidArgument(
+        "theta must be in [0, 1] (0 = no threshold filter)");
   }
   if (!(sampling_rate > 0.0) || sampling_rate > 1.0) {
     return Status::InvalidArgument("sampling rate must be in (0, 1]");

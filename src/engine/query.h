@@ -107,9 +107,10 @@ struct QuerySpec {
 
   /// Central option validation (satisfying every check the scattered
   /// entry points used to do ad hoc): k ≥ 1, ε > 0 and finite, PrivBasis
-  /// α1+α2+α3 ≤ 1 with positive parts, η ≥ 1, θ ∈ (0, 1], sampling rate
-  /// ∈ (0, 1], TF m ≥ 1, rule confidence ∈ (0, 1]. Returns
-  /// kInvalidArgument with a usage-quality message on the first failure.
+  /// α1+α2+α3 ≤ 1 with positive parts, η ≥ 1, θ ∈ [0, 1] (0 = no
+  /// filter), sampling rate ∈ (0, 1], TF m ≥ 1, rule confidence
+  /// ∈ (0, 1]. Returns kInvalidArgument with a usage-quality message on
+  /// the first failure.
   Status Validate() const;
 };
 

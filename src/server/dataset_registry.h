@@ -1,0 +1,98 @@
+// DatasetRegistry: the server's id → Dataset handle table.
+//
+// Registration hands out opaque "ds-N" ids; lookups return the shared_ptr
+// itself, so eviction is safe by construction — a Remove() while queries
+// are in flight only drops the registry's reference, and the last
+// in-flight Engine::Run keeps the Dataset (and its Accountant ledger)
+// alive until it finishes. Nothing is ever invalidated under a running
+// query.
+//
+// The registry also owns the policy for *building* datasets out of wire
+// requests (file path, inline transactions, or synthetic profile) so the
+// HTTP layer stays a thin router.
+#ifndef PRIVBASIS_SERVER_DATASET_REGISTRY_H_
+#define PRIVBASIS_SERVER_DATASET_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "engine/dataset.h"
+
+namespace privbasis::server {
+
+/// Caps on wire-built datasets (all registration input is untrusted). A
+/// namespace-scope struct — like DatasetOptions — so it can appear as a
+/// `= {}` default argument inside the class body.
+struct DatasetRegistryLimits {
+  size_t max_inline_transactions = 1 << 20;
+  double max_profile_scale = 10.0;
+  /// Ceiling on wire-registered datasets held at once (each one pins a
+  /// full TransactionDatabase in memory forever until DELETEd, so an
+  /// unbounded count is a one-request-at-a-time OOM). In-process
+  /// Register() calls (tests, operator preloads) are not counted
+  /// against it.
+  size_t max_datasets = 64;
+  /// Whether {"path": ...} registrations are accepted. OFF by default:
+  /// a server-side file read is an operator decision (arbitrary-path
+  /// probing, unbounded file sizes), opted into via the server binary's
+  /// --allow-path-datasets. Operator preloads bypass the wire entirely
+  /// (Dataset::FromFimiFile + Register).
+  bool allow_paths = false;
+};
+
+class DatasetRegistry {
+ public:
+  using Limits = DatasetRegistryLimits;
+
+  explicit DatasetRegistry(Limits limits = {}) : limits_(limits) {}
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Adds a handle, returning its new "ds-N" id. Ids are never reused.
+  std::string Register(std::shared_ptr<Dataset> dataset);
+
+  /// A freshly registered handle: the id AND the shared_ptr itself, so
+  /// callers never re-look the id up (a concurrent Remove() between
+  /// registration and lookup would hand them nullptr).
+  struct Registered {
+    std::string id;
+    std::shared_ptr<Dataset> dataset;
+  };
+
+  /// Builds a Dataset from a wire request and registers it. Exactly one
+  /// of the source keys must be present:
+  ///   {"path": "transactions.dat"}                 FIMI file (gated by
+  ///                                                Limits::allow_paths)
+  ///   {"transactions": [[1,2,9], [2,9], ...]}      inline
+  ///   {"profile": "mushroom", "scale": 0.5}        synthetic profile
+  /// plus optional "budget" (total ε; default unlimited), "seed"
+  /// (profile generation; default 42), and "threads" (cache-build
+  /// parallelism; default the env knob). Unknown keys are rejected.
+  Result<Registered> RegisterFromJson(const json::Value& request);
+
+  /// The handle for `id`, or nullptr. The returned shared_ptr keeps the
+  /// dataset alive independent of later Remove() calls.
+  std::shared_ptr<Dataset> Find(const std::string& id) const;
+
+  /// Drops the registry's reference; false when `id` is unknown.
+  bool Remove(const std::string& id);
+
+  size_t size() const;
+  std::vector<std::string> ids() const;
+
+ private:
+  Limits limits_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Dataset>> datasets_;
+  size_t next_id_ = 1;
+};
+
+}  // namespace privbasis::server
+
+#endif  // PRIVBASIS_SERVER_DATASET_REGISTRY_H_

@@ -1,0 +1,256 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace privbasis::server {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses the head (request line + headers, already verified to end with
+/// CRLFCRLF at `head_end`). Returns false on grammar violations.
+bool ParseHead(std::string_view head, HttpRequest* request) {
+  const size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  std::string_view line = head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  request->method = std::string(line.substr(0, sp1));
+  request->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request->version = std::string(line.substr(sp2 + 1));
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/' ||
+      !request->version.starts_with("HTTP/1.")) {
+    return false;
+  }
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    const size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) break;
+    std::string_view header = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (header.empty()) break;
+    const size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    request->headers.emplace_back(
+        std::string(Trim(header.substr(0, colon))),
+        std::string(Trim(header.substr(colon + 1))));
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = Header("Connection");
+  if (connection == nullptr) return version != "HTTP/1.0";
+  return !EqualsIgnoreCase(*connection, "close");
+}
+
+HttpReadOutcome ReadHttpRequest(const net::Fd& fd, const HttpLimits& limits,
+                                net::Deadline deadline, std::string* buffer,
+                                HttpRequest* request) {
+  *request = HttpRequest();
+  char chunk[8192];
+  size_t head_end = std::string::npos;
+  // Phase 1: accumulate until CRLFCRLF.
+  for (;;) {
+    head_end = buffer->find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buffer->size() > limits.max_header_bytes) {
+      return HttpReadOutcome::kHeaderTooLarge;
+    }
+    auto n = net::ReadSome(fd, chunk, sizeof(chunk), deadline);
+    if (!n.ok()) {
+      return n.status().code() == StatusCode::kResourceExhausted
+                 ? (buffer->empty() ? HttpReadOutcome::kClosed
+                                    : HttpReadOutcome::kTimeout)
+                 : HttpReadOutcome::kIoError;
+    }
+    if (*n == 0) {
+      // EOF: clean between requests, malformed mid-head.
+      return buffer->empty() ? HttpReadOutcome::kClosed
+                             : HttpReadOutcome::kMalformed;
+    }
+    buffer->append(chunk, *n);
+  }
+  if (head_end + 4 > limits.max_header_bytes) {
+    return HttpReadOutcome::kHeaderTooLarge;
+  }
+  if (!ParseHead(std::string_view(*buffer).substr(0, head_end + 2),
+                 request)) {
+    return HttpReadOutcome::kMalformed;
+  }
+
+  // Phase 2: the body, if any.
+  size_t content_length = 0;
+  if (const std::string* cl = request->Header("Content-Length")) {
+    // Duplicate Content-Length headers are a framing error (RFC 7230
+    // §3.3.2, request-smuggling class): reject outright rather than
+    // silently picking one.
+    size_t occurrences = 0;
+    for (const auto& [key, value] : request->headers) {
+      occurrences += EqualsIgnoreCase(key, "Content-Length");
+    }
+    if (occurrences > 1) return HttpReadOutcome::kMalformed;
+    // Strict digits-only parse: "-1" must be a 400 grammar violation,
+    // not a strtoull wraparound answered 413.
+    if (cl->empty() ||
+        cl->find_first_not_of("0123456789") != std::string::npos) {
+      return HttpReadOutcome::kMalformed;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(cl->c_str(), &end, 10);
+    if (errno == ERANGE || end != cl->c_str() + cl->size()) {
+      return HttpReadOutcome::kMalformed;
+    }
+    content_length = static_cast<size_t>(parsed);
+  } else if (request->Header("Transfer-Encoding") != nullptr) {
+    // Content-Length bodies only (header comment); a chunked request
+    // would desynchronize the stream, so reject it outright.
+    return HttpReadOutcome::kMalformed;
+  }
+  const size_t body_start = head_end + 4;
+  if (content_length > limits.max_body_bytes) {
+    // Drain the declared body (bounded) before the caller responds:
+    // closing with unread request bytes in flight sends a RST that can
+    // destroy the 413 before the client reads it. Beyond the cap the
+    // sender is abusive and just gets the reset.
+    constexpr size_t kDrainCap = 8 * 1024 * 1024;
+    if (content_length <= kDrainCap) {
+      size_t received = buffer->size() - body_start;
+      while (received < content_length) {
+        auto n = net::ReadSome(fd, chunk, sizeof(chunk), deadline);
+        if (!n.ok() || *n == 0) break;
+        received += *n;
+        buffer->resize(body_start);  // discard, keep memory bounded
+      }
+    }
+    return HttpReadOutcome::kBodyTooLarge;
+  }
+  while (buffer->size() - body_start < content_length) {
+    auto n = net::ReadSome(fd, chunk, sizeof(chunk), deadline);
+    if (!n.ok()) {
+      return n.status().code() == StatusCode::kResourceExhausted
+                 ? HttpReadOutcome::kTimeout
+                 : HttpReadOutcome::kIoError;
+    }
+    if (*n == 0) return HttpReadOutcome::kMalformed;
+    buffer->append(chunk, *n);
+  }
+  request->body = buffer->substr(body_start, content_length);
+  // Keep pipelined bytes beyond this request for the next call.
+  buffer->erase(0, body_start + content_length);
+  return HttpReadOutcome::kOk;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Status WriteHttpResponse(const net::Fd& fd, const HttpResponse& response,
+                         net::Deadline deadline) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpReasonPhrase(response.status) + "\r\n";
+  if (!response.body.empty() || response.status != 204) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.close_connection) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return net::WriteAll(fd, out, deadline);
+}
+
+Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                              const std::string& method,
+                              const std::string& target,
+                              const std::string& body, int64_t timeout_ms) {
+  const net::Deadline deadline = net::DeadlineAfterMs(timeout_ms);
+  PRIVBASIS_ASSIGN_OR_RETURN(net::Fd fd,
+                             net::ConnectTcp(host, port, deadline));
+  std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                        "Host: " + host + "\r\n" +
+                        "Connection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: application/json\r\n";
+  }
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  PRIVBASIS_RETURN_NOT_OK(net::WriteAll(fd, request, deadline));
+
+  std::string raw;
+  char chunk[8192];
+  for (;;) {
+    PRIVBASIS_ASSIGN_OR_RETURN(size_t n,
+                               net::ReadSome(fd, chunk, sizeof(chunk),
+                                             deadline));
+    if (n == 0) break;
+    raw.append(chunk, n);
+  }
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IoError("truncated HTTP response");
+  }
+  HttpResponse response;
+  const size_t line_end = raw.find("\r\n");
+  // "HTTP/1.1 200 OK"
+  if (line_end < 12 || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::IoError("malformed HTTP status line");
+  }
+  response.status = std::atoi(raw.c_str() + 9);
+  if (response.status < 100 || response.status > 599) {
+    return Status::IoError("malformed HTTP status code");
+  }
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace privbasis::server

@@ -1,0 +1,91 @@
+// Minimal HTTP/1.1 on top of common/net: request parsing with explicit
+// limit outcomes, response writing, and a tiny blocking client used by
+// the tests and the bench_smoke server_latency phase.
+//
+// Scope is deliberately narrow — the subset the query server needs:
+// Content-Length bodies only (no chunked transfer), no TLS, case-
+// insensitive header lookup, keep-alive with Connection: close
+// honored. Every limit violation is a distinct outcome, not a generic
+// error, because the server maps them to distinct response codes
+// (413 body too large, 431 headers too large, 408 timeout, 400
+// malformed) — the per-request contract the test harness pins down.
+#ifndef PRIVBASIS_SERVER_HTTP_H_
+#define PRIVBASIS_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/net.h"
+#include "common/status.h"
+
+namespace privbasis::server {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (uppercase as received)
+  std::string target;   // origin-form, e.g. "/v1/query"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* Header(std::string_view name) const;
+  /// True unless the client sent "Connection: close" (HTTP/1.1 default).
+  bool KeepAlive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Closes the connection after this response (set on fatal parse
+  /// outcomes where the stream position is unreliable).
+  bool close_connection = false;
+};
+
+/// Byte ceilings of one request.
+struct HttpLimits {
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+/// How reading one request ended. kClosed (clean EOF between requests)
+/// is the one non-response outcome; all others either carry a request or
+/// name the response the server must send.
+enum class HttpReadOutcome {
+  kOk,              ///< `request` is complete
+  kClosed,          ///< orderly EOF before any request byte
+  kTimeout,         ///< deadline hit mid-request → 408
+  kMalformed,       ///< grammar violation → 400
+  kHeaderTooLarge,  ///< → 431
+  kBodyTooLarge,    ///< → 413
+  kIoError,         ///< transport error; just drop the connection
+};
+
+/// Reads one request from `fd` (appending to / consuming from `buffer`,
+/// which carries pipelined bytes between calls on a keep-alive
+/// connection). Blocks until a full request, a limit, or `deadline`.
+HttpReadOutcome ReadHttpRequest(const net::Fd& fd, const HttpLimits& limits,
+                                net::Deadline deadline, std::string* buffer,
+                                HttpRequest* request);
+
+/// Writes `response` with Content-Length and Connection headers.
+Status WriteHttpResponse(const net::Fd& fd, const HttpResponse& response,
+                         net::Deadline deadline);
+
+/// Standard reason phrase for the handful of codes the server emits.
+const char* HttpReasonPhrase(int status);
+
+/// Blocking one-shot client: opens a connection, sends `method target`
+/// with `body`, reads the response. `timeout_ms` bounds the whole round
+/// trip. Used by tests, bench_smoke, and anyone without curl.
+Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
+                              const std::string& method,
+                              const std::string& target,
+                              const std::string& body, int64_t timeout_ms);
+
+}  // namespace privbasis::server
+
+#endif  // PRIVBASIS_SERVER_HTTP_H_

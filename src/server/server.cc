@@ -1,0 +1,369 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+#include <limits>
+#include <utility>
+
+#include "engine/accountant.h"
+#include "engine/engine.h"
+#include "server/wire.h"
+
+namespace privbasis::server {
+
+namespace {
+
+/// "/v1/datasets/ds-3/budget" → {"ds-3", "budget"}; empty id = no match.
+struct DatasetPath {
+  std::string id;
+  std::string tail;  // after the id, without the leading '/'
+};
+
+DatasetPath ParseDatasetPath(const std::string& target) {
+  static constexpr std::string_view kPrefix = "/v1/datasets/";
+  DatasetPath out;
+  if (!target.starts_with(kPrefix)) return out;
+  const std::string rest = target.substr(kPrefix.size());
+  const size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    out.id = rest;
+  } else {
+    out.id = rest.substr(0, slash);
+    out.tail = rest.substr(slash + 1);
+  }
+  return out;
+}
+
+HttpResponse JsonResponse(int status, const json::Value& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump();
+  return response;
+}
+
+}  // namespace
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusForCode(status.code()),
+                      StatusToJson(status));
+}
+
+QueryServer::QueryServer(ServerOptions options)
+    : options_(std::move(options)), registry_(options_.registry_limits) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  PRIVBASIS_ASSIGN_OR_RETURN(listen_fd_,
+                             net::ListenTcp(options_.host, options_.port));
+  PRIVBASIS_ASSIGN_OR_RETURN(port_, net::LocalPort(listen_fd_));
+  // Connection handlers block on client I/O, so they get their own pool;
+  // Submit needs ≥ 1 worker.
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, EffectiveThreads(options_.num_threads)));
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_.Close();
+  {
+    // In-flight handlers run to completion (their own deadlines bound
+    // the wait); new connections were already refused above.
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  pool_.reset();  // drains any still-queued (unstarted) connections
+  started_ = false;
+}
+
+QueryServer::Counters QueryServer::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Short waits so Stop() is noticed promptly without closing the fd
+    // under a concurrent accept.
+    auto accepted =
+        net::AcceptWithDeadline(listen_fd_, net::DeadlineAfterMs(50));
+    if (!accepted.ok()) {
+      // Transient resource exhaustion (EMFILE/ENFILE/ENOBUFS under
+      // connection load) must not kill the accept loop — that would
+      // leave a zombie server whose backlog silently absorbs clients.
+      // Back off one tick and retry; Stop() remains the only exit.
+      timespec backoff{0, 50'000'000};  // 50 ms
+      nanosleep(&backoff, nullptr);
+      continue;
+    }
+    if (!accepted->valid()) continue;  // deadline tick
+    auto fd = std::make_shared<net::Fd>(std::move(*accepted));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++active_connections_;
+      ++counters_.connections;
+    }
+    pool_->Submit([this, fd]() mutable {
+      HandleConnection(std::move(*fd));
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_connections_ == 0) idle_cv_.notify_all();
+    });
+  }
+}
+
+void QueryServer::HandleConnection(net::Fd fd) {
+  const HttpLimits limits{.max_body_bytes = options_.max_body_bytes};
+  std::string buffer;
+  for (size_t served = 0; served < options_.max_requests_per_connection;
+       ++served) {
+    // Idle wait in short stop-aware ticks: a parked keep-alive
+    // connection must not hold Stop() hostage for the full request
+    // deadline. The per-request deadline starts once bytes arrive.
+    if (buffer.empty()) {
+      const net::Deadline idle_deadline =
+          net::DeadlineAfterMs(options_.request_deadline_ms);
+      for (;;) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        auto readable = net::PollReadable(fd, net::DeadlineAfterMs(100));
+        if (!readable.ok()) return;
+        if (*readable) break;
+        if (std::chrono::steady_clock::now() >= idle_deadline) {
+          return;  // idle keep-alive timeout: just close
+        }
+      }
+    }
+    const net::Deadline deadline =
+        net::DeadlineAfterMs(options_.request_deadline_ms);
+    HttpRequest request;
+    const HttpReadOutcome outcome =
+        ReadHttpRequest(fd, limits, deadline, &buffer, &request);
+
+    HttpResponse response;
+    bool have_request = false;
+    switch (outcome) {
+      case HttpReadOutcome::kOk:
+        have_request = true;
+        break;
+      case HttpReadOutcome::kClosed:
+      case HttpReadOutcome::kIoError:
+        return;
+      case HttpReadOutcome::kTimeout:
+        response = ErrorResponse(Status::ResourceExhausted(
+            "request deadline (" +
+            std::to_string(options_.request_deadline_ms) + " ms) exceeded"));
+        response.status = 408;
+        break;
+      case HttpReadOutcome::kMalformed:
+        response = ErrorResponse(
+            Status::InvalidArgument("malformed HTTP request"));
+        break;
+      case HttpReadOutcome::kHeaderTooLarge:
+        response = ErrorResponse(Status::ResourceExhausted(
+            "request headers exceed 16 KiB"));
+        response.status = 431;
+        break;
+      case HttpReadOutcome::kBodyTooLarge:
+        response = ErrorResponse(Status::ResourceExhausted(
+            "request body exceeds " +
+            std::to_string(options_.max_body_bytes) + " bytes"));
+        response.status = 413;
+        break;
+    }
+
+    if (have_request) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.requests;
+      }
+      response = Route(request);
+      response.close_connection =
+          response.close_connection || !request.KeepAlive() ||
+          served + 1 == options_.max_requests_per_connection;
+    } else {
+      // The stream position is unreliable after any read failure.
+      response.close_connection = true;
+    }
+    // The response gets its own write deadline: by the time a slow (but
+    // successful) query finishes, the request deadline may already be
+    // spent, and dropping the write would lose a release whose ε was
+    // just committed to the ledger — the one outcome a budget-metered
+    // server must never produce.
+    if (!WriteHttpResponse(fd, response,
+                           net::DeadlineAfterMs(options_.request_deadline_ms))
+             .ok()) {
+      return;
+    }
+    if (response.close_connection) return;
+  }
+}
+
+HttpResponse QueryServer::Route(const HttpRequest& request) {
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      HttpResponse r = ErrorResponse(
+          Status::InvalidArgument("use GET /healthz"));
+      r.status = 405;
+      return r;
+    }
+    return HandleHealth();
+  }
+  if (request.target == "/v1/query") {
+    if (request.method != "POST") {
+      HttpResponse r = ErrorResponse(
+          Status::InvalidArgument("use POST /v1/query"));
+      r.status = 405;
+      return r;
+    }
+    return HandleQuery(request);
+  }
+  if (request.target == "/v1/datasets") {
+    if (request.method != "POST") {
+      HttpResponse r = ErrorResponse(
+          Status::InvalidArgument("use POST /v1/datasets"));
+      r.status = 405;
+      return r;
+    }
+    return HandleRegisterDataset(request);
+  }
+  const DatasetPath path = ParseDatasetPath(request.target);
+  if (!path.id.empty()) {
+    // Known path shapes get a real 405 on a verb mismatch so a client
+    // can distinguish "wrong method" from "unknown dataset" (404).
+    if (path.tail == "budget") {
+      if (request.method != "GET") {
+        HttpResponse r = ErrorResponse(Status::InvalidArgument(
+            "use GET /v1/datasets/:id/budget"));
+        r.status = 405;
+        return r;
+      }
+      return HandleBudget(path.id);
+    }
+    if (path.tail.empty()) {
+      if (request.method != "DELETE") {
+        HttpResponse r = ErrorResponse(
+            Status::InvalidArgument("use DELETE /v1/datasets/:id"));
+        r.status = 405;
+        return r;
+      }
+      return HandleEvict(path.id);
+    }
+  }
+  return ErrorResponse(
+      Status::NotFound("no route for " + request.method + " " +
+                       request.target));
+}
+
+HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
+  auto finish = [this](HttpResponse response) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (response.status / 100 == 2) {
+      ++counters_.queries_ok;
+    } else {
+      ++counters_.queries_rejected;
+    }
+    return response;
+  };
+
+  auto parsed = json::Parse(request.body);
+  if (!parsed.ok()) return finish(ErrorResponse(parsed.status()));
+  const json::Value* dataset_id = parsed->Find("dataset");
+  if (dataset_id == nullptr) {
+    return finish(ErrorResponse(Status::InvalidArgument(
+        "\"dataset\" (a registered handle id) is required")));
+  }
+  auto id = dataset_id->GetString();
+  if (!id.ok()) return finish(ErrorResponse(id.status()));
+  auto spec = QuerySpecFromJson(*parsed);
+  if (!spec.ok()) return finish(ErrorResponse(spec.status()));
+
+  std::shared_ptr<Dataset> dataset = registry_.Find(*id);
+  if (dataset == nullptr) {
+    return finish(ErrorResponse(
+        Status::NotFound("unknown dataset \"" + *id + "\"")));
+  }
+  // The full in-process path: central validation, budget reservation
+  // (429 before any noise on overdraft), mechanism, ledger commit.
+  auto release = Engine::Run(dataset, *spec);
+  if (!release.ok()) return finish(ErrorResponse(release.status()));
+  return finish(JsonResponse(200, ReleaseToJson(*release)));
+}
+
+HttpResponse QueryServer::HandleRegisterDataset(const HttpRequest& request) {
+  auto parsed = json::Parse(request.body);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  auto registered = registry_.RegisterFromJson(*parsed);
+  if (!registered.ok()) return ErrorResponse(registered.status());
+  // Use the returned handle, never a re-lookup: a concurrent DELETE of
+  // the fresh id must not null this out under us.
+  const std::shared_ptr<Dataset>& dataset = registered->dataset;
+  json::Value body;
+  body.Set("dataset", registered->id);
+  body.Set("num_transactions", dataset->db().NumTransactions());
+  body.Set("universe_size", dataset->db().UniverseSize());
+  json::Value budget;
+  const Accountant& accountant = *dataset->accountant();
+  budget.Set("total", accountant.total_epsilon() ==
+                              std::numeric_limits<double>::infinity()
+                          ? json::Value(nullptr)
+                          : json::Value(accountant.total_epsilon()));
+  body.Set("budget", std::move(budget));
+  return JsonResponse(201, body);
+}
+
+HttpResponse QueryServer::HandleBudget(const std::string& id) {
+  const std::shared_ptr<Dataset> dataset = registry_.Find(id);
+  if (dataset == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown dataset \"" + id + "\""));
+  }
+  const Accountant& accountant = *dataset->accountant();
+  json::Value body;
+  const double total = accountant.total_epsilon();
+  body.Set("total", std::isfinite(total) ? json::Value(total)
+                                         : json::Value(nullptr));
+  body.Set("spent", accountant.spent_epsilon());
+  body.Set("reserved", accountant.reserved_epsilon());
+  const double remaining = accountant.remaining_epsilon();
+  body.Set("remaining", std::isfinite(remaining)
+                            ? json::Value(remaining)
+                            : json::Value(nullptr));
+  json::Value::Array ledger;
+  for (const auto& entry : accountant.ledger()) {
+    json::Value e;
+    e.Set("label", entry.label);
+    e.Set("epsilon", entry.epsilon);
+    ledger.emplace_back(std::move(e));
+  }
+  body.Set("ledger", std::move(ledger));
+  return JsonResponse(200, body);
+}
+
+HttpResponse QueryServer::HandleEvict(const std::string& id) {
+  if (!registry_.Remove(id)) {
+    return ErrorResponse(Status::NotFound("unknown dataset \"" + id + "\""));
+  }
+  HttpResponse response;
+  response.status = 204;
+  return response;
+}
+
+HttpResponse QueryServer::HandleHealth() {
+  const Counters counters = this->counters();
+  json::Value body;
+  body.Set("status", "ok");
+  body.Set("datasets", registry_.size());
+  body.Set("connections", counters.connections);
+  body.Set("requests", counters.requests);
+  body.Set("queries_ok", counters.queries_ok);
+  body.Set("queries_rejected", counters.queries_rejected);
+  return JsonResponse(200, body);
+}
+
+}  // namespace privbasis::server

@@ -1,0 +1,136 @@
+// QueryServer: the multi-threaded HTTP/1.1 JSON front end over
+// Engine::Run — the service boundary that turns the library into a
+// deployable query endpoint.
+//
+// Routes (all JSON; error bodies are {"error": {code, message}}):
+//   POST   /v1/query                 QuerySpec mirror (+ "dataset" id)
+//                                    → Release JSON
+//   POST   /v1/datasets              register path / inline transactions
+//                                    / synthetic profile → {"dataset": id}
+//   GET    /v1/datasets/:id/budget   Accountant ledger readback
+//   DELETE /v1/datasets/:id          evict (in-flight queries unaffected)
+//   GET    /healthz                  liveness + dataset count
+//
+// Per-request contract (tests/server_test.cc pins these down):
+//   * Bounded work: body size ≤ max_body_bytes (413 otherwise), headers
+//     ≤ 16 KiB (431), one wall-clock deadline bounds reading the
+//     request (408 on mid-read expiry); the response write gets its own
+//     equal grace, so a slow-but-successful query whose ε was already
+//     committed is never dropped mid-write.
+//   * Predictable failure: malformed JSON / unknown keys / invalid spec
+//     → 400 with the validator's message; unknown dataset → 404; an
+//     Accountant refusal → 429 with the ledger untouched (the refusal
+//     happens before any noise is drawn, exactly as in-process).
+//   * Served == in-process: a query answered over HTTP is bit-identical
+//     to Engine::Run with the same dataset, spec, and seed — the wire
+//     layer round-trips doubles losslessly and the server adds no
+//     hidden state.
+//
+// Concurrency: one accept thread hands connections to a dedicated
+// ThreadPool (not the global counting pool — a handler blocked on slow
+// client I/O must never hold a compute worker hostage). Each worker owns
+// its connection for the keep-alive duration; Engine::Run inside fans
+// out over the global pool as usual. Budget integrity under contention
+// is the Accountant's reserve/commit protocol — the server adds nothing
+// and therefore can't break it (the 16-client hammer test checks ε
+// conservation end to end).
+#ifndef PRIVBASIS_SERVER_SERVER_H_
+#define PRIVBASIS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/net.h"
+#include "common/thread_pool.h"
+#include "server/dataset_registry.h"
+#include "server/http.h"
+
+namespace privbasis::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port().
+  uint16_t port = 0;
+  /// Connection-handler threads; 0 = the PRIVBASIS_THREADS env knob.
+  size_t num_threads = 0;
+  /// Wall-clock budget for reading one request (and, separately, for
+  /// writing its response).
+  int64_t request_deadline_ms = 30'000;
+  size_t max_body_bytes = 1024 * 1024;
+  /// Requests served per keep-alive connection before Connection: close.
+  size_t max_requests_per_connection = 1024;
+  DatasetRegistry::Limits registry_limits;
+};
+
+class QueryServer {
+ public:
+  explicit QueryServer(ServerOptions options = {});
+  /// Stops if still running.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread + worker pool.
+  Status Start();
+
+  /// Stops accepting, waits for in-flight requests (bounded by their
+  /// deadlines), and joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Datasets can be pre-registered in process (tests, the server
+  /// binary's --preload) or via POST /v1/datasets.
+  DatasetRegistry& registry() { return registry_; }
+
+  /// Monotone counters for smoke checks and the /healthz body.
+  struct Counters {
+    uint64_t connections = 0;
+    uint64_t requests = 0;
+    uint64_t queries_ok = 0;
+    uint64_t queries_rejected = 0;  ///< non-2xx /v1/query responses
+  };
+  Counters counters() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(net::Fd fd);
+  /// Pure request → response routing (no socket I/O), so tests can cover
+  /// the routing table without a live connection if needed.
+  HttpResponse Route(const HttpRequest& request);
+
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleRegisterDataset(const HttpRequest& request);
+  HttpResponse HandleBudget(const std::string& id);
+  HttpResponse HandleEvict(const std::string& id);
+  HttpResponse HandleHealth();
+
+  ServerOptions options_;
+  DatasetRegistry registry_;
+  net::Fd listen_fd_;
+  uint16_t port_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  size_t active_connections_ = 0;
+  Counters counters_;
+};
+
+/// Body for a non-2xx response from `status` (wire's error JSON).
+HttpResponse ErrorResponse(const Status& status);
+
+}  // namespace privbasis::server
+
+#endif  // PRIVBASIS_SERVER_SERVER_H_

@@ -6,6 +6,7 @@
 
 #include "core/amplified.h"
 #include "data/synthetic.h"
+#include "engine/engine.h"
 #include "fim/topk.h"
 #include "test_util.h"
 
@@ -13,6 +14,20 @@ namespace privbasis {
 namespace {
 
 using ::privbasis::testing::MakeRandomDb;
+
+/// One subsampled query through the public entry point
+/// (QuerySpec::WithAmplification → Engine::Run) with an external Rng.
+Result<Release> RunAmplified(const TransactionDatabase& db, size_t k,
+                             double epsilon, Rng& rng,
+                             const AmplifiedOptions& options = {}) {
+  QuerySpec spec;
+  spec.k = k;
+  spec.epsilon = epsilon;
+  spec.sampling_rate = options.sampling_rate;
+  spec.pb = options.base;
+  auto handle = Dataset::Borrow(db);
+  return Engine::Run(*handle, spec, rng);
+}
 
 TEST(AmplificationTest, FormulaBasics) {
   // q = 1: no amplification.
@@ -94,12 +109,11 @@ TEST(AmplifiedPrivBasisTest, HighEpsilonStillAccurate) {
   AmplifiedOptions options;
   options.sampling_rate = 0.5;
   Rng rng(19);
-  auto result = RunPrivBasisSubsampled(*db, k, /*epsilon=*/50.0, rng,
-                                       options);
+  auto result = RunAmplified(*db, k, /*epsilon=*/50.0, rng, options);
   ASSERT_TRUE(result.ok()) << result.status();
   // Rescaled counts must approximate the full-data supports.
   size_t checked = 0;
-  for (const auto& r : result->topk) {
+  for (const auto& r : result->itemsets) {
     double exact = static_cast<double>(db->SupportOf(r.items));
     if (exact > 0) {
       EXPECT_NEAR(r.noisy_count / exact, 1.0, 0.15) << r.items.ToString();
@@ -116,7 +130,7 @@ TEST(AmplifiedPrivBasisTest, ReportsEndToEndEpsilon) {
   options.sampling_rate = 0.4;
   Rng rng(23);
   const double target = 1.0;
-  auto result = RunPrivBasisSubsampled(db, 10, target, rng, options);
+  auto result = RunAmplified(db, 10, target, rng, options);
   ASSERT_TRUE(result.ok());
   // The reported end-to-end guarantee never exceeds the target.
   EXPECT_LE(result->epsilon_spent, target + 1e-9);
@@ -125,10 +139,10 @@ TEST(AmplifiedPrivBasisTest, ReportsEndToEndEpsilon) {
 TEST(AmplifiedPrivBasisTest, ValidatesArguments) {
   TransactionDatabase db = MakeRandomDb({.seed = 25});
   Rng rng(27);
-  EXPECT_FALSE(RunPrivBasisSubsampled(db, 10, 0.0, rng).ok());
+  EXPECT_FALSE(RunAmplified(db, 10, 0.0, rng).ok());
   AmplifiedOptions bad;
   bad.sampling_rate = 0.0;
-  EXPECT_FALSE(RunPrivBasisSubsampled(db, 10, 1.0, rng, bad).ok());
+  EXPECT_FALSE(RunAmplified(db, 10, 1.0, rng, bad).ok());
 }
 
 }  // namespace

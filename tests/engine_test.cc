@@ -1,6 +1,7 @@
 // The Engine facade: central validation, budget metering across repeated
-// queries, cache transparency (warm == cold, bit for bit), concurrency
-// determinism, and equivalence with the deprecated free functions.
+// queries, cache transparency (warm == cold, bit for bit), and
+// concurrency determinism — including once-only cold builds under the
+// per-cache-entry locking.
 #include "engine/engine.h"
 
 #include <gtest/gtest.h>
@@ -8,9 +9,6 @@
 #include <thread>
 #include <vector>
 
-#include "core/amplified.h"
-#include "core/privbasis.h"
-#include "core/threshold.h"
 #include "data/synthetic.h"
 #include "test_util.h"
 
@@ -63,6 +61,9 @@ TEST(QuerySpecTest, ValidateCentralizesOptionChecks) {
   QuerySpec bad_eta;
   bad_eta.pb.eta = 0.9;
   EXPECT_FALSE(bad_eta.Validate().ok());
+  QuerySpec nan_theta;
+  nan_theta.theta = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(nan_theta.Validate().ok());
 
   QuerySpec tf;
   tf.WithMethod(QueryMethod::kTruncatedFrequency);
@@ -229,45 +230,73 @@ TEST(EngineTest, ConcurrentRunsBitIdenticalToSequential) {
               dataset->accountant()->spent_epsilon(), 1e-9);
 }
 
-TEST(EngineTest, MatchesDeprecatedFreeFunctions) {
+TEST(EngineTest, ExternalRngOverloadMatchesSeededRun) {
+  // The advanced overload threading a caller-owned Rng must produce the
+  // bit-identical release a seeded run does — for every spec variant
+  // (the contract the sweep harness and statistical tests rely on).
   TransactionDatabase db = MakeRandomDb({.seed = 13, .num_transactions = 250});
   auto dataset = Dataset::Create(db);
+  const QuerySpec variants[] = {
+      QuerySpec().WithTopK(15).WithEpsilon(1.0).WithSeed(21),
+      QuerySpec().WithThreshold(0.3, 40).WithEpsilon(1.0).WithSeed(23),
+      QuerySpec().WithTopK(15).WithEpsilon(1.0).WithAmplification(0.6)
+          .WithSeed(25),
+  };
+  for (const QuerySpec& spec : variants) {
+    Rng rng(spec.seed);
+    auto via_rng = Engine::Run(*dataset, spec, rng);
+    ASSERT_TRUE(via_rng.ok()) << via_rng.status();
+    auto via_seed = Engine::Run(*dataset, spec);
+    ASSERT_TRUE(via_seed.ok()) << via_seed.status();
+    EXPECT_TRUE(SameRelease(via_rng->itemsets, via_seed->itemsets));
+    EXPECT_NEAR(via_rng->epsilon_spent, via_seed->epsilon_spent, 1e-12);
+  }
+}
 
-  {  // Plain top-k.
-    Rng rng(21);
-    auto old_result = RunPrivBasis(db, 15, 1.0, rng);
-    ASSERT_TRUE(old_result.ok());
-    auto release = Engine::Run(
-        *dataset, QuerySpec().WithTopK(15).WithEpsilon(1.0).WithSeed(21));
-    ASSERT_TRUE(release.ok());
-    EXPECT_TRUE(SameRelease(old_result->topk, release->itemsets));
-    EXPECT_NEAR(old_result->epsilon_spent, release->epsilon_spent, 1e-12);
+TEST(DatasetTest, ConcurrentColdBuildsBuildEachEntryOnce) {
+  // Per-cache-entry locking: many threads first-touching a fresh handle
+  // across ALL cache kinds at once must build every entry exactly once
+  // (no double build on one entry, no lost build), and every thread must
+  // read the same values.
+  TransactionDatabase db = MakeRandomDb({.seed = 41, .num_transactions = 200});
+  auto dataset = Dataset::Create(db);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> margins(kThreads);
+  std::vector<Status> statuses(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dataset, &margins, &statuses, t] {
+      dataset->Stats();
+      if (dataset->Index() == nullptr) {
+        statuses[t] = Status::Internal("null index");
+        return;
+      }
+      auto margin = dataset->MarginSupport(10, 1.0);
+      if (!margin.ok()) {
+        statuses[t] = margin.status();
+        return;
+      }
+      margins[t] = *margin;
+      auto truth = dataset->Truth(12);
+      if (!truth.ok()) statuses[t] = truth.status();
+      TfOptions tf;
+      tf.m = 2;
+      auto runner = dataset->Tf(8, tf);
+      if (!runner.ok()) statuses[t] = runner.status();
+    });
   }
-  {  // Threshold mode.
-    Rng rng(23);
-    auto old_result = RunPrivBasisThreshold(db, 0.3, 40, 1.0, rng);
-    ASSERT_TRUE(old_result.ok());
-    auto release = Engine::Run(
-        *dataset,
-        QuerySpec().WithThreshold(0.3, 40).WithEpsilon(1.0).WithSeed(23));
-    ASSERT_TRUE(release.ok());
-    EXPECT_TRUE(SameRelease(old_result->topk, release->itemsets));
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[t].ok()) << statuses[t];
+    EXPECT_EQ(margins[t], margins[0]);
   }
-  {  // Subsampled.
-    Rng rng(25);
-    AmplifiedOptions amplified;
-    amplified.sampling_rate = 0.6;
-    auto old_result = RunPrivBasisSubsampled(db, 15, 1.0, rng, amplified);
-    ASSERT_TRUE(old_result.ok());
-    auto release = Engine::Run(*dataset, QuerySpec()
-                                             .WithTopK(15)
-                                             .WithEpsilon(1.0)
-                                             .WithAmplification(0.6)
-                                             .WithSeed(25));
-    ASSERT_TRUE(release.ok());
-    EXPECT_TRUE(SameRelease(old_result->topk, release->itemsets));
-    EXPECT_NEAR(old_result->epsilon_spent, release->epsilon_spent, 1e-12);
-  }
+  const auto counters = dataset->cache_counters();
+  EXPECT_EQ(counters.stats_builds, 1u);
+  EXPECT_EQ(counters.index_builds, 1u);
+  EXPECT_EQ(counters.margin_mines, 1u);
+  EXPECT_EQ(counters.truth_mines, 1u);
+  EXPECT_EQ(counters.tf_builds, 1u);
 }
 
 TEST(EngineTest, ThresholdModeFiltersByNoisyFrequency) {

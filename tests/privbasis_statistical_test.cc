@@ -10,6 +10,7 @@
 #include "common/logspace.h"
 #include "core/basis_freq.h"
 #include "core/privbasis.h"
+#include "engine/engine.h"
 #include "data/vertical_index.h"
 #include "fim/topk.h"
 #include "test_util.h"
@@ -124,11 +125,15 @@ TEST(PrivBasisStatisticalTest, FnrDegradesGracefullyInK) {
     Rng rng(23);
     double missed = 0;
     const int trials = 30;
+    // One warm handle + the external-Rng overload: every trial draws
+    // from the continuing stream, as the pre-Engine free function did.
+    auto handle = Dataset::Borrow(db);
+    const QuerySpec spec = QuerySpec().WithTopK(k).WithEpsilon(0.4);
     for (int t = 0; t < trials; ++t) {
-      auto result = RunPrivBasis(db, k, 0.4, rng);
+      auto result = Engine::Run(*handle, spec, rng);
       EXPECT_TRUE(result.ok());
       std::unordered_set<Itemset, ItemsetHash> released;
-      for (const auto& r : result->topk) released.insert(r.items);
+      for (const auto& r : result->itemsets) released.insert(r.items);
       for (const auto& items : actual) missed += !released.contains(items);
     }
     return missed / (trials * static_cast<double>(k));

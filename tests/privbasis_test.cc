@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "data/synthetic.h"
+#include "engine/engine.h"
 #include "fim/topk.h"
 #include "test_util.h"
 
@@ -13,6 +14,20 @@ namespace {
 
 using ::privbasis::testing::MakeDb;
 using ::privbasis::testing::MakeRandomDb;
+
+/// One PrivBasis query through the public entry point (Engine::Run),
+/// threading an external Rng so multi-release tests draw from one
+/// continuing stream exactly as the pre-Engine free function did.
+Result<Release> RunPb(const TransactionDatabase& db, size_t k,
+                      double epsilon, Rng& rng,
+                      const PrivBasisOptions& options = {}) {
+  QuerySpec spec;
+  spec.k = k;
+  spec.epsilon = epsilon;
+  spec.pb = options;
+  auto handle = Dataset::Borrow(db);
+  return Engine::Run(*handle, spec, rng);
+}
 
 TEST(GetLambdaTest, HighEpsilonPicksRankClosestToThreshold) {
   // Items with clearly separated supports; fk1 sits exactly at the
@@ -100,28 +115,28 @@ TEST(CountPairSupportsTest, EmptyItems) {
   EXPECT_TRUE(CountPairSupports(db, {}).empty());
 }
 
-TEST(RunPrivBasisTest, ValidatesArguments) {
+TEST(PrivBasisQueryTest, ValidatesArguments) {
   TransactionDatabase db = MakeDb({{0, 1}});
   Rng rng(13);
-  EXPECT_FALSE(RunPrivBasis(db, 0, 1.0, rng).ok());
-  EXPECT_FALSE(RunPrivBasis(db, 5, 0.0, rng).ok());
+  EXPECT_FALSE(RunPb(db, 0, 1.0, rng).ok());
+  EXPECT_FALSE(RunPb(db, 5, 0.0, rng).ok());
   PrivBasisOptions bad;
   bad.alpha1 = 0.5;
   bad.alpha2 = 0.5;
   bad.alpha3 = 0.5;
-  EXPECT_FALSE(RunPrivBasis(db, 5, 1.0, rng, bad).ok());
+  EXPECT_FALSE(RunPb(db, 5, 1.0, rng, bad).ok());
   PrivBasisOptions zero;
   zero.alpha1 = 0.0;
-  EXPECT_FALSE(RunPrivBasis(db, 5, 1.0, rng, zero).ok());
+  EXPECT_FALSE(RunPb(db, 5, 1.0, rng, zero).ok());
 }
 
-TEST(RunPrivBasisTest, RejectsEmptyDatabase) {
+TEST(PrivBasisQueryTest, RejectsEmptyDatabase) {
   TransactionDatabase db = MakeDb({});
   Rng rng(15);
-  EXPECT_FALSE(RunPrivBasis(db, 5, 1.0, rng).ok());
+  EXPECT_FALSE(RunPb(db, 5, 1.0, rng).ok());
 }
 
-TEST(RunPrivBasisTest, HighEpsilonRecoversExactTopKSingleBasisPath) {
+TEST(PrivBasisQueryTest, HighEpsilonRecoversExactTopKSingleBasisPath) {
   // Dense correlated data with few distinct items: λ ≤ 12 single-basis
   // path; at huge ε the release must equal the exact top-k.
   auto db = GenerateDataset(SyntheticProfile::Mushroom(0.1), 17);
@@ -130,18 +145,18 @@ TEST(RunPrivBasisTest, HighEpsilonRecoversExactTopKSingleBasisPath) {
   auto truth = MineTopK(*db, k);
   ASSERT_TRUE(truth.ok());
   Rng rng(19);
-  auto result = RunPrivBasis(*db, k, /*epsilon=*/200.0, rng);
+  auto result = RunPb(*db, k, /*epsilon=*/200.0, rng);
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result->lambda, 12u);
   EXPECT_EQ(result->basis_set.Width(), 1u);
   std::unordered_set<Itemset, ItemsetHash> released;
-  for (const auto& r : result->topk) released.insert(r.items);
+  for (const auto& r : result->itemsets) released.insert(r.items);
   size_t hits = 0;
   for (const auto& fi : truth->itemsets) hits += released.contains(fi.items);
   EXPECT_GE(hits, k - 1);  // allow one boundary tie swap
 }
 
-TEST(RunPrivBasisTest, HighEpsilonAccurateMultiBasisPath) {
+TEST(PrivBasisQueryTest, HighEpsilonAccurateMultiBasisPath) {
   // Sparse long-tail data: λ > 12 path with pair selection and basis
   // construction.
   SyntheticProfile profile;
@@ -158,12 +173,12 @@ TEST(RunPrivBasisTest, HighEpsilonAccurateMultiBasisPath) {
   auto truth = MineTopK(*db, k);
   ASSERT_TRUE(truth.ok());
   Rng rng(23);
-  auto result = RunPrivBasis(*db, k, /*epsilon=*/400.0, rng);
+  auto result = RunPb(*db, k, /*epsilon=*/400.0, rng);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->lambda, 12u);
   EXPECT_GT(result->basis_set.Width(), 1u);
   std::unordered_set<Itemset, ItemsetHash> released;
-  for (const auto& r : result->topk) released.insert(r.items);
+  for (const auto& r : result->itemsets) released.insert(r.items);
   size_t hits = 0;
   for (const auto& fi : truth->itemsets) hits += released.contains(fi.items);
   // The basis path is an approximation even at huge ε (the basis may not
@@ -171,27 +186,27 @@ TEST(RunPrivBasisTest, HighEpsilonAccurateMultiBasisPath) {
   EXPECT_GE(hits, k * 85 / 100);
 }
 
-TEST(RunPrivBasisTest, NeverExceedsBudget) {
+TEST(PrivBasisQueryTest, NeverExceedsBudget) {
   TransactionDatabase db = MakeRandomDb(
       {.seed = 25, .num_transactions = 100, .universe = 15});
   Rng rng(27);
   for (double epsilon : {0.1, 0.5, 1.0, 2.0}) {
-    auto result = RunPrivBasis(db, 10, epsilon, rng);
+    auto result = RunPb(db, 10, epsilon, rng);
     ASSERT_TRUE(result.ok()) << result.status();
     EXPECT_LE(result->epsilon_spent, epsilon * (1.0 + 1e-9));
     EXPECT_GT(result->epsilon_spent, 0.0);
   }
 }
 
-TEST(RunPrivBasisTest, ReleasesAtMostKItemsets) {
+TEST(PrivBasisQueryTest, ReleasesAtMostKItemsets) {
   TransactionDatabase db = MakeRandomDb({.seed = 29, .universe = 12});
   Rng rng(31);
-  auto result = RunPrivBasis(db, 8, 1.0, rng);
+  auto result = RunPb(db, 8, 1.0, rng);
   ASSERT_TRUE(result.ok());
-  EXPECT_LE(result->topk.size(), 8u);
+  EXPECT_LE(result->itemsets.size(), 8u);
 }
 
-TEST(RunPrivBasisTest, BasisLengthRespectsOption) {
+TEST(PrivBasisQueryTest, BasisLengthRespectsOption) {
   TransactionDatabase db = MakeRandomDb(
       {.seed = 33, .num_transactions = 200, .universe = 40,
        .item_prob = 0.3});
@@ -199,22 +214,22 @@ TEST(RunPrivBasisTest, BasisLengthRespectsOption) {
   PrivBasisOptions options;
   options.max_basis_length = 6;
   options.single_basis_lambda_cap = 4;  // force the multi-basis path
-  auto result = RunPrivBasis(db, 30, 5.0, rng, options);
+  auto result = RunPb(db, 30, 5.0, rng, options);
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result->basis_set.Length(), 6u);
 }
 
-TEST(RunPrivBasisTest, LambdaCapGuardsAgainstWildSamples) {
+TEST(PrivBasisQueryTest, LambdaCapGuardsAgainstWildSamples) {
   TransactionDatabase db = MakeRandomDb({.seed = 37, .universe = 30});
   Rng rng(39);
   PrivBasisOptions options;
   options.lambda_cap = 5;
-  auto result = RunPrivBasis(db, 10, 0.05, rng, options);
+  auto result = RunPb(db, 10, 0.05, rng, options);
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result->lambda, 5u);
 }
 
-TEST(RunPrivBasisTest, Fk1HintMatchesInternalComputation) {
+TEST(PrivBasisQueryTest, Fk1HintMatchesInternalComputation) {
   TransactionDatabase db = MakeRandomDb({.seed = 41, .universe = 12});
   const size_t k = 10;
   auto top = MineTopK(db, 11);  // ceil(1.1 · 10)
@@ -224,17 +239,17 @@ TEST(RunPrivBasisTest, Fk1HintMatchesInternalComputation) {
   // Identical seeds must produce identical releases with and without the
   // hint (the hint only skips the internal mining).
   Rng rng1(43), rng2(43);
-  auto a = RunPrivBasis(db, k, 1.0, rng1);
-  auto b = RunPrivBasis(db, k, 1.0, rng2, with_hint);
+  auto a = RunPb(db, k, 1.0, rng1);
+  auto b = RunPb(db, k, 1.0, rng2, with_hint);
   ASSERT_TRUE(a.ok() && b.ok());
-  ASSERT_EQ(a->topk.size(), b->topk.size());
-  for (size_t i = 0; i < a->topk.size(); ++i) {
-    EXPECT_EQ(a->topk[i].items, b->topk[i].items);
-    EXPECT_EQ(a->topk[i].noisy_count, b->topk[i].noisy_count);
+  ASSERT_EQ(a->itemsets.size(), b->itemsets.size());
+  for (size_t i = 0; i < a->itemsets.size(); ++i) {
+    EXPECT_EQ(a->itemsets[i].items, b->itemsets[i].items);
+    EXPECT_EQ(a->itemsets[i].noisy_count, b->itemsets[i].noisy_count);
   }
 }
 
-TEST(RunPrivBasisTest, NaiveLambda2StillWorks) {
+TEST(PrivBasisQueryTest, NaiveLambda2StillWorks) {
   TransactionDatabase db = MakeRandomDb(
       {.seed = 45, .num_transactions = 150, .universe = 30,
        .item_prob = 0.3});
@@ -242,9 +257,9 @@ TEST(RunPrivBasisTest, NaiveLambda2StillWorks) {
   PrivBasisOptions options;
   options.naive_lambda2 = true;
   options.single_basis_lambda_cap = 4;
-  auto result = RunPrivBasis(db, 20, 2.0, rng, options);
+  auto result = RunPb(db, 20, 2.0, rng, options);
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_FALSE(result->topk.empty());
+  EXPECT_FALSE(result->itemsets.empty());
 }
 
 }  // namespace

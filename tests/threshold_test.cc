@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "data/synthetic.h"
+#include "engine/engine.h"
 #include "fim/fpgrowth.h"
 #include "test_util.h"
 
@@ -13,12 +14,25 @@ namespace {
 
 using ::privbasis::testing::MakeRandomDb;
 
+/// One threshold-mode query through the public entry point
+/// (QuerySpec::WithThreshold → Engine::Run) with an external Rng.
+Result<Release> RunThreshold(const TransactionDatabase& db, double theta,
+                             size_t k_cap, double epsilon, Rng& rng) {
+  QuerySpec spec = QuerySpec().WithThreshold(theta, k_cap);
+  spec.epsilon = epsilon;
+  auto handle = Dataset::Borrow(db);
+  return Engine::Run(*handle, spec, rng);
+}
+
 TEST(ThresholdTest, ValidatesArguments) {
   TransactionDatabase db = MakeRandomDb({.seed = 1});
   Rng rng(1);
-  EXPECT_FALSE(RunPrivBasisThreshold(db, 0.0, 10, 1.0, rng).ok());
-  EXPECT_FALSE(RunPrivBasisThreshold(db, 1.5, 10, 1.0, rng).ok());
-  EXPECT_FALSE(RunPrivBasisThreshold(db, 0.5, 0, 1.0, rng).ok());
+  // Out-of-range θ and a zero candidate cap are rejected centrally by
+  // QuerySpec::Validate. (θ = 0 is not an error — it is simply top-k
+  // mode with no filter.)
+  EXPECT_FALSE(RunThreshold(db, -0.1, 10, 1.0, rng).ok());
+  EXPECT_FALSE(RunThreshold(db, 1.5, 10, 1.0, rng).ok());
+  EXPECT_FALSE(RunThreshold(db, 0.5, 0, 1.0, rng).ok());
 }
 
 TEST(ThresholdTest, HighEpsilonRecoversThetaFrequentSet) {
@@ -32,13 +46,13 @@ TEST(ThresholdTest, HighEpsilonRecoversThetaFrequentSet) {
   ASSERT_GT(exact->itemsets.size(), 5u);
 
   Rng rng(5);
-  auto result = RunPrivBasisThreshold(
+  auto result = RunThreshold(
       *db, theta, /*k_cap=*/exact->itemsets.size() + 50, /*epsilon=*/300.0,
       rng);
   ASSERT_TRUE(result.ok());
 
   std::unordered_set<Itemset, ItemsetHash> released;
-  for (const auto& r : result->topk) released.insert(r.items);
+  for (const auto& r : result->itemsets) released.insert(r.items);
   size_t hits = 0;
   for (const auto& fi : exact->itemsets) hits += released.contains(fi.items);
   // At huge ε essentially everything above θ is released and little junk
@@ -52,10 +66,10 @@ TEST(ThresholdTest, AllReleasedClearTheta) {
       {.seed = 7, .num_transactions = 120, .universe = 14});
   const double theta = 0.3;
   Rng rng(9);
-  auto result = RunPrivBasisThreshold(db, theta, 40, 1.0, rng);
+  auto result = RunThreshold(db, theta, 40, 1.0, rng);
   ASSERT_TRUE(result.ok());
   double theta_count = theta * static_cast<double>(db.NumTransactions());
-  for (const auto& r : result->topk) {
+  for (const auto& r : result->itemsets) {
     EXPECT_GE(r.noisy_count, theta_count);
   }
 }
@@ -63,7 +77,7 @@ TEST(ThresholdTest, AllReleasedClearTheta) {
 TEST(ThresholdTest, BudgetUnchangedByFilter) {
   TransactionDatabase db = MakeRandomDb({.seed = 11});
   Rng rng(13);
-  auto result = RunPrivBasisThreshold(db, 0.2, 20, 0.8, rng);
+  auto result = RunThreshold(db, 0.2, 20, 0.8, rng);
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result->epsilon_spent, 0.8 + 1e-9);
 }
@@ -73,9 +87,9 @@ TEST(ThresholdTest, HighThetaReleasesNothingOrLittle) {
       {.seed = 15, .num_transactions = 100, .universe = 10,
        .item_prob = 0.1});
   Rng rng(17);
-  auto result = RunPrivBasisThreshold(db, 0.99, 20, 2.0, rng);
+  auto result = RunThreshold(db, 0.99, 20, 2.0, rng);
   ASSERT_TRUE(result.ok());
-  EXPECT_LE(result->topk.size(), 2u);
+  EXPECT_LE(result->itemsets.size(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""HTTP client for privbasis_server — manual poking and the CI smoke.
+
+Subcommand style:
+    tools/privbasis_client.py --server http://127.0.0.1:8080 health
+    tools/privbasis_client.py register --profile mushroom --scale 0.3 \
+        --budget 4.0
+    tools/privbasis_client.py query --dataset ds-1 --k 20 --epsilon 0.5 \
+        --seed 7
+    tools/privbasis_client.py budget ds-1
+
+Smoke mode (used by CI; exercises every endpoint and the error
+contract, exits nonzero on the first violation):
+    tools/privbasis_client.py --server http://127.0.0.1:8080 --smoke
+
+stdlib only (urllib); no third-party deps.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+class ServerError(Exception):
+    """Non-2xx with parsed body (when JSON)."""
+
+    def __init__(self, status, body):
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+def call(server, method, path, payload=None, timeout=60):
+    url = server.rstrip("/") + path
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers,
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+            return response.status, json.loads(raw) if raw else None
+    except urllib.error.HTTPError as err:
+        raw = err.read()
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError:
+            body = raw.decode(errors="replace")
+        raise ServerError(err.code, body) from None
+
+
+def wait_ready(server, attempts=100, delay=0.1):
+    """Polls /healthz until the server answers (startup race in CI)."""
+    for _ in range(attempts):
+        try:
+            status, body = call(server, "GET", "/healthz", timeout=5)
+            if status == 200 and body.get("status") == "ok":
+                return body
+        except (ServerError, OSError):
+            pass
+        time.sleep(delay)
+    raise SystemExit(f"server at {server} never became healthy")
+
+
+def expect(condition, what):
+    if not condition:
+        raise SystemExit(f"SMOKE FAIL: {what}")
+    print(f"  ok: {what}")
+
+
+def expect_error(status, fn, what):
+    try:
+        fn()
+    except ServerError as err:
+        expect(err.status == status,
+               f"{what} -> {status} (got {err.status})")
+        return err
+    raise SystemExit(f"SMOKE FAIL: {what}: expected HTTP {status}, got 2xx")
+
+
+def run_smoke(server):
+    print(f"[smoke] {server}")
+    health = wait_ready(server)
+    print(f"  healthz: {health}")
+
+    # Register a small synthetic dataset with a finite budget.
+    status, registered = call(server, "POST", "/v1/datasets",
+                              {"profile": "mushroom", "scale": 0.1,
+                               "seed": 11, "budget": 2.0})
+    expect(status == 201 and registered["dataset"].startswith("ds-"),
+           "register synthetic dataset")
+    ds = registered["dataset"]
+
+    # Inline registration too.
+    status, inline = call(server, "POST", "/v1/datasets",
+                          {"transactions": [[0, 1, 2], [0, 1], [1, 2],
+                                            [0, 1, 2], [2]]})
+    expect(status == 201, "register inline dataset")
+
+    # Identical seeds must serve identical releases (determinism over
+    # the wire).
+    spec = {"dataset": ds, "k": 15, "epsilon": 0.5, "seed": 7}
+    status, first = call(server, "POST", "/v1/query", spec)
+    expect(status == 200 and first["itemsets"], "query returns itemsets")
+    _, second = call(server, "POST", "/v1/query", spec)
+    expect(first["itemsets"] == second["itemsets"],
+           "same seed => identical release")
+    expect(first["budget"]["spent"] <= 0.5 + 1e-9,
+           "spend within requested epsilon")
+
+    # Ledger readback reflects both queries.
+    _, budget = call(server, "GET", f"/v1/datasets/{ds}/budget")
+    expect(abs(budget["spent"] -
+               (first["budget"]["spent"] + second["budget"]["spent"]))
+           < 1e-9, "ledger total equals sum of query spends")
+    expect(len(budget["ledger"]) >= 2, "ledger itemizes both queries")
+
+    # Error contract.
+    expect_error(400, lambda: call(server, "POST", "/v1/query",
+                                   {"dataset": ds, "k": 0}),
+                 "invalid spec (k=0)")
+    expect_error(400, lambda: call(server, "POST", "/v1/query",
+                                   {"dataset": ds, "epsilom": 1.0}),
+                 "unknown spec key")
+    expect_error(400, lambda: call(server, "POST", "/v1/datasets",
+                                   {"profile": "mushroom", "bugdet": 2.0}),
+                 "typoed dataset key must not register fail-open")
+    expect_error(404, lambda: call(server, "POST", "/v1/query",
+                                   {"dataset": "ds-does-not-exist"}),
+                 "unknown dataset")
+    # A body over the server's max-body ceiling (default 1 MiB).
+    expect_error(413, lambda: call(server, "POST", "/v1/datasets",
+                                   {"transactions": [[1, 2, 3]] * 200000}),
+                 "oversized body")
+
+    # A reservation beyond the dataset's total budget must be refused
+    # with 429 and leave the ledger untouched.
+    _, before = call(server, "GET", f"/v1/datasets/{ds}/budget")
+    expect_error(429, lambda: call(server, "POST", "/v1/query",
+                                   {"dataset": ds, "k": 5, "epsilon": 2.5,
+                                    "seed": 10}),
+                 "budget overdraft")
+    _, after = call(server, "GET", f"/v1/datasets/{ds}/budget")
+    expect(before["spent"] == after["spent"] and
+           len(before["ledger"]) == len(after["ledger"]),
+           "refusal leaves ledger unchanged")
+
+    # Eviction.
+    status, _ = call(server, "DELETE", f"/v1/datasets/{inline['dataset']}")
+    expect(status == 204, "evict dataset")
+    expect_error(404,
+                 lambda: call(server, "GET",
+                              f"/v1/datasets/{inline['dataset']}/budget"),
+                 "evicted dataset is gone")
+
+    print("[smoke] PASS")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", default="http://127.0.0.1:8080")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the endpoint/error-contract smoke suite")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("health")
+
+    register = sub.add_parser("register")
+    source = register.add_mutually_exclusive_group(required=True)
+    source.add_argument("--path")
+    source.add_argument("--profile")
+    register.add_argument("--scale", type=float, default=1.0)
+    register.add_argument("--seed", type=int, default=42)
+    register.add_argument("--budget", type=float)
+
+    budget = sub.add_parser("budget")
+    budget.add_argument("dataset")
+
+    evict = sub.add_parser("evict")
+    evict.add_argument("dataset")
+
+    query = sub.add_parser("query")
+    query.add_argument("--dataset", required=True)
+    query.add_argument("--method", choices=["pb", "tf"], default="pb")
+    query.add_argument("--k", type=int, default=100)
+    query.add_argument("--epsilon", type=float, default=1.0)
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument("--theta", type=float)
+    query.add_argument("--sample", type=float)
+    query.add_argument("--rules", type=float,
+                       help="derive rules at this min confidence")
+
+    args = parser.parse_args()
+    if args.smoke:
+        run_smoke(args.server)
+        return 0
+    if args.command is None:
+        parser.print_help()
+        return 2
+
+    try:
+        if args.command == "health":
+            _, body = call(args.server, "GET", "/healthz")
+        elif args.command == "register":
+            payload = {}
+            if args.path:
+                payload["path"] = args.path
+            else:
+                payload["profile"] = args.profile
+                payload["scale"] = args.scale
+                payload["seed"] = args.seed
+            if args.budget is not None:
+                payload["budget"] = args.budget
+            _, body = call(args.server, "POST", "/v1/datasets", payload)
+        elif args.command == "budget":
+            _, body = call(args.server, "GET",
+                           f"/v1/datasets/{args.dataset}/budget")
+        elif args.command == "evict":
+            status, body = call(args.server, "DELETE",
+                                f"/v1/datasets/{args.dataset}")
+            body = body or {"evicted": args.dataset, "status": status}
+        else:  # query
+            payload = {"dataset": args.dataset, "method": args.method,
+                       "k": args.k, "epsilon": args.epsilon,
+                       "seed": args.seed}
+            if args.theta is not None:
+                payload["theta"] = args.theta
+            if args.sample is not None:
+                payload["sampling_rate"] = args.sample
+            if args.rules is not None:
+                payload["rules"] = {"min_confidence": args.rules}
+            _, body = call(args.server, "POST", "/v1/query", payload)
+    except ServerError as err:
+        print(json.dumps({"http_status": err.status, "body": err.body},
+                         indent=2))
+        return 1
+    print(json.dumps(body, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+// privbasis_server: the standalone query-server binary over the Engine
+// facade (server/server.h).
+//
+//   privbasis_server --port 8080 --threads 8
+//   privbasis_server --port 8080 --preload mushroom --preload-scale 0.5 \
+//                    --preload-budget 4.0
+//
+// Prints one "listening ..." line (and one "preloaded ..." line per
+// --preload) to stdout, then serves until SIGINT/SIGTERM. Exit codes:
+// 0 clean shutdown, 1 startup failure, 2 bad usage.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "data/synthetic.h"
+#include "server/server.h"
+
+namespace privbasis::server {
+namespace {
+
+struct ServerCliOptions {
+  ServerOptions server;
+  std::string preload_profile;  // empty = none
+  double preload_scale = 1.0;
+  uint64_t preload_seed = 42;
+  double preload_budget = 0.0;  // 0 = unlimited
+  std::string preload_input;    // FIMI file; alternative to profile
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--threads N]\n"
+      "          [--deadline-ms MS] [--max-body BYTES]\n"
+      "          [--allow-path-datasets on|off]\n"
+      "          [--preload PROFILE | --preload-input FILE]\n"
+      "          [--preload-scale S] [--preload-seed SEED]\n"
+      "          [--preload-budget EPS]\n"
+      "\n"
+      "  --host H           bind address (default 127.0.0.1)\n"
+      "  --port P           port; 0 picks an ephemeral one (default 0)\n"
+      "  --threads N        connection workers (default: PRIVBASIS_THREADS)\n"
+      "  --deadline-ms MS   per-request wall-clock budget (default 30000)\n"
+      "  --max-body BYTES   request body ceiling (default 1048576)\n"
+      "  --allow-path-datasets on|off\n"
+      "                     accept {\"path\": ...} registrations over\n"
+      "                     HTTP (default off; preloads are unaffected)\n"
+      "  --preload NAME     register a synthetic dataset at startup:\n"
+      "                     retail mushroom pumsb-star kosarak aol\n"
+      "  --preload-input F  register a FIMI transaction file at startup\n"
+      "  --preload-scale S  synthetic size multiplier (default 1.0)\n"
+      "  --preload-seed S   synthetic generation seed (default 42)\n"
+      "  --preload-budget E total dataset epsilon (default unlimited)\n",
+      argv0);
+}
+
+std::optional<ServerCliOptions> ParseArgs(int argc, char** argv) {
+  ServerCliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return std::nullopt;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return std::nullopt;
+    }
+    const char* value = argv[++i];
+    if (flag == "--host") {
+      options.server.host = value;
+    } else if (flag == "--port") {
+      options.server.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (flag == "--threads") {
+      options.server.num_threads =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--deadline-ms") {
+      options.server.request_deadline_ms = std::atoll(value);
+    } else if (flag == "--max-body") {
+      options.server.max_body_bytes =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--allow-path-datasets") {
+      // Value-taking like every other flag: "on"/"off".
+      options.server.registry_limits.allow_paths =
+          std::string(value) == "on";
+    } else if (flag == "--preload") {
+      options.preload_profile = value;
+    } else if (flag == "--preload-input") {
+      options.preload_input = value;
+    } else if (flag == "--preload-scale") {
+      options.preload_scale = std::strtod(value, nullptr);
+    } else if (flag == "--preload-seed") {
+      options.preload_seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--preload-budget") {
+      options.preload_budget = std::strtod(value, nullptr);
+      if (!(options.preload_budget > 0.0)) {
+        std::fprintf(stderr, "--preload-budget must be > 0\n");
+        return std::nullopt;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void HandleSignal(int) { g_shutdown = 1; }
+
+int RunServer(const ServerCliOptions& options) {
+  QueryServer server(options.server);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  if (!options.preload_input.empty()) {
+    // Operator config bypasses the wire gate: file paths over HTTP stay
+    // behind --allow-path-datasets regardless of preloads.
+    Dataset::Options dataset_options;
+    if (options.preload_budget > 0.0) {
+      dataset_options.total_epsilon = options.preload_budget;
+    }
+    auto dataset = Dataset::FromFimiFile(options.preload_input,
+                                         dataset_options);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "preload: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("preloaded %s as %s\n", options.preload_input.c_str(),
+                server.registry().Register(*dataset).c_str());
+  } else if (!options.preload_profile.empty()) {
+    json::Value request;
+    request.Set("profile", options.preload_profile);
+    request.Set("scale", options.preload_scale);
+    request.Set("seed", options.preload_seed);
+    if (options.preload_budget > 0.0) {
+      request.Set("budget", options.preload_budget);
+    }
+    auto registered = server.registry().RegisterFromJson(request);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "preload: %s\n",
+                   registered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("preloaded %s as %s\n", options.preload_profile.c_str(),
+                registered->id.c_str());
+  }
+
+  std::printf("listening on http://%s:%u\n", server.host().c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    timespec ts{0, 100'000'000};  // 100 ms
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("shutting down\n");
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace privbasis::server
+
+int main(int argc, char** argv) {
+  auto options = privbasis::server::ParseArgs(argc, argv);
+  if (!options.has_value()) {
+    privbasis::server::PrintUsage(argv[0]);
+    return 2;
+  }
+  return privbasis::server::RunServer(*options);
+}
