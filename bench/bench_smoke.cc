@@ -217,8 +217,8 @@ void RunSuite() {
     options.num_threads = 4;
     server::QueryServer qserver(options);
     UnwrapStatus(qserver.Start(), "QueryServer::Start");
-    const std::string id = qserver.registry().Register(
-        Dataset::Borrow(kosarak));
+    const std::string id =
+        *qserver.registry().Register(Dataset::Borrow(kosarak));
     const std::string body =
         "{\"dataset\":\"" + id + "\",\"k\":50,\"epsilon\":1.0,\"seed\":9}";
     // Warm the handle's caches once so the phase times steady-state

@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace privbasis {
+
+namespace {
+
+// Reflected CRC-32 table for polynomial 0xEDB88320, built once at first
+// use (constexpr so it can live in rodata).
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (unsigned char byte : bytes) {
+    crc = (crc >> 8) ^ kCrc32Table[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace privbasis

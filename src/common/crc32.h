@@ -1,0 +1,20 @@
+// CRC-32 (the IEEE 802.3 / zlib polynomial, reflected) over byte spans —
+// the integrity check framing every durable record in src/store. One
+// shared implementation so the WAL frame codec, the snapshot format, and
+// their golden-file tests can never disagree on the checksum.
+#ifndef PRIVBASIS_COMMON_CRC32_H_
+#define PRIVBASIS_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace privbasis {
+
+/// CRC-32 of `bytes`, continuing from `seed` (pass the previous return
+/// value to checksum discontiguous spans as one stream). The empty-input
+/// CRC with the default seed is 0.
+uint32_t Crc32(std::string_view bytes, uint32_t seed = 0);
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_COMMON_CRC32_H_

@@ -1,0 +1,177 @@
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/env.h"
+
+namespace privbasis::failpoint {
+
+namespace {
+
+struct Site {
+  Action action;
+  size_t skip = 0;  // hits that pass through before triggering
+  size_t hits = 0;  // registered so far
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Fast path: once the env has been consulted and nothing is armed, a
+// Hit() is two relaxed-ish atomic loads and no mutex.
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_env_checked{false};
+
+Result<int> ParseErrno(const std::string& name) {
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EIO") return EIO;
+  if (name == "EDQUOT") return EDQUOT;
+  char* end = nullptr;
+  const long value = std::strtol(name.c_str(), &end, 10);
+  if (end == name.c_str() || *end != '\0' || value <= 0) {
+    return Status::InvalidArgument("failpoint: unknown errno \"" + name +
+                                   "\"");
+  }
+  return static_cast<int>(value);
+}
+
+/// One `site=action[:arg][@skip]` term.
+Result<std::pair<std::string, Site>> ParseTerm(const std::string& term) {
+  const size_t eq = term.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint: expected site=action in \"" +
+                                   term + "\"");
+  }
+  std::string name = term.substr(0, eq);
+  std::string rest = term.substr(eq + 1);
+  Site site;
+  if (const size_t at = rest.rfind('@'); at != std::string::npos) {
+    site.skip = std::strtoull(rest.c_str() + at + 1, nullptr, 10);
+    rest = rest.substr(0, at);
+  }
+  std::string arg;
+  if (const size_t colon = rest.find(':'); colon != std::string::npos) {
+    arg = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+  if (rest == "error") {
+    site.action.kind = Action::Kind::kError;
+    PRIVBASIS_ASSIGN_OR_RETURN(site.action.err, ParseErrno(arg));
+  } else if (rest == "torn") {
+    site.action.kind = Action::Kind::kTorn;
+    site.action.arg = std::strtoull(arg.c_str(), nullptr, 10);
+  } else if (rest == "sleep") {
+    site.action.kind = Action::Kind::kSleep;
+    site.action.arg = std::strtoull(arg.c_str(), nullptr, 10);
+  } else if (rest == "crash") {
+    site.action.kind = Action::Kind::kCrash;
+  } else {
+    return Status::InvalidArgument("failpoint: unknown action \"" + rest +
+                                   "\" in \"" + term + "\"");
+  }
+  return std::pair<std::string, Site>{std::move(name), site};
+}
+
+Result<std::map<std::string, Site>> ParseSpec(const std::string& spec) {
+  std::map<std::string, Site> sites;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string term = spec.substr(start, comma - start);
+    if (!term.empty()) {
+      PRIVBASIS_ASSIGN_OR_RETURN(auto parsed, ParseTerm(term));
+      sites[parsed.first] = parsed.second;
+    }
+    start = comma + 1;
+  }
+  return sites;
+}
+
+/// Loads PRIVBASIS_FAILPOINTS once (under the registry lock). A malformed
+/// env spec aborts: an operator who asked for fault injection must not
+/// silently run without it.
+void LoadEnvLocked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  const std::string spec = GetEnvString("PRIVBASIS_FAILPOINTS", "");
+  if (spec.empty()) return;
+  auto parsed = ParseSpec(spec);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "PRIVBASIS_FAILPOINTS: %s\n",
+                 parsed.status().ToString().c_str());
+    std::abort();
+  }
+  r.sites = std::move(*parsed);
+  if (!r.sites.empty()) g_armed.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+Status Configure(const std::string& spec) {
+  PRIVBASIS_ASSIGN_OR_RETURN(auto sites, ParseSpec(spec));
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;  // programmatic config overrides the environment
+  r.sites = std::move(sites);
+  g_armed.store(!r.sites.empty(), std::memory_order_release);
+  g_env_checked.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_loaded = true;
+  r.sites.clear();
+  g_armed.store(false, std::memory_order_release);
+  g_env_checked.store(true, std::memory_order_release);
+}
+
+Action Hit(const char* site) {
+  Registry& r = registry();
+  if (!g_env_checked.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(r.mu);
+    LoadEnvLocked(r);
+    g_env_checked.store(true, std::memory_order_release);
+  }
+  if (!g_armed.load(std::memory_order_acquire)) return Action{};
+  Action action;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return Action{};
+    Site& s = it->second;
+    if (s.hits++ < s.skip) return Action{};
+    action = s.action;
+  }
+  if (action.kind == Action::Kind::kSleep) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.arg));
+    return Action{};
+  }
+  if (action.kind == Action::Kind::kCrash) {
+    // The in-process stand-in for kill -9 at exactly this IO site: no
+    // destructors, no buffers flushed.
+    _exit(137);
+  }
+  return action;
+}
+
+}  // namespace privbasis::failpoint

@@ -1,0 +1,62 @@
+// Failpoints: deliberate fault injection at named sites in the durable-IO
+// paths, so crash recovery is a *tested* code path instead of a hope.
+//
+// A site is a string literal compiled into the production code
+// (e.g. "wal_append", "snapshot_rename"). With no failpoints armed the
+// per-site check is one relaxed atomic load — cheap enough to leave in
+// release builds, which is the point: the binary CI crash-tests is the
+// binary that ships.
+//
+// Activation, either way:
+//   * environment: PRIVBASIS_FAILPOINTS="wal_append=error:ENOSPC@1,
+//     snapshot_write=torn:12" (read once, at first use);
+//   * programmatic (tests): failpoint::Configure("wal_fsync=error:EIO"),
+//     failpoint::Reset().
+//
+// Spec grammar (comma-separated `site=action` terms):
+//   site=error:<ENOSPC|EIO|errno-int>   fail the IO with that errno
+//   site=torn:<n>                       write only n bytes, then fail EIO
+//   site=sleep:<ms>                     delay (recovery-window tests)
+//   site=crash                          _exit(137) — a kill -9 at the site
+// Any action takes an optional `@k` suffix: the first k hits pass
+// through untouched, every later hit triggers (a full disk stays full).
+#ifndef PRIVBASIS_COMMON_FAILPOINT_H_
+#define PRIVBASIS_COMMON_FAILPOINT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace privbasis::failpoint {
+
+/// What a triggered site should do. Interpreted by the IO wrappers in
+/// store/io.cc (kError/kTorn) and directly by Hit() (kSleep/kCrash).
+struct Action {
+  enum class Kind { kNone, kError, kTorn, kSleep, kCrash };
+  Kind kind = Kind::kNone;
+  /// kError: the errno to surface.
+  int err = 0;
+  /// kTorn: bytes to actually write; kSleep: milliseconds.
+  size_t arg = 0;
+
+  bool triggered() const { return kind != Kind::kNone; }
+};
+
+/// Replaces the active configuration (including anything armed from the
+/// environment). Fails with kInvalidArgument on grammar errors, leaving
+/// the previous configuration in place.
+Status Configure(const std::string& spec);
+
+/// Disarms every failpoint (env-derived ones included).
+void Reset();
+
+/// Registers one hit at `site` and returns the action to apply. kSleep
+/// is performed inside Hit() itself; kCrash calls _exit(137) and does
+/// not return; kError/kTorn are returned for the caller's IO wrapper to
+/// apply. When nothing is armed this is a single relaxed atomic load.
+Action Hit(const char* site);
+
+}  // namespace privbasis::failpoint
+
+#endif  // PRIVBASIS_COMMON_FAILPOINT_H_

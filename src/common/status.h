@@ -25,6 +25,9 @@ enum class StatusCode {
   kInternal = 7,
   /// A privacy-budget ledger would be overdrawn by the requested spend.
   kBudgetExhausted = 8,
+  /// The service cannot answer yet (e.g. ledger replay in progress after
+  /// a restart) — retryable, maps to HTTP 503.
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -67,6 +70,9 @@ class Status {
   }
   static Status BudgetExhausted(std::string msg) {
     return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

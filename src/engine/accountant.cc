@@ -13,6 +13,29 @@ Accountant::Accountant(double total_epsilon) : total_(total_epsilon) {
   assert(total_epsilon > 0.0);
 }
 
+void Accountant::AttachJournal(std::shared_ptr<AccountantJournal> journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = std::move(journal);
+}
+
+Status Accountant::Restore(double spent, std::vector<Entry> entries) {
+  if (!(spent >= 0.0) || std::isnan(spent)) {
+    return Status::InvalidArgument("restored spend must be >= 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spent_ != 0.0 || reserved_ != 0.0 || !entries_.empty()) {
+    return Status::FailedPrecondition(
+        "Restore() on an accountant that already has activity");
+  }
+  // Deliberately no headroom check: a replayed ledger may legitimately
+  // exceed the configured total (e.g. the budget was lowered between
+  // runs). Serving then refuses every reservation — the conservative
+  // outcome — instead of refusing to boot.
+  spent_ = spent;
+  entries_ = std::move(entries);
+  return Status::OK();
+}
+
 Result<BudgetLease> Accountant::Acquire(double epsilon, std::string label) {
   if (!(epsilon > 0.0) || std::isinf(epsilon) || std::isnan(epsilon)) {
     return Status::InvalidArgument(
@@ -26,8 +49,18 @@ Result<BudgetLease> Accountant::Acquire(double epsilon, std::string label) {
         " + " + std::to_string(epsilon) + " > total " +
         std::to_string(total_));
   }
+  uint64_t txn = 0;
+  if (journal_ != nullptr) {
+    // Journal BEFORE granting: if the reserve record cannot be made
+    // durable, the query is refused with the ledger untouched (429 on
+    // ENOSPC, 500 on EIO) — never run a mechanism whose worst-case
+    // charge could be forgotten by a crash.
+    auto journaled = journal_->Reserve(epsilon, label);
+    if (!journaled.ok()) return journaled.status();
+    txn = *journaled;
+  }
   reserved_ += epsilon;
-  return BudgetLease(this, epsilon, std::move(label));
+  return BudgetLease(this, epsilon, std::move(label), txn);
 }
 
 double Accountant::spent_epsilon() const {
@@ -50,40 +83,68 @@ std::vector<Accountant::Entry> Accountant::ledger() const {
   return entries_;
 }
 
-void Accountant::CommitReservation(double reserved, double actual,
-                                   const std::string& label,
-                                   std::vector<Entry> breakdown) {
+Status Accountant::CommitReservation(double reserved, double actual,
+                                     const std::string& label,
+                                     std::vector<Entry> breakdown,
+                                     uint64_t txn, bool aborted) {
   std::lock_guard<std::mutex> lock(mu_);
+  Status journal_status = Status::OK();
+  if (journal_ != nullptr) {
+    if (aborted) {
+      // Best effort: replay charges an unresolved reservation in full
+      // either way, so a lost abort record changes nothing.
+      (void)journal_->Abort(txn);
+    } else {
+      journal_status = journal_->Commit(txn, actual, label);
+      if (!journal_status.ok()) {
+        // Fail closed: the durable ledger holds an unresolved
+        // reservation that replay will charge in full, so the in-memory
+        // ledger must match it — charge the reservation, not the
+        // (smaller) actual, and surface the journal error to the query.
+        actual = reserved;
+        breakdown.clear();
+      }
+    }
+  }
   reserved_ -= reserved;
   spent_ += actual;
+  const std::string entry_label =
+      journal_status.ok() ? label : label + " (journal failed)";
   if (breakdown.empty()) {
-    entries_.push_back(Entry{label, actual});
+    entries_.push_back(Entry{entry_label, actual});
   } else {
     for (auto& entry : breakdown) {
       entry.label = label + "/" + entry.label;
       entries_.push_back(std::move(entry));
     }
   }
+  return journal_status;
 }
 
 BudgetLease::BudgetLease(Accountant* accountant, double reserved,
-                         std::string label)
-    : accountant_(accountant), reserved_(reserved), label_(std::move(label)) {}
+                         std::string label, uint64_t txn)
+    : accountant_(accountant),
+      reserved_(reserved),
+      label_(std::move(label)),
+      txn_(txn) {}
 
 BudgetLease::BudgetLease(BudgetLease&& other) noexcept
     : accountant_(std::exchange(other.accountant_, nullptr)),
       reserved_(other.reserved_),
-      label_(std::move(other.label_)) {}
+      label_(std::move(other.label_)),
+      txn_(other.txn_) {}
 
 BudgetLease& BudgetLease::operator=(BudgetLease&& other) noexcept {
   if (this != &other) {
     if (accountant_ != nullptr) {
-      accountant_->CommitReservation(reserved_, reserved_,
-                                     label_ + " (aborted)", {});
+      (void)accountant_->CommitReservation(reserved_, reserved_,
+                                           label_ + " (aborted)", {}, txn_,
+                                           /*aborted=*/true);
     }
     accountant_ = std::exchange(other.accountant_, nullptr);
     reserved_ = other.reserved_;
     label_ = std::move(other.label_);
+    txn_ = other.txn_;
   }
   return *this;
 }
@@ -91,18 +152,21 @@ BudgetLease& BudgetLease::operator=(BudgetLease&& other) noexcept {
 BudgetLease::~BudgetLease() {
   if (accountant_ != nullptr) {
     // Fail-safe: an uncommitted lease charges its full reservation.
-    accountant_->CommitReservation(reserved_, reserved_,
-                                   label_ + " (aborted)", {});
+    (void)accountant_->CommitReservation(reserved_, reserved_,
+                                         label_ + " (aborted)", {}, txn_,
+                                         /*aborted=*/true);
   }
 }
 
-void BudgetLease::Commit(double actual,
-                         std::vector<Accountant::Entry> breakdown) {
-  if (accountant_ == nullptr) return;
+Status BudgetLease::Commit(double actual,
+                           std::vector<Accountant::Entry> breakdown) {
+  if (accountant_ == nullptr) return Status::OK();
   actual = std::min(actual, reserved_);
-  accountant_->CommitReservation(reserved_, actual, label_,
-                                 std::move(breakdown));
+  Status status = accountant_->CommitReservation(
+      reserved_, actual, label_, std::move(breakdown), txn_,
+      /*aborted=*/false);
   accountant_ = nullptr;
+  return status;
 }
 
 }  // namespace privbasis

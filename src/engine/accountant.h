@@ -18,10 +18,19 @@
 //
 // Thread-safe: concurrent Engine::Run calls on one shared Dataset race on
 // Acquire/Commit only through the internal mutex.
+//
+// Durability: an Accountant may carry an AccountantJournal (the store
+// layer's write-ahead ledger adapter). With a journal attached, every
+// reservation/commit/abort is made durable BEFORE the in-memory ledger
+// moves — a journal write failure fails the operation closed (the query
+// errors; the guarantee never weakens). Restore() seeds the committed
+// spend replayed from the journal at boot.
 #ifndef PRIVBASIS_ENGINE_ACCOUNTANT_H_
 #define PRIVBASIS_ENGINE_ACCOUNTANT_H_
 
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -32,6 +41,30 @@
 namespace privbasis {
 
 class BudgetLease;
+
+/// Durable backing for an Accountant's ledger events (implemented by the
+/// store layer's WAL; engine code sees only this interface). All three
+/// calls are invoked under the Accountant's mutex, so implementations
+/// need not serialize per-accountant — but one journal instance may back
+/// many accountants, so cross-accountant appends must still be safe.
+class AccountantJournal {
+ public:
+  virtual ~AccountantJournal() = default;
+  /// Durably records a reservation; returns the transaction id later
+  /// commits/aborts refer to. Failure (ENOSPC/EIO) must leave no durable
+  /// trace requirement on the caller: the reservation simply never
+  /// happened.
+  virtual Result<uint64_t> Reserve(double epsilon,
+                                   const std::string& label) = 0;
+  /// Durably finalizes `txn` at `actual` ε (fsynced per policy before
+  /// returning OK — an OK here is the durability point of the query).
+  virtual Status Commit(uint64_t txn, double actual,
+                        const std::string& label) = 0;
+  /// Durably marks `txn` aborted (replays as a full charge). Best
+  /// effort: replay treats a missing abort identically (in-flight at
+  /// crash = full charge), so a failed append loses nothing.
+  virtual Status Abort(uint64_t txn) = 0;
+};
 
 /// Thread-safe ε ledger with reserve/commit semantics. See file comment.
 class Accountant {
@@ -55,8 +88,19 @@ class Accountant {
   /// kBudgetExhausted (recording nothing) when spent + outstanding
   /// reservations + epsilon would exceed the total beyond a small
   /// floating-point tolerance; fails with kInvalidArgument when epsilon is
-  /// not positive and finite.
+  /// not positive and finite. With a journal attached, the reservation is
+  /// journaled before it is granted — a journal write failure (ENOSPC →
+  /// kResourceExhausted, else kIoError) refuses the query with the
+  /// in-memory ledger untouched.
   Result<BudgetLease> Acquire(double epsilon, std::string label);
+
+  /// Attaches the durable journal. Call before the accountant is shared
+  /// (boot/registration time); not thread-safe against in-flight leases.
+  void AttachJournal(std::shared_ptr<AccountantJournal> journal);
+
+  /// Seeds the committed spend replayed from a journal at boot. Call
+  /// before serving; fails if anything was already spent or reserved.
+  Status Restore(double spent, std::vector<Entry> entries);
 
   double total_epsilon() const { return total_; }
   /// Committed spend (excludes outstanding reservations).
@@ -73,16 +117,21 @@ class Accountant {
 
   // Lease back-end (takes mu_ itself). `actual` must be ≤ reserved
   // (+tolerance); `breakdown` itemizes the spend (empty = one entry of
-  // `actual` under `label`).
-  void CommitReservation(double reserved, double actual,
-                         const std::string& label,
-                         std::vector<Entry> breakdown);
+  // `actual` under `label`). `txn` is the journal transaction (0 when no
+  // journal); `aborted` selects the journal's Abort record. A journal
+  // commit failure charges the FULL reservation (never less than what
+  // replay would reconstruct) and returns the journal's error.
+  Status CommitReservation(double reserved, double actual,
+                           const std::string& label,
+                           std::vector<Entry> breakdown, uint64_t txn,
+                           bool aborted);
 
   mutable std::mutex mu_;
   double total_;
   double spent_ = 0.0;
   double reserved_ = 0.0;
   std::vector<Entry> entries_;
+  std::shared_ptr<AccountantJournal> journal_;
 };
 
 /// RAII handle over one reservation. Move-only. Commit() finalizes the
@@ -101,20 +150,25 @@ class BudgetLease {
   /// Commits `actual` (≤ reserved + tolerance, clamped to the
   /// reservation) and releases the unspent remainder. `breakdown`
   /// optionally itemizes the spend in the ledger; its ε values should sum
-  /// to `actual`. Idempotent: only the first call has an effect.
-  void Commit(double actual, std::vector<Accountant::Entry> breakdown = {});
+  /// to `actual`. Idempotent: only the first call has an effect. With a
+  /// journal attached, a failed durable commit returns the journal's
+  /// error AND charges the full reservation in memory — the query must
+  /// fail, the ledger must not under-count.
+  Status Commit(double actual, std::vector<Accountant::Entry> breakdown = {});
 
   /// Commits the full reservation (the common "mechanism spends exactly
   /// what it asked for" case).
-  void CommitAll() { Commit(reserved_); }
+  Status CommitAll() { return Commit(reserved_); }
 
  private:
   friend class Accountant;
-  BudgetLease(Accountant* accountant, double reserved, std::string label);
+  BudgetLease(Accountant* accountant, double reserved, std::string label,
+              uint64_t txn);
 
   Accountant* accountant_;  // null after move-out or commit
   double reserved_ = 0.0;
   std::string label_;
+  uint64_t txn_ = 0;  // journal transaction id (0 = unjournaled)
 };
 
 }  // namespace privbasis

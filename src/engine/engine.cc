@@ -120,8 +120,12 @@ Result<Release> Engine::Run(const Dataset& dataset, const QuerySpec& spec,
 
   // Commit the metered spend (≤ the reservation; the remainder is
   // released back to the dataset budget) with its itemized breakdown.
+  // On a journaled dataset this is the durability point: a commit that
+  // cannot be made durable fails the query (the in-memory ledger charged
+  // the full reservation — fail closed, never fail open).
   release.epsilon_spent = run_ledger.spent_epsilon();
-  lease.Commit(release.epsilon_spent, run_ledger.entries());
+  PRIVBASIS_RETURN_NOT_OK(
+      lease.Commit(release.epsilon_spent, run_ledger.entries()));
   release.epsilon_spent_total = dataset.accountant()->spent_epsilon();
   release.epsilon_remaining = dataset.accountant()->remaining_epsilon();
 

@@ -1,5 +1,7 @@
 #include "server/dataset_registry.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <utility>
 
@@ -54,26 +56,98 @@ Result<TransactionDatabase> BuildInline(const json::Value& transactions,
   return std::move(builder).Build();
 }
 
+bool ValidDatasetName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  // Names double as snapshot filenames in the state dir.
+  return name != "." && name != "..";
+}
+
 }  // namespace
 
-std::string DatasetRegistry::Register(std::shared_ptr<Dataset> dataset) {
+Result<std::string> DatasetRegistry::Insert(std::string id,
+                                            std::shared_ptr<Dataset> dataset,
+                                            bool recovered) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string id = "ds-" + std::to_string(next_id_++);
+  if (datasets_.count(id) > 0) {
+    return Status::FailedPrecondition("dataset \"" + id +
+                                      "\" is already registered");
+  }
+  // The durability hook runs BEFORE the map insert: a dataset must never
+  // be findable — spendable — until its snapshot, manifest entry, and
+  // budget journal binding are durable. Recovered datasets skip it
+  // (their durable records are what they were recovered from).
+  if (!recovered && hook_ != nullptr) {
+    PRIVBASIS_RETURN_NOT_OK(hook_(id, dataset));
+  }
   datasets_.emplace(id, std::move(dataset));
   return id;
 }
 
-Result<DatasetRegistry::Registered> DatasetRegistry::RegisterFromJson(
-    const json::Value& request) {
+Result<std::string> DatasetRegistry::Register(
+    std::shared_ptr<Dataset> dataset) {
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = "ds-" + std::to_string(next_id_++);
+  }
+  return Insert(std::move(id), std::move(dataset), /*recovered=*/false);
+}
+
+Result<std::string> DatasetRegistry::RegisterNamed(
+    const std::string& name, std::shared_ptr<Dataset> dataset) {
+  if (!ValidDatasetName(name)) {
+    return Status::InvalidArgument(
+        "dataset name must be 1-128 chars of [A-Za-z0-9._-]: \"" + name +
+        "\"");
+  }
+  if (name.starts_with("ds-")) {
+    return Status::InvalidArgument(
+        "dataset names must not start with \"ds-\" (reserved for "
+        "generated ids): \"" + name + "\"");
+  }
+  return Insert(name, std::move(dataset), /*recovered=*/false);
+}
+
+Status DatasetRegistry::RegisterRecovered(const std::string& id,
+                                          std::shared_ptr<Dataset> dataset) {
+  if (id.starts_with("ds-")) {
+    const size_t n = std::strtoull(id.c_str() + 3, nullptr, 10);
+    SetNextId(n + 1);
+  }
+  return Insert(id, std::move(dataset), /*recovered=*/true).status();
+}
+
+void DatasetRegistry::SetNextId(size_t next_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_id_ = std::max(next_id_, next_id);
+}
+
+Result<std::shared_ptr<Dataset>> DatasetRegistry::BuildFromJson(
+    const json::Value& request, bool operator_config) {
   PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* obj,
                              request.GetObject());
   // Strict keys, like every other wire object: a typoed "budget" must
-  // 400, not silently register an unlimited-ε dataset.
-  PRIVBASIS_RETURN_NOT_OK(CheckKeys(
-      *obj,
-      {"path", "transactions", "profile", "scale", "seed", "budget",
-       "threads"},
-      "dataset"));
+  // 400, not silently register an unlimited-ε dataset. Operator configs
+  // additionally carry "name" (consumed by the caller, not here).
+  if (operator_config) {
+    PRIVBASIS_RETURN_NOT_OK(CheckKeys(
+        *obj,
+        {"name", "path", "transactions", "profile", "scale", "seed",
+         "budget", "threads"},
+        "dataset"));
+  } else {
+    PRIVBASIS_RETURN_NOT_OK(CheckKeys(
+        *obj,
+        {"path", "transactions", "profile", "scale", "seed", "budget",
+         "threads"},
+        "dataset"));
+  }
   const json::Value* path = request.Find("path");
   const json::Value* transactions = request.Find("transactions");
   const json::Value* profile = request.Find("profile");
@@ -92,17 +166,6 @@ Result<DatasetRegistry::Registered> DatasetRegistry::RegisterFromJson(
     return Status::InvalidArgument(
         "\"scale\"/\"seed\" apply only to \"profile\" registrations");
   }
-  // Bound the registry BEFORE building (the expensive part): each
-  // registered dataset is pinned in memory until DELETEd, so the count
-  // cap is what stands between a registration loop and an OOM. 429:
-  // retryable once something is evicted.
-  if (size() >= limits_.max_datasets) {
-    return Status::ResourceExhausted(
-        "dataset registry is full (" +
-        std::to_string(limits_.max_datasets) +
-        " handles); DELETE one first");
-  }
-
   Dataset::Options options;
   if (const json::Value* budget = request.Find("budget")) {
     PRIVBASIS_ASSIGN_OR_RETURN(options.total_epsilon, budget->GetDouble());
@@ -117,7 +180,9 @@ Result<DatasetRegistry::Registered> DatasetRegistry::RegisterFromJson(
 
   std::shared_ptr<Dataset> dataset;
   if (path != nullptr) {
-    if (!limits_.allow_paths) {
+    // Operator configs come from the server's own command line, not the
+    // wire — the path gate protects against remote file probing only.
+    if (!limits_.allow_paths && !operator_config) {
       return Status::InvalidArgument(
           "\"path\" registration is disabled on this server (start it "
           "with --allow-path-datasets, or preload datasets at startup)");
@@ -150,7 +215,25 @@ Result<DatasetRegistry::Registered> DatasetRegistry::RegisterFromJson(
     PRIVBASIS_ASSIGN_OR_RETURN(dataset,
                                Dataset::FromProfile(prof, seed, options));
   }
-  std::string id = Register(dataset);
+  return dataset;
+}
+
+Result<DatasetRegistry::Registered> DatasetRegistry::RegisterFromJson(
+    const json::Value& request) {
+  // Bound the registry BEFORE building (the expensive part): each
+  // registered dataset is pinned in memory until DELETEd, so the count
+  // cap is what stands between a registration loop and an OOM. 429:
+  // retryable once something is evicted.
+  if (size() >= limits_.max_datasets) {
+    return Status::ResourceExhausted(
+        "dataset registry is full (" +
+        std::to_string(limits_.max_datasets) +
+        " handles); DELETE one first");
+  }
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::shared_ptr<Dataset> dataset,
+      BuildFromJson(request, /*operator_config=*/false));
+  PRIVBASIS_ASSIGN_OR_RETURN(std::string id, Register(dataset));
   return Registered{std::move(id), std::move(dataset)};
 }
 

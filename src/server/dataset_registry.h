@@ -13,6 +13,7 @@
 #ifndef PRIVBASIS_SERVER_DATASET_REGISTRY_H_
 #define PRIVBASIS_SERVER_DATASET_REGISTRY_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,8 +55,38 @@ class DatasetRegistry {
   DatasetRegistry(const DatasetRegistry&) = delete;
   DatasetRegistry& operator=(const DatasetRegistry&) = delete;
 
+  /// Runs for every new registration BEFORE the dataset becomes
+  /// findable, under the registry lock — the durability hook (the
+  /// StateStore persists the snapshot + manifest and attaches the budget
+  /// journal here). A failing hook fails the registration: no dataset
+  /// may serve queries whose ε spend the next boot would forget.
+  using RegisterHook =
+      std::function<Status(const std::string& id,
+                           const std::shared_ptr<Dataset>& dataset)>;
+
+  /// Installs the hook (nullptr = none). Set before serving starts; not
+  /// synchronized against concurrent registrations.
+  void SetRegisterHook(RegisterHook hook) { hook_ = std::move(hook); }
+
   /// Adds a handle, returning its new "ds-N" id. Ids are never reused.
-  std::string Register(std::shared_ptr<Dataset> dataset);
+  /// Fails only if the registration hook does.
+  Result<std::string> Register(std::shared_ptr<Dataset> dataset);
+
+  /// Adds a handle under a caller-chosen name (operator preloads). Names
+  /// must be non-empty, `[A-Za-z0-9._-]`, must not start with "ds-" (the
+  /// generated-id namespace), and must be free. Runs the hook.
+  Result<std::string> RegisterNamed(const std::string& name,
+                                    std::shared_ptr<Dataset> dataset);
+
+  /// Re-adds a dataset recovered from the StateStore: any id shape,
+  /// hook skipped (its durable records already exist). Bumps the "ds-N"
+  /// counter past recovered generated ids.
+  Status RegisterRecovered(const std::string& id,
+                           std::shared_ptr<Dataset> dataset);
+
+  /// Seeds the "ds-N" counter (from the recovered manifest). Only moves
+  /// it forward.
+  void SetNextId(size_t next_id);
 
   /// A freshly registered handle: the id AND the shared_ptr itself, so
   /// callers never re-look the id up (a concurrent Remove() between
@@ -76,6 +107,14 @@ class DatasetRegistry {
   /// parallelism; default the env knob). Unknown keys are rejected.
   Result<Registered> RegisterFromJson(const json::Value& request);
 
+  /// Builds (without registering) a Dataset from the same JSON shape.
+  /// With `operator_config` (the server binary's --preload-config), a
+  /// "name" key is tolerated (the caller consumes it) and "path" is
+  /// allowed regardless of Limits::allow_paths — the config comes from
+  /// the operator's command line, not the wire.
+  Result<std::shared_ptr<Dataset>> BuildFromJson(const json::Value& request,
+                                                 bool operator_config);
+
   /// The handle for `id`, or nullptr. The returned shared_ptr keeps the
   /// dataset alive independent of later Remove() calls.
   std::shared_ptr<Dataset> Find(const std::string& id) const;
@@ -87,7 +126,13 @@ class DatasetRegistry {
   std::vector<std::string> ids() const;
 
  private:
+  /// Inserts under mu_, running the hook first unless `recovered`.
+  Result<std::string> Insert(std::string id,
+                             std::shared_ptr<Dataset> dataset,
+                             bool recovered);
+
   Limits limits_;
+  RegisterHook hook_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Dataset>> datasets_;
   size_t next_id_ = 1;

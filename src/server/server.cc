@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "engine/accountant.h"
 #include "engine/engine.h"
 #include "server/wire.h"
@@ -64,14 +65,68 @@ Status QueryServer::Start() {
   pool_ = std::make_unique<ThreadPool>(
       std::max<size_t>(1, EffectiveThreads(options_.num_threads)));
   stopping_.store(false, std::memory_order_release);
+  // Recovery runs behind the already-listening socket: a restarting
+  // server is reachable immediately (503, retryable) instead of
+  // connection-refused, and no route can touch the registry before the
+  // ledger replay has finished.
+  if (!options_.state_dir.empty()) {
+    recovery_state_.store(RecoveryState::kRecovering,
+                          std::memory_order_release);
+    recovery_thread_ = std::thread([this] { RecoverState(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
   return Status::OK();
 }
 
+void QueryServer::RecoverState() {
+  // Lets the fault-injection tests hold the server in its 503 window
+  // (sleep action) or kill it mid-recovery (crash action).
+  (void)failpoint::Hit("recovery_start");
+  Status status = [&]() -> Status {
+    PRIVBASIS_ASSIGN_OR_RETURN(
+        store_,
+        store::StateStore::Open(options_.state_dir, options_.fsync_mode));
+    PRIVBASIS_ASSIGN_OR_RETURN(auto recovered, store_->RecoverDatasets());
+    registry_.SetNextId(store_->next_id());
+    for (auto& entry : recovered) {
+      PRIVBASIS_RETURN_NOT_OK(registry_.RegisterRecovered(
+          entry.id, std::move(entry.dataset)));
+    }
+    // From here on, nothing becomes registered without first being
+    // persisted + journal-bound (the hook runs before the registry map
+    // insert). No wire registration can have raced us: every route was
+    // still answering 503.
+    registry_.SetRegisterHook(
+        [this](const std::string& id,
+               const std::shared_ptr<Dataset>& dataset) {
+          return store_->PersistRegistration(id, dataset);
+        });
+    return Status::OK();
+  }();
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    recovery_error_ = status;
+    recovery_state_.store(status.ok() ? RecoveryState::kReady
+                                      : RecoveryState::kFailed,
+                          std::memory_order_release);
+  }
+  recovery_cv_.notify_all();
+}
+
+Status QueryServer::WaitUntilReady() {
+  std::unique_lock<std::mutex> lock(recovery_mu_);
+  recovery_cv_.wait(lock, [this] {
+    return recovery_state_.load(std::memory_order_acquire) !=
+           RecoveryState::kRecovering;
+  });
+  return recovery_error_;
+}
+
 void QueryServer::Stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_release);
+  if (recovery_thread_.joinable()) recovery_thread_.join();
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_.Close();
   {
@@ -206,6 +261,29 @@ void QueryServer::HandleConnection(net::Fd fd) {
 }
 
 HttpResponse QueryServer::Route(const HttpRequest& request) {
+  // No route — health checks included — answers before the ledger
+  // replay is done: a response computed from an unreplayed registry
+  // could spend ε a previous life already spent. 503 = retryable.
+  switch (recovery_state_.load(std::memory_order_acquire)) {
+    case RecoveryState::kReady:
+      break;
+    case RecoveryState::kRecovering: {
+      if (request.target == "/healthz") {
+        json::Value body;
+        body.Set("status", "recovering");
+        return JsonResponse(503, body);
+      }
+      return ErrorResponse(Status::Unavailable(
+          "state recovery in progress; retry shortly"));
+    }
+    case RecoveryState::kFailed: {
+      // Permanently 503 rather than serving a ledger we could not
+      // verify (or, worse, a silently fresh one).
+      std::lock_guard<std::mutex> lock(recovery_mu_);
+      return ErrorResponse(Status::Unavailable(
+          "state recovery failed: " + recovery_error_.ToString()));
+    }
+  }
   if (request.target == "/healthz") {
     if (request.method != "GET") {
       HttpResponse r = ErrorResponse(
@@ -346,6 +424,18 @@ HttpResponse QueryServer::HandleBudget(const std::string& id) {
 }
 
 HttpResponse QueryServer::HandleEvict(const std::string& id) {
+  if (registry_.Find(id) == nullptr) {
+    return ErrorResponse(Status::NotFound("unknown dataset \"" + id + "\""));
+  }
+  // Durably forget BEFORE the registry does: if the manifest rewrite
+  // fails the dataset stays registered (500, retryable) — the bad
+  // outcome would be a dataset the operator saw deleted coming back on
+  // restart with its budget ledger still live.
+  if (store_ != nullptr) {
+    if (Status persisted = store_->PersistEviction(id); !persisted.ok()) {
+      return ErrorResponse(persisted);
+    }
+  }
   if (!registry_.Remove(id)) {
     return ErrorResponse(Status::NotFound("unknown dataset \"" + id + "\""));
   }

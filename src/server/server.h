@@ -49,6 +49,7 @@
 #include "common/thread_pool.h"
 #include "server/dataset_registry.h"
 #include "server/http.h"
+#include "store/state_store.h"
 
 namespace privbasis::server {
 
@@ -65,6 +66,14 @@ struct ServerOptions {
   /// Requests served per keep-alive connection before Connection: close.
   size_t max_requests_per_connection = 1024;
   DatasetRegistry::Limits registry_limits;
+  /// Durable state directory (store/state_store.h). Empty = ephemeral:
+  /// no WAL, no snapshots, everything is lost on exit — the pre-existing
+  /// behavior. Non-empty: the budget ledger and registered datasets
+  /// survive kill -9; every route answers 503 until boot-time ledger
+  /// replay finishes.
+  std::string state_dir;
+  /// When ledger writes reach disk (only meaningful with a state_dir).
+  store::FsyncMode fsync_mode = store::FsyncMode::kCommit;
 };
 
 class QueryServer {
@@ -76,8 +85,18 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Binds, listens, and starts the accept thread + worker pool.
+  /// Binds, listens, and starts the accept thread + worker pool. With a
+  /// state_dir, recovery (WAL replay + snapshot reload) proceeds on a
+  /// background thread while the socket already accepts — clients get
+  /// 503 until WaitUntilReady() would return, never connection refused
+  /// followed by an answer from an unreplayed ledger.
   Status Start();
+
+  /// Blocks until recovery finishes (immediately when no state_dir).
+  /// Returns the recovery status: after a failure the server stays up
+  /// but refuses every route with 503 — an unverifiable ledger must not
+  /// serve, and silently serving fresh-and-empty would be worse.
+  Status WaitUntilReady();
 
   /// Stops accepting, waits for in-flight requests (bounded by their
   /// deadlines), and joins all threads. Idempotent.
@@ -101,7 +120,10 @@ class QueryServer {
   Counters counters() const;
 
  private:
+  enum class RecoveryState { kReady, kRecovering, kFailed };
+
   void AcceptLoop();
+  void RecoverState();
   void HandleConnection(net::Fd fd);
   /// Pure request → response routing (no socket I/O), so tests can cover
   /// the routing table without a live connection if needed.
@@ -121,6 +143,13 @@ class QueryServer {
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+
+  std::unique_ptr<store::StateStore> store_;
+  std::thread recovery_thread_;
+  std::atomic<RecoveryState> recovery_state_{RecoveryState::kReady};
+  std::mutex recovery_mu_;
+  std::condition_variable recovery_cv_;
+  Status recovery_error_;  // set before kFailed becomes visible
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

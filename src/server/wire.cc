@@ -391,6 +391,10 @@ int HttpStatusForCode(StatusCode code) {
     case StatusCode::kIoError:
     case StatusCode::kInternal:
       return 500;
+    // Recovering-after-restart refusal: retryable once ledger replay
+    // finishes, so the standard "try again later" code.
+    case StatusCode::kUnavailable:
+      return 503;
   }
   return 500;
 }

@@ -1,0 +1,232 @@
+#include "store/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace privbasis::store {
+
+namespace {
+
+std::string SiteName(const char* prefix, const char* op) {
+  return std::string(prefix) + "_" + op;
+}
+
+/// Applies a failpoint action to a pending write of `bytes` on `fd`.
+/// Returns true when the action fully handled the write (and set
+/// `*status`); false means proceed with the real write.
+bool ApplyWriteFailpoint(const failpoint::Action& action, int fd,
+                         std::string_view bytes, const std::string& context,
+                         Status* status) {
+  switch (action.kind) {
+    case failpoint::Action::Kind::kError:
+      *status = ErrnoToStatus(action.err, context);
+      return true;
+    case failpoint::Action::Kind::kTorn: {
+      // The crash signature: a prefix lands on disk, then the write
+      // "fails". Recovery must treat the prefix as garbage.
+      const size_t n = std::min(action.arg, bytes.size());
+      if (n > 0) {
+        [[maybe_unused]] ssize_t written = ::write(fd, bytes.data(), n);
+      }
+      *status = ErrnoToStatus(EIO, context + " (torn write)");
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Status WriteAllFd(int fd, std::string_view bytes, const std::string& context) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoToStatus(errno, context);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoToStatus(errno, "open dir " + dir);
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) return ErrnoToStatus(err, "fsync dir " + dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ErrnoToStatus(int err, const std::string& context) {
+  const std::string message = context + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(message);
+  }
+  return Status::IoError(message);
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  if (errno != ENOENT) return ErrnoToStatus(errno, "mkdir " + path);
+  // One missing parent level (state-dir layouts are shallow).
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) {
+    return ErrnoToStatus(ENOENT, "mkdir " + path);
+  }
+  PRIVBASIS_RETURN_NOT_OK(EnsureDir(path.substr(0, slash)));
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoToStatus(errno, "mkdir " + path);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoToStatus(errno, "open " + path);
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoToStatus(err, "read " + path);
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoToStatus(errno, "unlink " + path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       bool fsync, const char* site_prefix) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoToStatus(errno, "open " + tmp);
+
+  Status status = Status::OK();
+  const auto action = failpoint::Hit(SiteName(site_prefix, "write").c_str());
+  if (!ApplyWriteFailpoint(action, fd, bytes, "write " + tmp, &status)) {
+    status = WriteAllFd(fd, bytes, "write " + tmp);
+  }
+  if (status.ok() && fsync && ::fsync(fd) != 0) {
+    status = ErrnoToStatus(errno, "fsync " + tmp);
+  }
+  ::close(fd);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());  // never leave a partial temp behind
+    return status;
+  }
+
+  const auto rename_action =
+      failpoint::Hit(SiteName(site_prefix, "rename").c_str());
+  if (rename_action.kind == failpoint::Action::Kind::kError) {
+    ::unlink(tmp.c_str());
+    return ErrnoToStatus(rename_action.err, "rename " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoToStatus(err, "rename " + tmp + " -> " + path);
+  }
+  if (fsync) {
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash);
+    PRIVBASIS_RETURN_NOT_OK(SyncDir(dir));
+  }
+  return Status::OK();
+}
+
+Result<AppendFile> AppendFile::Open(const std::string& path,
+                                    const char* site_prefix) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoToStatus(errno, "open " + path);
+  return AppendFile(fd, path, site_prefix);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      site_prefix_(other.site_prefix_) {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    site_prefix_ = other.site_prefix_;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status AppendFile::Append(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("append on closed file");
+  Status status = Status::OK();
+  const auto action = failpoint::Hit(SiteName(site_prefix_, "append").c_str());
+  if (ApplyWriteFailpoint(action, fd_, bytes, "append " + path_, &status)) {
+    return status;
+  }
+  return WriteAllFd(fd_, bytes, "append " + path_);
+}
+
+Status AppendFile::TruncateTo(uint64_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("truncate on closed file");
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoToStatus(errno, "ftruncate " + path_);
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("fsync on closed file");
+  const auto action = failpoint::Hit(SiteName(site_prefix_, "sync").c_str());
+  if (action.kind == failpoint::Action::Kind::kError) {
+    return ErrnoToStatus(action.err, "fsync " + path_);
+  }
+  if (::fsync(fd_) != 0) return ErrnoToStatus(errno, "fsync " + path_);
+  return Status::OK();
+}
+
+}  // namespace privbasis::store

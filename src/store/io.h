@@ -1,0 +1,79 @@
+// Durable-file primitives for src/store: POSIX IO with every
+// failure-relevant syscall routed through a common/failpoint site, so
+// the fault-injection tests exercise exactly the code the server runs.
+//
+// Error mapping is part of the service contract: ENOSPC/EDQUOT become
+// kResourceExhausted (HTTP 429 — retryable once space frees up), every
+// other IO failure becomes kIoError (HTTP 500). Either way the caller
+// fails *closed*: a budget write that cannot be made durable fails the
+// query, never the guarantee.
+#ifndef PRIVBASIS_STORE_IO_H_
+#define PRIVBASIS_STORE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace privbasis::store {
+
+/// errno → Status: ENOSPC/EDQUOT → kResourceExhausted, else kIoError.
+/// `context` names the failing operation in the message.
+Status ErrnoToStatus(int err, const std::string& context);
+
+/// mkdir -p (two levels deep at most in the state-dir layout).
+Status EnsureDir(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// Whole-file read (snapshots and the WAL replay are bounded by what the
+/// server itself wrote; no streaming needed).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Removes a file; missing files are OK (idempotent eviction).
+Status RemoveFile(const std::string& path);
+
+/// Atomic whole-file replace: write `bytes` to `path + ".tmp"`, fsync if
+/// requested, rename over `path`, fsync the parent directory. Readers
+/// see either the old or the new content, never a prefix — torn
+/// manifests cannot exist. Failpoint sites: `<site_prefix>_write`,
+/// `<site_prefix>_rename`.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       bool fsync, const char* site_prefix);
+
+/// Append-only file handle (the WAL). Failpoint sites are
+/// `<site_prefix>_append` and `<site_prefix>_sync`; a torn-write action
+/// at the append site writes its prefix then reports EIO — exactly the
+/// partial frame a crash mid-write leaves behind.
+class AppendFile {
+ public:
+  /// Opens (creating if needed) for appends.
+  static Result<AppendFile> Open(const std::string& path,
+                                 const char* site_prefix);
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  Status Append(std::string_view bytes);
+  Status Sync();
+  /// ftruncate to `size` — the WAL's self-heal after a failed append
+  /// (drops whatever prefix of the frame reached the file).
+  Status TruncateTo(uint64_t size);
+  void Close();
+
+ private:
+  AppendFile(int fd, std::string path, const char* site_prefix)
+      : fd_(fd), path_(std::move(path)), site_prefix_(site_prefix) {}
+
+  int fd_ = -1;
+  std::string path_;
+  const char* site_prefix_ = "";
+};
+
+}  // namespace privbasis::store
+
+#endif  // PRIVBASIS_STORE_IO_H_

@@ -1,0 +1,159 @@
+#include "store/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "store/io.h"
+
+namespace privbasis::store {
+
+namespace {
+
+constexpr char kSnapMagicPrefix[] = "PBSNAP";
+constexpr char kSnapHeader[] = "PBSNAP01";
+constexpr size_t kSnapHeaderSize = 8;
+constexpr size_t kCrcSize = 4;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool TakeU32(uint32_t* v) {
+    if (bytes_.size() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[i])) << (8 * i);
+    }
+    *v = out;
+    bytes_.remove_prefix(4);
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (bytes_.size() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[i])) << (8 * i);
+    }
+    *v = out;
+    bytes_.remove_prefix(8);
+    return true;
+  }
+  size_t remaining() const { return bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+};
+
+}  // namespace
+
+std::string EncodeSnapshot(const TransactionDatabase& db) {
+  const size_t n = db.NumTransactions();
+  std::string out(kSnapHeader, kSnapHeaderSize);
+  out.reserve(kSnapHeaderSize + 20 + 4 * (n + db.TotalItemOccurrences()) +
+              kCrcSize);
+  PutU32(&out, db.UniverseSize());
+  PutU64(&out, static_cast<uint64_t>(n));
+  PutU64(&out, db.TotalItemOccurrences());
+  for (size_t i = 0; i < n; ++i) {
+    PutU32(&out, static_cast<uint32_t>(db.Transaction(i).size()));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (const Item item : db.Transaction(i)) PutU32(&out, item);
+  }
+  // The CRC covers the body (everything after the magic), so a version
+  // bump changes the header check, not the checksum definition.
+  PutU32(&out, Crc32(std::string_view(out).substr(kSnapHeaderSize)));
+  return out;
+}
+
+Result<TransactionDatabase> DecodeSnapshot(std::string_view bytes) {
+  if (bytes.size() < kSnapHeaderSize + kCrcSize) {
+    return Status::InvalidArgument("snapshot truncated");
+  }
+  const std::string_view header = bytes.substr(0, kSnapHeaderSize);
+  if (header.substr(0, 6) != kSnapMagicPrefix) {
+    return Status::IoError("not a PrivBasis snapshot");
+  }
+  if (header != kSnapHeader) {
+    return Status::FailedPrecondition(
+        "snapshot format version mismatch (have " +
+        std::string(header.substr(6)) + ", want " +
+        std::string(kSnapHeader).substr(6) + ")");
+  }
+
+  const std::string_view body =
+      bytes.substr(kSnapHeaderSize, bytes.size() - kSnapHeaderSize - kCrcSize);
+  Reader crc_reader(bytes.substr(bytes.size() - kCrcSize));
+  uint32_t stored_crc = 0;
+  (void)crc_reader.TakeU32(&stored_crc);
+  if (Crc32(body) != stored_crc) {
+    return Status::InvalidArgument("snapshot CRC mismatch");
+  }
+
+  Reader reader(body);
+  uint32_t universe = 0;
+  uint64_t num_transactions = 0;
+  uint64_t total_items = 0;
+  if (!reader.TakeU32(&universe) || !reader.TakeU64(&num_transactions) ||
+      !reader.TakeU64(&total_items)) {
+    return Status::InvalidArgument("snapshot header truncated");
+  }
+  // The CRC already vouches for integrity; these checks catch encoder
+  // bugs, not disk corruption.
+  if (reader.remaining() != 4 * (num_transactions + total_items)) {
+    return Status::InvalidArgument("snapshot size inconsistent with counts");
+  }
+
+  std::vector<uint32_t> lengths(num_transactions);
+  uint64_t length_sum = 0;
+  for (uint64_t i = 0; i < num_transactions; ++i) {
+    (void)reader.TakeU32(&lengths[i]);
+    length_sum += lengths[i];
+  }
+  if (length_sum != total_items) {
+    return Status::InvalidArgument("snapshot transaction lengths disagree");
+  }
+
+  TransactionDatabase::Builder builder(universe);
+  std::vector<Item> transaction;
+  for (uint64_t i = 0; i < num_transactions; ++i) {
+    transaction.resize(lengths[i]);
+    for (uint32_t j = 0; j < lengths[i]; ++j) {
+      (void)reader.TakeU32(&transaction[j]);
+    }
+    builder.AddTransaction(transaction);
+  }
+  return std::move(builder).Build();
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const TransactionDatabase& db, bool fsync) {
+  return AtomicWriteFile(path, EncodeSnapshot(db), fsync, "snapshot");
+}
+
+Result<TransactionDatabase> ReadSnapshotFile(const std::string& path) {
+  PRIVBASIS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  auto db = DecodeSnapshot(bytes);
+  if (!db.ok()) {
+    return Status(db.status().code(),
+                  db.status().message() + " (" + path + ")");
+  }
+  return db;
+}
+
+}  // namespace privbasis::store

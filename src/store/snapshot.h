@@ -1,0 +1,47 @@
+// Versioned binary snapshots of a TransactionDatabase — the durable half
+// of a registered dataset (the other half, its spent ε, lives in the
+// budget WAL).
+//
+// Layout (all integers little-endian):
+//
+//   8 bytes  magic+version        "PBSNAP01"
+//   u32      universe size |I|
+//   u64      number of transactions N
+//   u64      total item occurrences Σ|t|
+//   N × u32  per-transaction lengths
+//   Σ|t|×u32 item ids, transaction by transaction (sorted within each)
+//   u32      CRC32 of everything after the 8-byte magic
+//
+// Only the raw transactions are serialized: item supports, the vertical
+// index and the mined margins are all memoized rebuilds inside Dataset,
+// so persisting them would just be a second copy of derivable state that
+// could drift. Snapshot files are written with AtomicWriteFile (tmp +
+// fsync + rename), so a reader sees a complete file or none.
+#ifndef PRIVBASIS_STORE_SNAPSHOT_H_
+#define PRIVBASIS_STORE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/transaction_db.h"
+
+namespace privbasis::store {
+
+/// Serializes `db` into the snapshot byte format above.
+std::string EncodeSnapshot(const TransactionDatabase& db);
+
+/// Parses snapshot bytes. kFailedPrecondition on a version mismatch,
+/// kIoError on a foreign file, kInvalidArgument on truncation or a CRC
+/// mismatch.
+Result<TransactionDatabase> DecodeSnapshot(std::string_view bytes);
+
+/// Atomic write (failpoint sites `snapshot_write` / `snapshot_rename`).
+Status WriteSnapshotFile(const std::string& path,
+                         const TransactionDatabase& db, bool fsync);
+
+Result<TransactionDatabase> ReadSnapshotFile(const std::string& path);
+
+}  // namespace privbasis::store
+
+#endif  // PRIVBASIS_STORE_SNAPSHOT_H_

@@ -1,0 +1,225 @@
+#include "store/state_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/json.h"
+#include "store/io.h"
+#include "store/snapshot.h"
+
+namespace privbasis::store {
+
+namespace {
+
+constexpr uint64_t kManifestVersion = 1;
+
+/// Parses one manifest dataset entry; strict about what it needs,
+/// tolerant of nothing (the manifest is our own output).
+struct ParsedEntry {
+  std::string id;
+  std::string snapshot;
+  double total_epsilon;
+};
+
+Result<ParsedEntry> ParseManifestEntry(const json::Value& value) {
+  ParsedEntry out;
+  PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* obj,
+                             value.GetObject());
+  (void)obj;
+  const json::Value* id = value.Find("id");
+  const json::Value* snapshot = value.Find("snapshot");
+  const json::Value* budget = value.Find("budget");
+  if (id == nullptr || snapshot == nullptr || budget == nullptr) {
+    return Status::IoError("manifest entry missing id/snapshot/budget");
+  }
+  PRIVBASIS_ASSIGN_OR_RETURN(out.id, id->GetString());
+  PRIVBASIS_ASSIGN_OR_RETURN(out.snapshot, snapshot->GetString());
+  if (budget->is_null()) {
+    out.total_epsilon = Accountant::kUnlimited;
+  } else {
+    PRIVBASIS_ASSIGN_OR_RETURN(out.total_epsilon, budget->GetDouble());
+    if (!(out.total_epsilon > 0.0)) {
+      return Status::IoError("manifest entry has non-positive budget");
+    }
+  }
+  if (out.id.empty() || out.snapshot.find('/') != std::string::npos) {
+    return Status::IoError("manifest entry has a malformed id/snapshot");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StateStore>> StateStore::Open(const std::string& dir,
+                                                     FsyncMode mode) {
+  PRIVBASIS_RETURN_NOT_OK(EnsureDir(dir));
+  PRIVBASIS_RETURN_NOT_OK(EnsureDir(dir + "/snapshots"));
+  PRIVBASIS_ASSIGN_OR_RETURN(std::shared_ptr<BudgetWal> wal,
+                             BudgetWal::Open(dir + "/budget.wal", mode));
+  auto store = std::unique_ptr<StateStore>(
+      new StateStore(dir, mode, std::move(wal)));
+
+  const std::string manifest_path = dir + "/datasets.json";
+  if (!FileExists(manifest_path)) return store;  // fresh state dir
+
+  PRIVBASIS_ASSIGN_OR_RETURN(std::string text,
+                             ReadFileToString(manifest_path));
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    // AtomicWriteFile makes a torn manifest impossible; a parse failure
+    // means outside interference, and guessing would drop datasets.
+    return Status::IoError("corrupt manifest " + manifest_path + ": " +
+                           parsed.status().message());
+  }
+  const json::Value* version = parsed->Find("version");
+  if (version == nullptr) return Status::IoError("manifest missing version");
+  PRIVBASIS_ASSIGN_OR_RETURN(const uint64_t version_value,
+                             version->GetUint());
+  if (version_value != kManifestVersion) {
+    return Status::FailedPrecondition(
+        "manifest version mismatch in " + manifest_path + " (have " +
+        std::to_string(version_value) + ", want " +
+        std::to_string(kManifestVersion) + ")");
+  }
+  const json::Value* next_id = parsed->Find("next_id");
+  if (next_id == nullptr) {
+    return Status::IoError("manifest missing next_id");
+  }
+  PRIVBASIS_ASSIGN_OR_RETURN(store->next_id_, next_id->GetUint());
+  const json::Value* datasets = parsed->Find("datasets");
+  if (datasets == nullptr) {
+    return Status::IoError("manifest missing datasets");
+  }
+  PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Array* rows,
+                             datasets->GetArray());
+  for (const json::Value& row : *rows) {
+    PRIVBASIS_ASSIGN_OR_RETURN(ParsedEntry entry, ParseManifestEntry(row));
+    store->entries_.push_back(
+        ManifestEntry{entry.id, entry.snapshot, entry.total_epsilon});
+  }
+  return store;
+}
+
+Result<std::vector<StateStore::Recovered>> StateStore::RecoverDatasets() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Recovered> out;
+  out.reserve(entries_.size());
+  const auto& replayed = wal_->recovered().ledgers;
+  for (const ManifestEntry& entry : entries_) {
+    auto db = ReadSnapshotFile(SnapshotPath(entry));
+    if (!db.ok()) {
+      return Status(db.status().code(), "recovering dataset \"" + entry.id +
+                                            "\": " + db.status().message());
+    }
+    Dataset::Options options;
+    options.total_epsilon = entry.total_epsilon;
+    std::shared_ptr<Dataset> dataset =
+        Dataset::Create(std::move(*db), options);
+    const auto ledger = replayed.find(entry.id);
+    if (ledger != replayed.end()) {
+      PRIVBASIS_RETURN_NOT_OK(dataset->accountant()->Restore(
+          ledger->second.spent, ledger->second.entries));
+    }
+    dataset->accountant()->AttachJournal(
+        std::make_shared<WalAccountantJournal>(wal_, entry.id));
+    out.push_back(Recovered{entry.id, std::move(dataset)});
+  }
+  return out;
+}
+
+uint64_t StateStore::next_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
+}
+
+Status StateStore::PersistRegistration(
+    const std::string& id, const std::shared_ptr<Dataset>& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ManifestEntry& entry : entries_) {
+    if (entry.id == id) {
+      return Status::FailedPrecondition("dataset \"" + id +
+                                        "\" is already persisted");
+    }
+  }
+  ManifestEntry entry;
+  entry.id = id;
+  entry.snapshot = id + ".snap";
+  entry.total_epsilon = dataset->accountant()->total_epsilon();
+
+  // "ds-N" ids come from the registry counter; remembering N keeps ids
+  // unique across restarts (a reused id would inherit the WAL ledger of
+  // its predecessor).
+  if (id.starts_with("ds-")) {
+    const uint64_t n = std::strtoull(id.c_str() + 3, nullptr, 10);
+    next_id_ = std::max(next_id_, n + 1);
+  }
+
+  PRIVBASIS_RETURN_NOT_OK(WriteSnapshotFile(SnapshotPath(entry),
+                                            dataset->db(),
+                                            mode_ != FsyncMode::kNever));
+  entries_.push_back(entry);
+  if (Status manifest = WriteManifestLocked(); !manifest.ok()) {
+    entries_.pop_back();
+    (void)RemoveFile(SnapshotPath(entry));
+    return manifest;
+  }
+
+  // The durable records exist; now bind the ledger. A name the WAL
+  // already knows (a re-preloaded named dataset whose manifest entry was
+  // lost or evicted) resumes its recorded spend — over-charge, never
+  // under-charge.
+  const auto& replayed = wal_->recovered().ledgers;
+  const auto ledger = replayed.find(id);
+  if (ledger != replayed.end()) {
+    PRIVBASIS_RETURN_NOT_OK(dataset->accountant()->Restore(
+        ledger->second.spent, ledger->second.entries));
+  }
+  dataset->accountant()->AttachJournal(
+      std::make_shared<WalAccountantJournal>(wal_, id));
+  return Status::OK();
+}
+
+Status StateStore::PersistEviction(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const ManifestEntry& e) { return e.id == id; });
+  if (it == entries_.end()) return Status::OK();  // idempotent
+  const ManifestEntry entry = *it;
+  entries_.erase(it);
+  if (Status manifest = WriteManifestLocked(); !manifest.ok()) {
+    entries_.push_back(entry);
+    return manifest;
+  }
+  // The manifest no longer references the snapshot, so a failed unlink
+  // only leaks a file, never resurrects a dataset.
+  (void)RemoveFile(SnapshotPath(entry));
+  return Status::OK();
+}
+
+std::string StateStore::SnapshotPath(const ManifestEntry& entry) const {
+  return dir_ + "/snapshots/" + entry.snapshot;
+}
+
+Status StateStore::WriteManifestLocked() {
+  json::Value manifest;
+  manifest.Set("version", kManifestVersion);
+  manifest.Set("next_id", next_id_);
+  json::Value::Array datasets;
+  for (const ManifestEntry& entry : entries_) {
+    json::Value row;
+    row.Set("id", entry.id);
+    row.Set("snapshot", entry.snapshot);
+    row.Set("budget", std::isfinite(entry.total_epsilon)
+                          ? json::Value(entry.total_epsilon)
+                          : json::Value(nullptr));
+    datasets.emplace_back(std::move(row));
+  }
+  manifest.Set("datasets", std::move(datasets));
+  return AtomicWriteFile(dir_ + "/datasets.json", manifest.Dump(),
+                         mode_ != FsyncMode::kNever, "manifest");
+}
+
+}  // namespace privbasis::store

@@ -115,7 +115,7 @@ TEST(ServerTest, MalformedContentLengthIs400) {
 TEST(ServerTest, ServedReleaseBitIdenticalToDirectEngineRun) {
   TransactionDatabase db = MakeRandomDb({.seed = 5, .num_transactions = 250});
   auto server = StartServer();
-  const std::string id = server->registry().Register(Dataset::Create(db));
+  const std::string id = *server->registry().Register(Dataset::Create(db));
 
   const QuerySpec spec =
       QuerySpec().WithTopK(12).WithEpsilon(1.0).WithSeed(77);
@@ -143,7 +143,7 @@ TEST(ServerTest, ServedReleaseBitIdenticalToDirectEngineRun) {
 TEST(ServerTest, ThresholdAmplifiedAndTfVariantsServe) {
   TransactionDatabase db = MakeRandomDb({.seed = 9, .num_transactions = 200});
   auto server = StartServer();
-  const std::string id = server->registry().Register(Dataset::Create(db));
+  const std::string id = *server->registry().Register(Dataset::Create(db));
   const QuerySpec variants[] = {
       QuerySpec().WithThreshold(0.2, 30).WithEpsilon(1.0).WithSeed(3),
       QuerySpec().WithTopK(10).WithAmplification(0.6).WithSeed(4),
@@ -237,7 +237,7 @@ TEST(ServerTest, BudgetExhaustionIs429AndLedgerUntouched) {
   TransactionDatabase db = MakeRandomDb({.seed = 11});
   auto server = StartServer();
   auto dataset = Dataset::Create(db, {.total_epsilon = 1.0});
-  const std::string id = server->registry().Register(dataset);
+  const std::string id = *server->registry().Register(dataset);
 
   // Spend 0.6 of the 1.0 budget.
   auto first = Query(
@@ -281,7 +281,7 @@ TEST(ServerTest, HammerSixteenClientsConserveEpsilon) {
   auto server = StartServer(std::move(options));
   const double total_budget = 4.0;
   auto dataset = Dataset::Create(db, {.total_epsilon = total_budget});
-  const std::string id = server->registry().Register(dataset);
+  const std::string id = *server->registry().Register(dataset);
 
   constexpr int kClients = 16;
   constexpr int kQueriesPerClient = 4;

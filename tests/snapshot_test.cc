@@ -1,0 +1,133 @@
+// Dataset snapshots: golden bytes, lossless round trip, corruption and
+// version-skew rejection, and atomic-write failure injection.
+#include "store/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/failpoint.h"
+#include "store/io.h"
+
+namespace privbasis::store {
+namespace {
+
+std::string HexDecode(std::string_view hex) {
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<char>(
+        std::stoi(std::string(hex.substr(i, 2)), nullptr, 16)));
+  }
+  return out;
+}
+
+TransactionDatabase SmallDb() {
+  TransactionDatabase::Builder builder(3);
+  builder.AddTransaction(std::vector<Item>{0, 2});
+  builder.AddTransaction(std::vector<Item>{1});
+  auto db = std::move(builder).Build();
+  EXPECT_TRUE(db.ok());
+  return std::move(*db);
+}
+
+TEST(SnapshotTest, GoldenBytes) {
+  // universe 3, transactions [[0,2],[1]] — the full 52-byte file.
+  EXPECT_EQ(EncodeSnapshot(SmallDb()),
+            HexDecode("5042534e41503031"            // "PBSNAP01"
+                      "03000000"                    // universe
+                      "0200000000000000"            // N
+                      "0300000000000000"            // Σ|t|
+                      "0200000001000000"            // lengths
+                      "000000000200000001000000"    // items
+                      "70a221ae"));                 // CRC32 of the body
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  TransactionDatabase::Builder builder(100);
+  for (uint32_t i = 0; i < 50; ++i) {
+    builder.AddTransaction(std::vector<Item>{i % 100, (i * 7) % 100,
+                                             (i * 13 + 5) % 100});
+  }
+  builder.AddTransaction(std::vector<Item>{});  // empty transactions count
+  auto db = std::move(builder).Build();
+  ASSERT_TRUE(db.ok());
+
+  auto decoded = DecodeSnapshot(EncodeSnapshot(*db));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->NumTransactions(), db->NumTransactions());
+  EXPECT_EQ(decoded->UniverseSize(), db->UniverseSize());
+  EXPECT_EQ(decoded->TotalItemOccurrences(), db->TotalItemOccurrences());
+  EXPECT_EQ(decoded->ItemSupports(), db->ItemSupports());
+  for (size_t i = 0; i < db->NumTransactions(); ++i) {
+    const auto a = db->Transaction(i);
+    const auto b = decoded->Transaction(i);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(SnapshotTest, CorruptionAndTruncationRejected) {
+  const std::string good = EncodeSnapshot(SmallDb());
+
+  std::string flipped = good;
+  flipped[20] ^= 0x01;
+  EXPECT_EQ(DecodeSnapshot(flipped).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(DecodeSnapshot(good.substr(0, good.size() - 5)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeSnapshot("PB").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeSnapshot("definitely not a snapshot").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, VersionSkewRefused) {
+  std::string skewed = EncodeSnapshot(SmallDb());
+  skewed[6] = '9';
+  skewed[7] = '9';
+  EXPECT_EQ(DecodeSnapshot(skewed).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotTest, FileRoundTripAndAtomicReplace) {
+  const std::string path = "snapshot_test_file.snap";
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteSnapshotFile(path, SmallDb(), /*fsync=*/false).ok());
+  auto read_back = ReadSnapshotFile(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(read_back->NumTransactions(), 2u);
+
+  // A failed rewrite must leave the existing snapshot untouched (the
+  // atomic write dies before the rename).
+  ASSERT_TRUE(failpoint::Configure("snapshot_write=error:ENOSPC").ok());
+  TransactionDatabase::Builder builder(1);
+  builder.AddTransaction(std::vector<Item>{0});
+  auto other = std::move(builder).Build();
+  ASSERT_TRUE(other.ok());
+  const Status failed = WriteSnapshotFile(path, *other, /*fsync=*/false);
+  failpoint::Reset();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kResourceExhausted);
+  auto survived = ReadSnapshotFile(path);
+  ASSERT_TRUE(survived.ok());
+  EXPECT_EQ(survived->NumTransactions(), 2u);  // the ORIGINAL content
+  EXPECT_FALSE(FileExists(path + ".tmp"));     // no partial temp left
+
+  // Same for a failed rename.
+  ASSERT_TRUE(failpoint::Configure("snapshot_rename=error:EIO").ok());
+  const Status rename_failed =
+      WriteSnapshotFile(path, *other, /*fsync=*/false);
+  failpoint::Reset();
+  ASSERT_FALSE(rename_failed.ok());
+  EXPECT_EQ(rename_failed.code(), StatusCode::kIoError);
+  auto survived2 = ReadSnapshotFile(path);
+  ASSERT_TRUE(survived2.ok());
+  EXPECT_EQ(survived2->NumTransactions(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace privbasis::store

@@ -1,0 +1,296 @@
+// Crash-safety end to end: a server with --state-dir semantics must come
+// back from a restart with its datasets, ids, and spent ε intact; must
+// answer 503 (not garbage) while the ledger replays; and must fail
+// queries closed when the WAL cannot be written.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/failpoint.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "store/state_store.h"
+#include "test_util.h"
+
+namespace privbasis::server {
+namespace {
+
+constexpr int64_t kCallTimeoutMs = 30'000;
+
+Result<HttpResponse> Call(const QueryServer& server,
+                          const std::string& method,
+                          const std::string& target,
+                          const std::string& body = "") {
+  return HttpCall(server.host(), server.port(), method, target, body,
+                  kCallTimeoutMs);
+}
+
+/// Fresh per-test state dir under the build tree.
+class StateDir {
+ public:
+  explicit StateDir(const std::string& name)
+      : path_("recovery_test_" + name) {
+    std::filesystem::remove_all(path_);
+  }
+  ~StateDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ServerOptions DurableOptions(const StateDir& dir) {
+  ServerOptions options;
+  options.state_dir = dir.path();
+  // Page-cache durability is enough for in-process restarts; the kill -9
+  // harness (tools/crash_recovery_test.py) exercises the fsync modes.
+  options.fsync_mode = store::FsyncMode::kNever;
+  return options;
+}
+
+std::unique_ptr<QueryServer> StartDurable(const StateDir& dir) {
+  auto server = std::make_unique<QueryServer>(DurableOptions(dir));
+  Status started = server->Start();
+  EXPECT_TRUE(started.ok()) << started;
+  Status ready = server->WaitUntilReady();
+  EXPECT_TRUE(ready.ok()) << ready;
+  return server;
+}
+
+/// Registers a small inline dataset with a finite budget; returns its id.
+std::string RegisterSmall(QueryServer& server, double budget) {
+  auto response =
+      Call(server, "POST", "/v1/datasets",
+           "{\"transactions\":[[0,1,2],[1,2],[0,2],[0,1],[2],[0,1,2]],"
+           "\"budget\":" + std::to_string(budget) + "}");
+  EXPECT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 201) << response->body;
+  auto parsed = json::Parse(response->body);
+  EXPECT_TRUE(parsed.ok());
+  const json::Value* id = parsed->Find("dataset");
+  if (id == nullptr) return "";
+  auto text = id->GetString();
+  return text.ok() ? *text : "";
+}
+
+/// GET /v1/datasets/:id/budget → (spent, reserved); -1 on error.
+struct BudgetReadback {
+  double spent = -1.0;
+  double reserved = -1.0;
+  int http_status = 0;
+  size_t ledger_entries = 0;
+};
+
+BudgetReadback ReadBudget(const QueryServer& server, const std::string& id) {
+  BudgetReadback out;
+  auto response = Call(server, "GET", "/v1/datasets/" + id + "/budget");
+  if (!response.ok()) return out;
+  out.http_status = response->status;
+  if (response->status != 200) return out;
+  auto parsed = json::Parse(response->body);
+  if (!parsed.ok()) return out;
+  if (const json::Value* spent = parsed->Find("spent")) {
+    if (auto value = spent->GetDouble(); value.ok()) out.spent = *value;
+  }
+  if (const json::Value* reserved = parsed->Find("reserved")) {
+    if (auto value = reserved->GetDouble(); value.ok()) {
+      out.reserved = *value;
+    }
+  }
+  if (const json::Value* ledger = parsed->Find("ledger")) {
+    if (auto rows = ledger->GetArray(); rows.ok()) {
+      out.ledger_entries = (*rows)->size();
+    }
+  }
+  return out;
+}
+
+int RunQuery(const QueryServer& server, const std::string& id,
+             double epsilon) {
+  auto response =
+      Call(server, "POST", "/v1/query",
+           "{\"dataset\":\"" + id + "\",\"k\":5,\"epsilon\":" +
+               std::to_string(epsilon) + ",\"seed\":7}");
+  EXPECT_TRUE(response.ok()) << response.status();
+  return response->status;
+}
+
+TEST(StateStoreTest, PersistAndRecoverRoundTrip) {
+  StateDir dir("roundtrip");
+  TransactionDatabase::Builder builder(3);
+  builder.AddTransaction(std::vector<Item>{0, 1});
+  builder.AddTransaction(std::vector<Item>{2});
+  auto db = std::move(builder).Build();
+  ASSERT_TRUE(db.ok());
+  {
+    auto store =
+        store::StateStore::Open(dir.path(), store::FsyncMode::kNever);
+    ASSERT_TRUE(store.ok()) << store.status();
+    auto dataset = Dataset::Create(std::move(*db), {.total_epsilon = 2.0});
+    ASSERT_TRUE((*store)->PersistRegistration("ds-1", dataset).ok());
+    // Journaled spend: commit 0.5 of a 0.75 reservation.
+    auto lease = dataset->accountant()->Acquire(0.75, "q");
+    ASSERT_TRUE(lease.ok());
+    ASSERT_TRUE(lease->Commit(0.5).ok());
+  }
+  auto store = store::StateStore::Open(dir.path(), store::FsyncMode::kNever);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->next_id(), 2u);
+  auto recovered = (*store)->RecoverDatasets();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ASSERT_EQ(recovered->size(), 1u);
+  EXPECT_EQ((*recovered)[0].id, "ds-1");
+  const Dataset& dataset = *(*recovered)[0].dataset;
+  EXPECT_EQ(dataset.db().NumTransactions(), 2u);
+  EXPECT_EQ(dataset.accountant()->total_epsilon(), 2.0);
+  EXPECT_EQ(dataset.accountant()->spent_epsilon(), 0.5);  // exact: f64 WAL
+}
+
+TEST(StateStoreTest, ServerRestartPreservesSpendAndNeverReusesIds) {
+  StateDir dir("restart");
+  std::string id;
+  double spent_before = 0.0;
+  {
+    auto server = StartDurable(dir);
+    id = RegisterSmall(*server, 1.0);
+    ASSERT_FALSE(id.empty());
+    EXPECT_EQ(RunQuery(*server, id, 0.25), 200);
+    const BudgetReadback budget = ReadBudget(*server, id);
+    ASSERT_EQ(budget.http_status, 200);
+    spent_before = budget.spent;
+    EXPECT_GT(spent_before, 0.0);
+    server->Stop();
+  }
+  auto server = StartDurable(dir);
+  // The dataset is back, with its ledger: recovered spend must never be
+  // below what was committed before the restart.
+  const BudgetReadback budget = ReadBudget(*server, id);
+  ASSERT_EQ(budget.http_status, 200);
+  EXPECT_GE(budget.spent, spent_before);
+  EXPECT_EQ(budget.reserved, 0.0);
+  EXPECT_GT(budget.ledger_entries, 0u);
+  // Queries still work against the recovered data, and further spend
+  // composes on the recovered ledger.
+  EXPECT_EQ(RunQuery(*server, id, 0.25), 200);
+  EXPECT_GT(ReadBudget(*server, id).spent, spent_before);
+  // A new registration never reuses the old id.
+  const std::string fresh = RegisterSmall(*server, 1.0);
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_NE(fresh, id);
+}
+
+TEST(StateStoreTest, OverdraftAfterRestartIs429) {
+  StateDir dir("overdraft");
+  std::string id;
+  {
+    auto server = StartDurable(dir);
+    id = RegisterSmall(*server, 0.5);
+    EXPECT_EQ(RunQuery(*server, id, 0.4), 200);
+    server->Stop();
+  }
+  auto server = StartDurable(dir);
+  // The recovered ledger still refuses the overdraft — that's the point
+  // of making it durable.
+  EXPECT_EQ(RunQuery(*server, id, 0.4), 429);
+}
+
+TEST(StateStoreTest, RoutesReturn503UntilRecoveryFinishes) {
+  StateDir dir("recovering");
+  { StartDurable(dir)->Stop(); }  // create valid state to replay
+
+  ASSERT_TRUE(failpoint::Configure("recovery_start=sleep:500").ok());
+  QueryServer server(DurableOptions(dir));
+  ASSERT_TRUE(server.Start().ok());
+  // The socket answers immediately — with 503 on every route.
+  auto health = Call(server, "GET", "/healthz");
+  failpoint::Reset();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->status, 503);
+  auto parsed = json::Parse(health->body);
+  ASSERT_TRUE(parsed.ok());
+  const json::Value* state = parsed->Find("status");
+  ASSERT_NE(state, nullptr);
+  auto text = state->GetString();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "recovering");
+
+  ASSERT_TRUE(server.WaitUntilReady().ok());
+  EXPECT_EQ(Call(server, "GET", "/healthz")->status, 200);
+  server.Stop();
+}
+
+TEST(StateStoreTest, WalWriteFailureFailsQueryClosedAndLedgerUntouched) {
+  StateDir dir("enospc");
+  auto server = StartDurable(dir);
+  const std::string id = RegisterSmall(*server, 1.0);
+  const BudgetReadback before = ReadBudget(*server, id);
+
+  // Disk full at the reserve append: the query must be REFUSED (429,
+  // retryable) with the in-memory ledger untouched — never run fail-open
+  // on an unjournaled reservation.
+  ASSERT_TRUE(failpoint::Configure("wal_append=error:ENOSPC").ok());
+  const int status = RunQuery(*server, id, 0.25);
+  failpoint::Reset();
+  EXPECT_EQ(status, 429);
+  const BudgetReadback after = ReadBudget(*server, id);
+  EXPECT_EQ(after.spent, before.spent);
+  EXPECT_EQ(after.reserved, 0.0);
+  EXPECT_EQ(after.ledger_entries, before.ledger_entries);
+
+  // Space frees up → the same query succeeds.
+  EXPECT_EQ(RunQuery(*server, id, 0.25), 200);
+}
+
+TEST(StateStoreTest, EvictionIsDurableAndFailsClosed) {
+  StateDir dir("evict");
+  std::string id;
+  {
+    auto server = StartDurable(dir);
+    id = RegisterSmall(*server, 1.0);
+
+    // A DELETE whose manifest rewrite fails must keep the dataset: 500
+    // now beats "deleted" silently resurrecting on the next restart.
+    ASSERT_TRUE(failpoint::Configure("manifest_write=error:EIO").ok());
+    auto failed = Call(*server, "DELETE", "/v1/datasets/" + id);
+    failpoint::Reset();
+    ASSERT_TRUE(failed.ok());
+    EXPECT_EQ(failed->status, 500);
+    EXPECT_EQ(ReadBudget(*server, id).http_status, 200);  // still there
+
+    auto deleted = Call(*server, "DELETE", "/v1/datasets/" + id);
+    ASSERT_TRUE(deleted.ok());
+    EXPECT_EQ(deleted->status, 204);
+    server->Stop();
+  }
+  auto server = StartDurable(dir);
+  EXPECT_EQ(ReadBudget(*server, id).http_status, 404);  // stayed deleted
+}
+
+TEST(StateStoreTest, NamedPreloadRebindsRecoveredLedger) {
+  StateDir dir("named");
+  TransactionDatabase::Builder builder(3);
+  builder.AddTransaction(std::vector<Item>{0, 1, 2});
+  builder.AddTransaction(std::vector<Item>{0, 2});
+  auto db = std::move(builder).Build();
+  ASSERT_TRUE(db.ok());
+  {
+    auto server = StartDurable(dir);
+    auto named = server->registry().RegisterNamed(
+        "demo", Dataset::Create(*db, {.total_epsilon = 1.0}));
+    ASSERT_TRUE(named.ok()) << named.status();
+    EXPECT_EQ(RunQuery(*server, "demo", 0.5), 200);
+    server->Stop();
+  }
+  auto server = StartDurable(dir);
+  const BudgetReadback budget = ReadBudget(*server, "demo");
+  ASSERT_EQ(budget.http_status, 200);
+  EXPECT_GT(budget.spent, 0.0);
+  // The generated-id namespace is fenced off from names.
+  auto bad = server->registry().RegisterNamed(
+      "ds-99", Dataset::Create(*db, {.total_epsilon = 1.0}));
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace privbasis::server

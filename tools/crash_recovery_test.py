@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Crash-recovery harness for privbasis_server --state-dir.
+
+Two modes, both exit 0 on pass / 1 on the first violated guarantee:
+
+  kill9 (default) — start the server with a durable state dir, hammer it
+  with concurrent queries while recording every ACKED commit (an HTTP
+  200 whose body carries the query's spent ε), then SIGKILL the process
+  mid-hammer. Restart on the same state dir and check the ledger's core
+  promise: recovered spent ε >= the sum of acked commits (the WAL may
+  legitimately over-charge for queries in flight at the crash — it must
+  never under-charge), and an overdraft is still refused with 429.
+
+      tools/crash_recovery_test.py --server-bin build/privbasis_server
+
+  failpoint — drive the server's fault-injection sites through the
+  PRIVBASIS_FAILPOINTS env var: ENOSPC on the WAL append must refuse the
+  query (429) with the ledger untouched; a torn append must fail the
+  query (500) and a restart must replay cleanly with no spend lost.
+
+      tools/crash_recovery_test.py --mode failpoint
+
+stdlib only; reuses the HTTP helpers from privbasis_client.py.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from privbasis_client import ServerError, call  # noqa: E402
+
+TRANSACTIONS = [[0, 1, 2], [0, 1], [1, 2], [2], [0, 2], [0, 1, 2]]
+
+
+class Server:
+    """A privbasis_server child on an ephemeral port."""
+
+    def __init__(self, binary, state_dir, fsync="commit", env_extra=None):
+        env = dict(os.environ)
+        if env_extra:
+            env.update(env_extra)
+        self.proc = subprocess.Popen(
+            [binary, "--state-dir", state_dir, "--fsync", fsync,
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+            text=True)
+        # The binary prints exactly one "listening on http://host:port"
+        # line once recovery finished and the preloads ran.
+        deadline = time.monotonic() + 30
+        self.url = None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"listening on (http://\S+)", line)
+            if match:
+                self.url = match.group(1)
+                break
+        if self.url is None:
+            self.proc.kill()
+            raise SystemExit("server never printed its listen address")
+
+    def kill9(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def stop(self):
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+
+
+def check(condition, what):
+    if not condition:
+        raise SystemExit(f"FAIL: {what}")
+    print(f"  ok: {what}")
+
+
+def register(url, budget):
+    status, body = call(url, "POST", "/v1/datasets",
+                        {"transactions": TRANSACTIONS, "budget": budget})
+    check(status == 201, f"register dataset (budget {budget})")
+    return body["dataset"]
+
+
+def read_budget(url, ds):
+    _, body = call(url, "GET", f"/v1/datasets/{ds}/budget")
+    return body
+
+
+def run_kill9(binary, state_dir, hammer_threads, hammer_seconds):
+    print(f"[kill9] state dir {state_dir}")
+    server = Server(binary, state_dir)
+    ds = register(server.url, budget=1000.0)
+
+    # Hammer: every thread fires small queries and records the spend the
+    # server ACKNOWLEDGED (response received in full). Anything in
+    # flight when the SIGKILL lands is allowed to over-charge on replay.
+    acked = [0.0] * hammer_threads
+    stop = threading.Event()
+
+    def hammer(i):
+        seed = 1000 * i
+        while not stop.is_set():
+            seed += 1
+            try:
+                status, body = call(server.url, "POST", "/v1/query",
+                                    {"dataset": ds, "k": 5,
+                                     "epsilon": 0.01, "seed": seed},
+                                    timeout=10)
+            except (ServerError, OSError):
+                return  # refused or killed under us — stop counting
+            if status == 200:
+                acked[i] += body["budget"]["spent"]
+
+    threads = [threading.Thread(target=hammer, args=(i,))
+               for i in range(hammer_threads)]
+    for t in threads:
+        t.start()
+    time.sleep(hammer_seconds)
+    server.kill9()  # no shutdown path runs: page cache + fsync only
+    stop.set()
+    for t in threads:
+        t.join()
+    acked_total = sum(acked)
+    check(acked_total > 0.0, f"hammer acked ε {acked_total:.4f} pre-kill")
+
+    server = Server(binary, state_dir)
+    budget = read_budget(server.url, ds)
+    print(f"  recovered spent {budget['spent']:.4f} "
+          f"(acked {acked_total:.4f})")
+    check(budget["spent"] >= acked_total - 1e-9,
+          "recovered spent >= sum of acked commits (never under-count)")
+    check(budget["reserved"] == 0.0, "no reservations survive a crash")
+
+    # The recovered ledger still enforces the total.
+    try:
+        call(server.url, "POST", "/v1/query",
+             {"dataset": ds, "k": 5, "epsilon": 5000.0, "seed": 1})
+        raise SystemExit("FAIL: overdraft was not refused after recovery")
+    except ServerError as err:
+        check(err.status == 429, f"overdraft refused ({err.status})")
+    # And normal service continues.
+    status, _ = call(server.url, "POST", "/v1/query",
+                     {"dataset": ds, "k": 5, "epsilon": 0.01, "seed": 2})
+    check(status == 200, "queries serve after recovery")
+    server.stop()
+    print("[kill9] PASS")
+
+
+def run_failpoint(binary, state_dir):
+    print(f"[failpoint] state dir {state_dir}")
+    server = Server(binary, state_dir)
+    ds = register(server.url, budget=10.0)
+    status, _ = call(server.url, "POST", "/v1/query",
+                     {"dataset": ds, "k": 5, "epsilon": 0.5, "seed": 1})
+    check(status == 200, "baseline query")
+    spent_clean = read_budget(server.url, ds)["spent"]
+    server.stop()
+
+    # Disk full on every WAL append: the query must be REFUSED with 429
+    # and the ledger must not move — never serve a release whose spend
+    # could not be made durable.
+    server = Server(binary, state_dir,
+                    env_extra={"PRIVBASIS_FAILPOINTS":
+                               "wal_append=error:ENOSPC"})
+    try:
+        call(server.url, "POST", "/v1/query",
+             {"dataset": ds, "k": 5, "epsilon": 0.5, "seed": 2})
+        raise SystemExit("FAIL: query served despite WAL ENOSPC")
+    except ServerError as err:
+        check(err.status == 429, f"ENOSPC on WAL append -> 429 "
+                                 f"({err.status})")
+    budget = read_budget(server.url, ds)
+    check(budget["spent"] == spent_clean,
+          "ledger untouched by the refused query")
+    server.stop()
+
+    # A torn append (12 bytes land, then EIO) fails the query with 500;
+    # the server self-heals the tail, and a restart replays cleanly with
+    # the pre-fault spend intact.
+    server = Server(binary, state_dir,
+                    env_extra={"PRIVBASIS_FAILPOINTS":
+                               "wal_append=torn:12"})
+    try:
+        call(server.url, "POST", "/v1/query",
+             {"dataset": ds, "k": 5, "epsilon": 0.5, "seed": 3})
+        raise SystemExit("FAIL: query served despite torn WAL append")
+    except ServerError as err:
+        check(err.status == 500, f"torn WAL append -> 500 ({err.status})")
+    server.kill9()  # crash on top of the torn write
+
+    server = Server(binary, state_dir)
+    budget = read_budget(server.url, ds)
+    check(budget["spent"] >= spent_clean - 1e-9,
+          "recovery after torn write keeps the committed spend")
+    status, _ = call(server.url, "POST", "/v1/query",
+                     {"dataset": ds, "k": 5, "epsilon": 0.5, "seed": 4})
+    check(status == 200, "queries serve after torn-write recovery")
+    server.stop()
+    print("[failpoint] PASS")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server-bin", default="build/privbasis_server")
+    parser.add_argument("--mode", choices=["kill9", "failpoint"],
+                        default="kill9")
+    parser.add_argument("--state-dir",
+                        help="reuse this dir (default: fresh temp dir; "
+                             "kept on failure for post-mortem)")
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--hammer-seconds", type=float, default=2.0)
+    args = parser.parse_args()
+
+    if not os.path.exists(args.server_bin):
+        raise SystemExit(f"server binary not found: {args.server_bin}")
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="privbasis_crash_")
+    if args.mode == "kill9":
+        run_kill9(args.server_bin, state_dir, args.threads,
+                  args.hammer_seconds)
+    else:
+        run_failpoint(args.server_bin, state_dir)
+    # Reached only on success; a SystemExit above leaves the state dir
+    # behind as the post-mortem artifact (CI uploads it).
+    if args.state_dir is None:
+        shutil.rmtree(state_dir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

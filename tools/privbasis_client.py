@@ -33,6 +33,13 @@ class ServerError(Exception):
         self.body = body
 
 
+# Connection-refused retries (set by --connect-retries): a server that is
+# still binding its socket — or replaying its budget WAL after a crash —
+# refuses connections for a moment; retrying with backoff turns that
+# startup race into a wait instead of a failure.
+CONNECT_RETRIES = 0
+
+
 def call(server, method, path, payload=None, timeout=60):
     url = server.rstrip("/") + path
     data = None
@@ -42,17 +49,24 @@ def call(server, method, path, payload=None, timeout=60):
         headers["Content-Type"] = "application/json"
     request = urllib.request.Request(url, data=data, headers=headers,
                                      method=method)
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            raw = response.read()
-            return response.status, json.loads(raw) if raw else None
-    except urllib.error.HTTPError as err:
-        raw = err.read()
+    for attempt in range(CONNECT_RETRIES + 1):
         try:
-            body = json.loads(raw)
-        except json.JSONDecodeError:
-            body = raw.decode(errors="replace")
-        raise ServerError(err.code, body) from None
+            with urllib.request.urlopen(request,
+                                        timeout=timeout) as response:
+                raw = response.read()
+                return response.status, json.loads(raw) if raw else None
+        except urllib.error.HTTPError as err:
+            raw = err.read()
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError:
+                body = raw.decode(errors="replace")
+            raise ServerError(err.code, body) from None
+        except urllib.error.URLError as err:
+            refused = isinstance(err.reason, ConnectionRefusedError)
+            if not refused or attempt >= CONNECT_RETRIES:
+                raise
+            time.sleep(min(0.1 * (2 ** attempt), 2.0))
 
 
 def wait_ready(server, attempts=100, delay=0.1):
@@ -167,6 +181,10 @@ def main():
     parser.add_argument("--server", default="http://127.0.0.1:8080")
     parser.add_argument("--smoke", action="store_true",
                         help="run the endpoint/error-contract smoke suite")
+    parser.add_argument("--connect-retries", type=int, default=0,
+                        help="retry connection-refused this many times "
+                             "with exponential backoff (0.1s doubling, "
+                             "2s cap) — for servers still starting up")
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("health")
@@ -197,6 +215,8 @@ def main():
                        help="derive rules at this min confidence")
 
     args = parser.parse_args()
+    global CONNECT_RETRIES
+    CONNECT_RETRIES = max(0, args.connect_retries)
     if args.smoke:
         run_smoke(args.server)
         return 0

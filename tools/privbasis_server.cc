@@ -4,15 +4,28 @@
 //   privbasis_server --port 8080 --threads 8
 //   privbasis_server --port 8080 --preload mushroom --preload-scale 0.5 \
 //                    --preload-budget 4.0
+//   privbasis_server --port 8080 --state-dir /var/lib/privbasis \
+//                    --fsync commit --preload-config datasets.json
 //
-// Prints one "listening ..." line (and one "preloaded ..." line per
-// --preload) to stdout, then serves until SIGINT/SIGTERM. Exit codes:
-// 0 clean shutdown, 1 startup failure, 2 bad usage.
+// With --state-dir, the budget ledger and registered datasets survive
+// restarts (kill -9 included); the server answers 503 on every route
+// until boot-time recovery finishes. --preload-config names datasets,
+// so a restart recovers them instead of re-registering duplicates:
+//
+//   {"datasets": [{"name": "retail", "profile": "retail",
+//                  "budget": 4.0},
+//                 {"name": "mydata", "path": "transactions.dat"}]}
+//
+// Prints one "listening ..." line (and one "preloaded ..."/"recovered
+// ..." line per dataset) to stdout, then serves until SIGINT/SIGTERM.
+// Exit codes: 0 clean shutdown, 1 startup failure, 2 bad usage.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "data/synthetic.h"
@@ -28,6 +41,7 @@ struct ServerCliOptions {
   uint64_t preload_seed = 42;
   double preload_budget = 0.0;  // 0 = unlimited
   std::string preload_input;    // FIMI file; alternative to profile
+  std::string preload_config;   // JSON file of named datasets
 };
 
 void PrintUsage(const char* argv0) {
@@ -36,9 +50,10 @@ void PrintUsage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--threads N]\n"
       "          [--deadline-ms MS] [--max-body BYTES]\n"
       "          [--allow-path-datasets on|off]\n"
+      "          [--state-dir DIR] [--fsync always|commit|never]\n"
       "          [--preload PROFILE | --preload-input FILE]\n"
       "          [--preload-scale S] [--preload-seed SEED]\n"
-      "          [--preload-budget EPS]\n"
+      "          [--preload-budget EPS] [--preload-config FILE]\n"
       "\n"
       "  --host H           bind address (default 127.0.0.1)\n"
       "  --port P           port; 0 picks an ephemeral one (default 0)\n"
@@ -48,12 +63,20 @@ void PrintUsage(const char* argv0) {
       "  --allow-path-datasets on|off\n"
       "                     accept {\"path\": ...} registrations over\n"
       "                     HTTP (default off; preloads are unaffected)\n"
+      "  --state-dir DIR    durable state (budget WAL + dataset\n"
+      "                     snapshots); survives kill -9. Default: none\n"
+      "  --fsync MODE       WAL durability: always | commit (default) |\n"
+      "                     never (needs --state-dir)\n"
       "  --preload NAME     register a synthetic dataset at startup:\n"
       "                     retail mushroom pumsb-star kosarak aol\n"
       "  --preload-input F  register a FIMI transaction file at startup\n"
       "  --preload-scale S  synthetic size multiplier (default 1.0)\n"
       "  --preload-seed S   synthetic generation seed (default 42)\n"
-      "  --preload-budget E total dataset epsilon (default unlimited)\n",
+      "  --preload-budget E total dataset epsilon (default unlimited)\n"
+      "  --preload-config F JSON file of NAMED datasets ({\"datasets\":\n"
+      "                     [{\"name\", \"path\"|\"profile\"|..., ...}]});\n"
+      "                     names already recovered from --state-dir are\n"
+      "                     skipped, so restarts don't duplicate\n",
       argv0);
 }
 
@@ -83,6 +106,15 @@ std::optional<ServerCliOptions> ParseArgs(int argc, char** argv) {
       // Value-taking like every other flag: "on"/"off".
       options.server.registry_limits.allow_paths =
           std::string(value) == "on";
+    } else if (flag == "--state-dir") {
+      options.server.state_dir = value;
+    } else if (flag == "--fsync") {
+      auto mode = store::ParseFsyncMode(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return std::nullopt;
+      }
+      options.server.fsync_mode = *mode;
     } else if (flag == "--preload") {
       options.preload_profile = value;
     } else if (flag == "--preload-input") {
@@ -97,6 +129,8 @@ std::optional<ServerCliOptions> ParseArgs(int argc, char** argv) {
         std::fprintf(stderr, "--preload-budget must be > 0\n");
         return std::nullopt;
       }
+    } else if (flag == "--preload-config") {
+      options.preload_config = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return std::nullopt;
@@ -108,13 +142,62 @@ std::optional<ServerCliOptions> ParseArgs(int argc, char** argv) {
 volatile std::sig_atomic_t g_shutdown = 0;
 void HandleSignal(int) { g_shutdown = 1; }
 
+/// Registers every named dataset in a --preload-config file, skipping
+/// names already in the registry (recovered from --state-dir).
+Status PreloadFromConfig(QueryServer& server, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  PRIVBASIS_ASSIGN_OR_RETURN(json::Value config, json::Parse(text.str()));
+  const json::Value* datasets = config.Find("datasets");
+  if (datasets == nullptr) {
+    return Status::InvalidArgument(path + ": missing \"datasets\"");
+  }
+  PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Array* rows,
+                             datasets->GetArray());
+  for (const json::Value& row : *rows) {
+    const json::Value* name_value = row.Find("name");
+    if (name_value == nullptr) {
+      return Status::InvalidArgument(path +
+                                     ": every dataset needs a \"name\"");
+    }
+    PRIVBASIS_ASSIGN_OR_RETURN(std::string name, name_value->GetString());
+    if (server.registry().Find(name) != nullptr) {
+      std::printf("recovered %s\n", name.c_str());
+      continue;
+    }
+    PRIVBASIS_ASSIGN_OR_RETURN(
+        std::shared_ptr<Dataset> dataset,
+        server.registry().BuildFromJson(row, /*operator_config=*/true));
+    PRIVBASIS_ASSIGN_OR_RETURN(
+        std::string id, server.registry().RegisterNamed(name, dataset));
+    std::printf("preloaded %s\n", id.c_str());
+  }
+  return Status::OK();
+}
+
 int RunServer(const ServerCliOptions& options) {
   QueryServer server(options.server);
   if (Status started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
     return 1;
   }
+  // Preloads (and their "recovered" skip check) need the recovered
+  // registry; the socket is already listening and answering 503.
+  if (Status ready = server.WaitUntilReady(); !ready.ok()) {
+    std::fprintf(stderr, "recovery: %s\n", ready.ToString().c_str());
+    return 1;
+  }
 
+  if (!options.preload_config.empty()) {
+    if (Status preloaded = PreloadFromConfig(server, options.preload_config);
+        !preloaded.ok()) {
+      std::fprintf(stderr, "preload-config: %s\n",
+                   preloaded.ToString().c_str());
+      return 1;
+    }
+  }
   if (!options.preload_input.empty()) {
     // Operator config bypasses the wire gate: file paths over HTTP stay
     // behind --allow-path-datasets regardless of preloads.
@@ -129,8 +212,13 @@ int RunServer(const ServerCliOptions& options) {
                    dataset.status().ToString().c_str());
       return 1;
     }
+    auto id = server.registry().Register(*dataset);
+    if (!id.ok()) {
+      std::fprintf(stderr, "preload: %s\n", id.status().ToString().c_str());
+      return 1;
+    }
     std::printf("preloaded %s as %s\n", options.preload_input.c_str(),
-                server.registry().Register(*dataset).c_str());
+                id->c_str());
   } else if (!options.preload_profile.empty()) {
     json::Value request;
     request.Set("profile", options.preload_profile);
