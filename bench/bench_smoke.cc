@@ -11,9 +11,11 @@
 // Knobs: PRIVBASIS_SMOKE_REPS (min-of-N repetitions, default 5, min 3),
 // PRIVBASIS_SMOKE_SCALE (dataset scale multiplier, default 1.0), plus
 // the usual PRIVBASIS_THREADS / PRIVBASIS_SIMD / PRIVBASIS_BITMAP_DENSITY.
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -242,6 +244,57 @@ void RunSuite() {
         },
         {{"dataset", "kosarak"}});
     qserver.Stop();
+  }
+
+  // Oversubscribed serving with the admission machinery active: 8
+  // concurrent clients against 4 workers + a bounded queue (deep enough
+  // that nothing sheds — this phase tracks the admitted path's tail
+  // latency, not shed timing). Emits per-request samples plus p50/p99:
+  // the overload-safety regression signal is the p99 the bounded queue
+  // and cost-model bookkeeping add under 2x concurrency.
+  {
+    server::ServerOptions options;
+    options.num_threads = 4;
+    options.admission.slo_ms = 30'000;
+    options.admission.max_queue_depth = 16;
+    server::QueryServer qserver(options);
+    UnwrapStatus(qserver.Start(), "QueryServer::Start (overload)");
+    const std::string id =
+        *qserver.registry().Register(Dataset::Borrow(kosarak));
+    const std::string body =
+        "{\"dataset\":\"" + id + "\",\"k\":50,\"epsilon\":1.0,\"seed\":9}";
+    {
+      auto warm_up = server::HttpCall(qserver.host(), qserver.port(), "POST",
+                                      "/v1/query", body, 60'000);
+      UnwrapStatus(warm_up.status(), "server warm-up query (overload)");
+      if (warm_up->status != 200) std::abort();
+    }
+    constexpr size_t kClients = 8;
+    constexpr size_t kPerClient = 8;
+    std::vector<double> latencies(kClients * kPerClient, 0.0);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t r = 0; r < kPerClient; ++r) {
+          WallTimer timer;
+          auto response = server::HttpCall(qserver.host(), qserver.port(),
+                                           "POST", "/v1/query", body,
+                                           60'000);
+          UnwrapStatus(response.status(), "server query (overload)");
+          if (response->status != 200) std::abort();
+          latencies[c * kPerClient + r] = timer.ElapsedSeconds();
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    qserver.Stop();
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = latencies[latencies.size() / 2];
+    const double p99 =
+        latencies[static_cast<size_t>(0.99 * (latencies.size() - 1))];
+    EmitJsonSamples("server_overload", latencies, {{"dataset", "kosarak"}},
+                    {{"p50_ms", p50 * 1e3}, {"p99_ms", p99 * 1e3}});
   }
 }
 

@@ -49,7 +49,8 @@ TfRunner::TfRunner(const TransactionDatabase* db, size_t k, TfOptions options)
     : db_(db), k_(k), options_(options), index_(*db) {}
 
 Result<TfRunner> TfRunner::Create(const TransactionDatabase& db, size_t k,
-                                  TfOptions options) {
+                                  TfOptions options,
+                                  const CancelToken* cancel) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (options.m == 0) return Status::InvalidArgument("m must be >= 1");
   TfRunner runner(&db, k, options);
@@ -61,7 +62,9 @@ Result<TfRunner> TfRunner::Create(const TransactionDatabase& db, size_t k,
   }
 
   // Exact fk over itemsets of length <= m.
-  PRIVBASIS_ASSIGN_OR_RETURN(TopKResult top, MineTopK(db, k, options.m));
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      TopKResult top,
+      MineTopK(db, k, options.m, /*num_threads=*/0, cancel));
   if (top.itemsets.size() < k) {
     return Status::InvalidArgument(
         "dataset has fewer than k itemsets of length <= m");
@@ -102,6 +105,7 @@ Result<TfRunner> TfRunner::Create(const TransactionDatabase& db, size_t k,
       mopts.min_support = floor;
       mopts.max_length = options.m;
       mopts.max_patterns = options.explicit_limit;
+      mopts.cancel = cancel;
       auto mined = MineFpGrowth(db, mopts);
       if (!mined.ok()) return mined.status();
       if (mined->aborted) {
@@ -164,7 +168,8 @@ Itemset TfRunner::SampleImplicitItemset(
 }
 
 Result<TfResult> TfRunner::Run(double epsilon, Rng& rng,
-                               PrivacyAccountant* accountant) const {
+                               PrivacyAccountant* accountant,
+                               const CancelToken* cancel) const {
   if (!(epsilon > 0.0)) {
     return Status::InvalidArgument("epsilon must be > 0");
   }
@@ -172,12 +177,13 @@ Result<TfResult> TfRunner::Run(double epsilon, Rng& rng,
     PRIVBASIS_RETURN_NOT_OK(accountant->Consume(epsilon, "TF"));
   }
   if (options_.selection == TfOptions::Selection::kExponentialMechanism) {
-    return RunExponential(epsilon, rng);
+    return RunExponential(epsilon, rng, cancel);
   }
-  return RunLaplace(epsilon, rng);
+  return RunLaplace(epsilon, rng, cancel);
 }
 
-Result<TfResult> TfRunner::RunExponential(double epsilon, Rng& rng) const {
+Result<TfResult> TfRunner::RunExponential(double epsilon, Rng& rng,
+                                          const CancelToken* cancel) const {
   TfResult result;
   FillDiagnostics(epsilon, &result);
 
@@ -204,6 +210,9 @@ Result<TfResult> TfRunner::RunExponential(double epsilon, Rng& rng) const {
           : std::max(0.0, u_size_ - static_cast<double>(explicit_.size()));
 
   while (selected.size() < k_) {
+    if (IsCancelled(cancel)) {
+      return Status::Cancelled("TF selection cancelled mid-round");
+    }
     GumbelMaxSampler sampler(&rng);
     for (size_t g = 0; g < groups.size(); ++g) {
       if (groups[g].members.empty()) continue;
@@ -258,7 +267,8 @@ Result<TfResult> TfRunner::RunExponential(double epsilon, Rng& rng) const {
   return result;
 }
 
-Result<TfResult> TfRunner::RunLaplace(double epsilon, Rng& rng) const {
+Result<TfResult> TfRunner::RunLaplace(double epsilon, Rng& rng,
+                                      const CancelToken* cancel) const {
   TfResult result;
   FillDiagnostics(epsilon, &result);
 
@@ -307,6 +317,9 @@ Result<TfResult> TfRunner::RunLaplace(double epsilon, Rng& rng) const {
                              : -std::numeric_limits<double>::infinity();
 
   while (selected.size() < k_) {
+    if (IsCancelled(cancel)) {
+      return Status::Cancelled("TF-Laplace selection cancelled mid-round");
+    }
     bool take_explicit;
     if (next_explicit < scored.size() && implicit_available) {
       take_explicit = scored[next_explicit].score >= implicit_next;

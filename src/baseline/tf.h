@@ -70,13 +70,19 @@ class TfRunner {
  public:
   /// Mines the exact top-k (length ≤ m) for fk and the explicit candidate
   /// set, and builds the support index used to materialize implicit
-  /// winners.
+  /// winners. A fired `cancel` token aborts the mines with kCancelled
+  /// (the per-call token is not retained by the runner).
   static Result<TfRunner> Create(const TransactionDatabase& db, size_t k,
-                                 TfOptions options);
+                                 TfOptions options,
+                                 const CancelToken* cancel = nullptr);
 
-  /// One ε-DP release. If `accountant` is non-null, ε is charged to it.
+  /// One ε-DP release. If `accountant` is non-null, ε is charged to it
+  /// (and stays charged if `cancel` fires mid-selection — noise was
+  /// already drawn; the sampler unwinds with kCancelled at the next
+  /// selection round).
   Result<TfResult> Run(double epsilon, Rng& rng,
-                       PrivacyAccountant* accountant = nullptr) const;
+                       PrivacyAccountant* accountant = nullptr,
+                       const CancelToken* cancel = nullptr) const;
 
   /// Equation-3 effectiveness diagnostics at a given ε.
   TfEffectiveness Effectiveness(double epsilon) const;
@@ -93,8 +99,10 @@ class TfRunner {
   Itemset SampleImplicitItemset(
       Rng& rng, const std::unordered_set<Itemset, ItemsetHash>& taken) const;
 
-  Result<TfResult> RunExponential(double epsilon, Rng& rng) const;
-  Result<TfResult> RunLaplace(double epsilon, Rng& rng) const;
+  Result<TfResult> RunExponential(double epsilon, Rng& rng,
+                                  const CancelToken* cancel) const;
+  Result<TfResult> RunLaplace(double epsilon, Rng& rng,
+                              const CancelToken* cancel) const;
   void FillDiagnostics(double epsilon, TfResult* result) const;
 
   const TransactionDatabase* db_;

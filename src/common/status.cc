@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "BudgetExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

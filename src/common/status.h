@@ -28,6 +28,9 @@ enum class StatusCode {
   /// The service cannot answer yet (e.g. ledger replay in progress after
   /// a restart) — retryable, maps to HTTP 503.
   kUnavailable = 9,
+  /// The caller gave up (deadline expired or explicit cancel) and a
+  /// cooperative scan unwound early — maps to HTTP 408.
+  kCancelled = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -73,6 +76,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

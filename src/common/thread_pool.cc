@@ -154,6 +154,22 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task,
+                           size_t max_queue_depth) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= max_queue_depth) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::RunAll(const std::vector<std::function<void()>>& tasks,
                         size_t parallelism) {
   ParallelFor(0, tasks.size(), 1, parallelism,

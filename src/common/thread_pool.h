@@ -72,11 +72,22 @@ class ThreadPool {
   /// is never silently dropped.
   void Submit(std::function<void()> task);
 
+  /// Bounded-queue Submit: enqueues only when fewer than
+  /// `max_queue_depth` detached tasks are already waiting, else returns
+  /// false without enqueueing — the caller sheds the work immediately
+  /// instead of building an unbounded backlog behind a saturated pool.
+  /// An accepted task has the same never-dropped guarantee as Submit.
+  bool TrySubmit(std::function<void()> task, size_t max_queue_depth);
+
+  /// Detached tasks currently queued (not yet picked up by a worker).
+  /// A load signal for admission control; instantaneous, not a fence.
+  size_t QueueDepth() const;
+
  private:
   void WorkerLoop();
   void EnsureWorkers(size_t target);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

@@ -1,10 +1,12 @@
 #include "core/basis_freq.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 #include <utility>
 
 #include "common/distributions.h"
+#include "common/failpoint.h"
 #include "common/math_util.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
@@ -164,10 +166,24 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
     num_shards = std::clamp<size_t>(std::min({threads, n / 2048, budget}),
                                     1, kMaxThreads);
   }
+  // Cancellation granularity: one poll per kCancelChunk transactions (and
+  // one per shard entry), so a fired token stops the scan within one
+  // chunk rather than after the full shard. The failpoint site lets tests
+  // inject a deterministic slowdown into the scan itself.
+  constexpr size_t kCancelChunk = 1024;
+  std::atomic<bool> cancelled{false};
+  auto poll_cancel = [&] {
+    if (cancelled.load(std::memory_order_relaxed)) return true;
+    if (!IsCancelled(options.cancel)) return false;
+    cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  };
   std::vector<std::vector<std::vector<uint64_t>>> shard_bins(num_shards);
   ThreadPool::Global().ParallelFor(
       0, n, (n + num_shards - 1) / num_shards, threads,
       [&](size_t shard_begin, size_t shard_end, size_t s) {
+        failpoint::Hit("basis_freq_chunk");
+        if (poll_cancel()) return;
         auto& local = shard_bins[s];
         local.resize(w);
         for (size_t i = 0; i < w; ++i) {
@@ -175,6 +191,10 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
         }
         if (packed) {
           for (size_t t = shard_begin; t < shard_end; ++t) {
+            if ((t - shard_begin) % kCancelChunk == 0 && t != shard_begin) {
+              failpoint::Hit("basis_freq_chunk");
+              if (poll_cancel()) return;
+            }
             const auto txn = db.Transaction(t);
             const uint64_t word =
                 simd::OrGatherWords(item_word.data(), txn.data(), txn.size());
@@ -186,6 +206,10 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
         }
         std::vector<uint64_t> masks(w, 0);
         for (size_t t = shard_begin; t < shard_end; ++t) {
+          if ((t - shard_begin) % kCancelChunk == 0 && t != shard_begin) {
+            failpoint::Hit("basis_freq_chunk");
+            if (poll_cancel()) return;
+          }
           for (Item it : db.Transaction(t)) {
             const uint32_t mb = memb_offsets[it];
             const uint32_t me = memb_offsets[it + 1];
@@ -200,6 +224,9 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
           }
         }
       });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("BasisFreq scan cancelled mid-shard");
+  }
   for (size_t i = 0; i < w; ++i) {
     for (uint64_t mask = 0; mask < bins[i].size(); ++mask) {
       uint64_t count = 0;

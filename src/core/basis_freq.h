@@ -37,6 +37,11 @@ struct BasisFreqOptions {
   /// exact integer counts and the sequential floating-point accumulation
   /// is replayed before noise-side processing.
   size_t num_threads = 0;
+  /// Cooperative cancellation: the scan polls once per transaction chunk
+  /// and unwinds with kCancelled within one shard-chunk of the token
+  /// firing. nullptr = not cancellable. Note the epsilon consumed from
+  /// `accountant` stays consumed — the noise was already drawn.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Output of one BasisFreq invocation.

@@ -63,7 +63,8 @@ Result<std::vector<size_t>> GetFreqElements(
 }
 
 std::vector<uint64_t> CountPairSupports(const TransactionDatabase& db,
-                                        const std::vector<Item>& items) {
+                                        const std::vector<Item>& items,
+                                        const CancelToken* cancel) {
   const size_t m = items.size();
   std::unordered_map<Item, uint32_t> local;
   local.reserve(m * 2);
@@ -72,6 +73,7 @@ std::vector<uint64_t> CountPairSupports(const TransactionDatabase& db,
   std::vector<uint64_t> counts(m * m, 0);
   std::vector<uint32_t> present;
   for (size_t t = 0; t < db.NumTransactions(); ++t) {
+    if (t % 1024 == 0 && IsCancelled(cancel)) return counts;
     present.clear();
     for (Item it : db.Transaction(t)) {
       auto found = local.find(it);
@@ -128,7 +130,10 @@ Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,
   if (fk1_support == 0) {
     size_t k1 = static_cast<size_t>(
         std::ceil(static_cast<double>(k) * options.eta));
-    PRIVBASIS_ASSIGN_OR_RETURN(TopKResult top, MineTopK(db, k1));
+    PRIVBASIS_ASSIGN_OR_RETURN(
+        TopKResult top,
+        MineTopK(db, k1, /*max_length=*/0, /*num_threads=*/0,
+                 options.cancel));
     fk1_support = top.kth_support;
   }
   PRIVBASIS_RETURN_NOT_OK(
@@ -189,7 +194,11 @@ Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,
     // Step 3: the λ2 most frequent pairs within F.
     std::vector<Itemset> p;
     if (lambda2_count > 0 && f.size() >= 2) {
-      std::vector<uint64_t> pair_counts = CountPairSupports(db, f);
+      std::vector<uint64_t> pair_counts =
+          CountPairSupports(db, f, options.cancel);
+      if (IsCancelled(options.cancel)) {
+        return Status::Cancelled("pair counting cancelled mid-scan");
+      }
       std::vector<std::pair<uint32_t, uint32_t>> pair_index;
       std::vector<uint64_t> qualities;
       pair_index.reserve(f.size() * (f.size() - 1) / 2);

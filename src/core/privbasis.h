@@ -56,6 +56,10 @@ struct PrivBasisOptions {
   /// 0 = compute internally. Using it changes nothing statistically —
   /// it is the same data-dependent quantity either way.
   uint64_t fk1_support_hint = 0;
+  /// Cooperative cancellation for the non-BasisFreq scans (the fk1 mine
+  /// and pair counting); the Engine also mirrors this into
+  /// basis_freq.cancel. nullptr = not cancellable.
+  const CancelToken* cancel = nullptr;
   BasisFreqOptions basis_freq;
 };
 
@@ -112,9 +116,12 @@ Result<std::vector<size_t>> GetFreqElements(
 
 /// Exact pair-support counting restricted to `items`: one data scan,
 /// returns the dense upper-triangular counts, pair (i, j) with i < j at
-/// index i*|items| + j.
+/// index i*|items| + j. A fired `cancel` token stops the scan within one
+/// transaction chunk and returns the partial counts — the caller must
+/// check the token and discard them (RunPrivBasisImpl does).
 std::vector<uint64_t> CountPairSupports(const TransactionDatabase& db,
-                                        const std::vector<Item>& items);
+                                        const std::vector<Item>& items,
+                                        const CancelToken* cancel = nullptr);
 
 }  // namespace privbasis
 

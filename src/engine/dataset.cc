@@ -66,25 +66,27 @@ std::shared_ptr<const VerticalIndex> Dataset::Index() const {
   return index_.value;
 }
 
-Result<uint64_t> Dataset::BuildMarginSupport(size_t k1) const {
+Result<uint64_t> Dataset::BuildMarginSupport(size_t k1,
+                                             const CancelToken* cancel) const {
   auto cell = margins_.CellFor(k1);
   std::lock_guard<std::mutex> lock(cell->mu);
   if (cell->built) return cell->value;
   margin_mines_.fetch_add(1, std::memory_order_relaxed);
   PRIVBASIS_ASSIGN_OR_RETURN(
       TopKResult top, MineTopK(*db_, k1, /*max_length=*/0,
-                               options_.num_threads));
+                               options_.num_threads, cancel));
   cell->value = top.kth_support;
   cell->built = true;
   return cell->value;
 }
 
-Result<uint64_t> Dataset::MarginSupport(size_t k, double eta) const {
+Result<uint64_t> Dataset::MarginSupport(size_t k, double eta,
+                                        const CancelToken* cancel) const {
   // Identical arithmetic to RunPrivBasisImpl's internal computation, so a
   // cache hit yields the bit-identical fk1 hint.
   const size_t k1 =
       static_cast<size_t>(std::ceil(static_cast<double>(k) * eta));
-  return BuildMarginSupport(k1);
+  return BuildMarginSupport(k1, cancel);
 }
 
 Result<std::shared_ptr<const GroundTruth>> Dataset::Truth(size_t k) const {
@@ -131,13 +133,13 @@ Dataset::TfKey Dataset::MakeTfKey(size_t k, const TfOptions& options) {
 }
 
 Result<std::shared_ptr<const TfRunner>> Dataset::Tf(
-    size_t k, const TfOptions& options) const {
+    size_t k, const TfOptions& options, const CancelToken* cancel) const {
   auto cell = tf_runners_.CellFor(MakeTfKey(k, options));
   std::lock_guard<std::mutex> lock(cell->mu);
   if (cell->built) return cell->value;
   tf_builds_.fetch_add(1, std::memory_order_relaxed);
   PRIVBASIS_ASSIGN_OR_RETURN(TfRunner runner,
-                             TfRunner::Create(*db_, k, options));
+                             TfRunner::Create(*db_, k, options, cancel));
   cell->value = std::make_shared<const TfRunner>(std::move(runner));
   cell->built = true;
   return cell->value;

@@ -95,8 +95,11 @@ class Dataset {
 
   /// Memoized support of the ⌈η·k⌉-th most frequent itemset — the
   /// PrivBasis fk1 hint. Exactly the quantity the mechanism would mine
-  /// internally, so warm and cold queries are bit-identical.
-  Result<uint64_t> MarginSupport(size_t k, double eta) const;
+  /// internally, so warm and cold queries are bit-identical. `cancel` is
+  /// per-call state for a COLD build only (a cancelled build caches
+  /// nothing — the next caller retries); cache hits never poll it.
+  Result<uint64_t> MarginSupport(size_t k, double eta,
+                                 const CancelToken* cancel = nullptr) const;
 
   /// Memoized evaluation ground truth at `k`: the exact top-k, its
   /// Table 2(a) stats, both η-margin supports, and the shared Index().
@@ -104,9 +107,13 @@ class Dataset {
   Result<std::shared_ptr<const GroundTruth>> Truth(size_t k) const;
 
   /// Memoized TF preprocessing (top-k mining + explicit candidate set +
-  /// support index) for one (k, TfOptions) configuration.
-  Result<std::shared_ptr<const TfRunner>> Tf(size_t k,
-                                             const TfOptions& options) const;
+  /// support index) for one (k, TfOptions) configuration. `cancel` is a
+  /// per-call parameter, never part of the cache key: it can abort a
+  /// cold build (which then caches nothing), but a cached runner is
+  /// shared by every later query regardless of their tokens.
+  Result<std::shared_ptr<const TfRunner>> Tf(
+      size_t k, const TfOptions& options,
+      const CancelToken* cancel = nullptr) const;
 
   /// How many times each expensive cache entry was actually built —
   /// a second query on a warm Dataset must not move these, and N racers
@@ -152,7 +159,8 @@ class Dataset {
   };
 
   /// Mines MineTopK(k1) into the k1 margin cell (no-op when built).
-  Result<uint64_t> BuildMarginSupport(size_t k1) const;
+  Result<uint64_t> BuildMarginSupport(size_t k1,
+                                      const CancelToken* cancel) const;
 
   using TfKey = std::tuple<size_t, size_t, uint64_t, double, int>;
   static TfKey MakeTfKey(size_t k, const TfOptions& options);

@@ -34,12 +34,17 @@ Result<PreparedQuery> Prepare(const Dataset& dataset, const QuerySpec& spec) {
         // the mechanism would otherwise mine per call.
         PRIVBASIS_ASSIGN_OR_RETURN(
             prepared.pb.fk1_support_hint,
-            dataset.MarginSupport(spec.k, prepared.pb.eta));
+            dataset.MarginSupport(spec.k, prepared.pb.eta, spec.cancel));
       }
+      // Thread the query's token into every mechanism scan — the
+      // PrivBasis-level scans (fk1 mine, pair counting) and the final
+      // BasisFreq pass each poll it once per work chunk.
+      prepared.pb.cancel = spec.cancel;
+      prepared.pb.basis_freq.cancel = spec.cancel;
       break;
     case QueryMethod::kTruncatedFrequency:
       PRIVBASIS_ASSIGN_OR_RETURN(prepared.tf_runner,
-                                 dataset.Tf(spec.k, spec.tf));
+                                 dataset.Tf(spec.k, spec.tf, spec.cancel));
       break;
   }
   return prepared;
@@ -77,7 +82,12 @@ Result<Release> Engine::Run(const Dataset& dataset, const QuerySpec& spec,
   }
 
   // All deterministic, noise-free setup happens before the reservation:
-  // a failure up to this point charges nothing.
+  // a failure up to this point charges nothing. That includes a token
+  // that has already fired — refusing here is free, whereas the same
+  // token firing after the Acquire below charges the full reservation.
+  if (spec.cancel != nullptr) {
+    PRIVBASIS_RETURN_NOT_OK(spec.cancel->Check());
+  }
   PRIVBASIS_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(dataset, spec));
 
   // Reserve the query's budget before drawing any noise; if the
@@ -112,7 +122,8 @@ Result<Release> Engine::Run(const Dataset& dataset, const QuerySpec& spec,
     case QueryMethod::kTruncatedFrequency: {
       PRIVBASIS_ASSIGN_OR_RETURN(
           TfResult result,
-          prepared.tf_runner->Run(spec.epsilon, rng, &run_ledger));
+          prepared.tf_runner->Run(spec.epsilon, rng, &run_ledger,
+                                  spec.cancel));
       release.itemsets = std::move(result.released);
       break;
     }

@@ -65,6 +65,14 @@ struct QuerySpec {
   TfOptions tf;
   /// Ledger label; empty = QueryMethodName(method).
   std::string label;
+  /// Cooperative cancellation (common/cancel.h). In-process only — never
+  /// serialized over the wire; the server arms one per request from the
+  /// client's deadline_ms. The Engine checks it before reserving budget
+  /// (a pre-lease refusal charges nothing) and threads it into every
+  /// mechanism scan; a token firing after the reservation charges the
+  /// FULL reservation via the aborted-lease path, because noise may
+  /// already have been observed. The token must outlive the Run call.
+  const CancelToken* cancel = nullptr;
 
   QuerySpec& WithMethod(QueryMethod m) {
     method = m;
@@ -99,6 +107,10 @@ struct QuerySpec {
   }
   QuerySpec& WithLabel(std::string ledger_label) {
     label = std::move(ledger_label);
+    return *this;
+  }
+  QuerySpec& WithCancel(const CancelToken* token) {
+    cancel = token;
     return *this;
   }
 

@@ -1,6 +1,7 @@
 #include "fim/eclat.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/thread_pool.h"
 #include "data/vertical_index.h"
@@ -24,6 +25,9 @@ struct EclatContext {
   /// can stop there and stay deterministic under any thread count.
   uint64_t local_cap = 0;
   bool truncated = false;
+  /// Shared across tasks: flips once options->cancel fires; every task
+  /// then unwinds through the same truncated early-exit path.
+  std::atomic<bool>* cancelled = nullptr;
 };
 
 /// Sorted-list intersection (both inputs ascending).
@@ -41,6 +45,12 @@ std::vector<uint32_t> IntersectTids(const std::vector<uint32_t>& a,
 /// class.
 void ExpandMember(const std::vector<ClassMember>& members, size_t i,
                   std::vector<Item>* prefix, EclatContext* ctx) {
+  if (ctx->cancelled->load(std::memory_order_relaxed) ||
+      IsCancelled(ctx->options->cancel)) {
+    ctx->cancelled->store(true, std::memory_order_relaxed);
+    ctx->truncated = true;
+    return;
+  }
   prefix->push_back(members[i].item);
   ctx->out->push_back(FrequentItemset{Itemset(std::vector<Item>(*prefix)),
                                       members[i].tids.size()});
@@ -93,12 +103,16 @@ Result<MiningResult> MineEclat(const TransactionDatabase& db,
   const uint64_t local_cap =
       options.max_patterns == 0 ? 0 : options.max_patterns + 1;
   std::vector<std::vector<FrequentItemset>> buffers(roots.size());
+  std::atomic<bool> cancelled{false};
   ThreadPool::Global().ParallelFor(
       0, roots.size(), 1, threads, [&](size_t, size_t, size_t r) {
-        EclatContext ctx{&options, &buffers[r], local_cap, false};
+        EclatContext ctx{&options, &buffers[r], local_cap, false, &cancelled};
         std::vector<Item> prefix;
         ExpandMember(roots, r, &prefix, &ctx);
       });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("eclat mine cancelled mid-scan");
+  }
 
   size_t total = 0;
   for (const auto& buffer : buffers) total += buffer.size();

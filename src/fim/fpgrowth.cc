@@ -21,6 +21,9 @@ struct GrowthContext {
   /// beyond the truncation prefix, so it may stop immediately. Purely an
   /// early-exit signal — the kept prefix is identical with or without it.
   const std::atomic<bool>* prefix_done;
+  /// Shared cancel flag (flips once options->cancel fires); reuses the
+  /// aborted early-exit plumbing, distinguished at the end of the mine.
+  std::atomic<bool>* cancelled;
   bool aborted = false;
 };
 
@@ -28,6 +31,12 @@ struct GrowthContext {
 /// `suffix` holds item ids (unsorted; canonicalized on emission).
 void Grow(const FpTree& tree, std::vector<Item>* suffix, GrowthContext* ctx) {
   if (ctx->aborted) return;
+  if (ctx->cancelled->load(std::memory_order_relaxed) ||
+      IsCancelled(ctx->options->cancel)) {
+    ctx->cancelled->store(true, std::memory_order_relaxed);
+    ctx->aborted = true;
+    return;
+  }
   if (ctx->prefix_done != nullptr &&
       ctx->prefix_done->load(std::memory_order_relaxed)) {
     ctx->aborted = true;
@@ -78,6 +87,7 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
   // changes the kept prefix: a task observing it is strictly after the
   // covered run, so its output would be discarded anyway.
   std::vector<std::vector<FrequentItemset>> per_rank(num_ranks);
+  std::atomic<bool> cancelled{false};
   std::atomic<bool> prefix_done{false};
   std::mutex done_mu;
   std::vector<char> completed(num_ranks, 0);
@@ -88,6 +98,11 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
         for (size_t r = b; r < e; ++r) {
           const uint32_t rank = static_cast<uint32_t>(r);
           auto& out = per_rank[r];
+          if (cancelled.load(std::memory_order_relaxed) ||
+              IsCancelled(options.cancel)) {
+            cancelled.store(true, std::memory_order_relaxed);
+            return;
+          }
           if (cap == 0 || !prefix_done.load(std::memory_order_relaxed)) {
             out.push_back(FrequentItemset{Itemset{tree.ItemAt(rank)},
                                           tree.SupportAt(rank)});
@@ -98,7 +113,8 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
               if (!cond.Empty()) {
                 std::vector<Item> suffix{tree.ItemAt(rank)};
                 GrowthContext ctx{&options, &out, cap,
-                                  cap != 0 ? &prefix_done : nullptr, false};
+                                  cap != 0 ? &prefix_done : nullptr,
+                                  &cancelled, false};
                 Grow(cond, &suffix, &ctx);
               }
             }
@@ -116,6 +132,9 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
           }
         }
       });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("fp-growth mine cancelled mid-scan");
+  }
 
   MiningResult result;
   bool overflow = false;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "data/itemset.h"
 
 namespace privbasis {
@@ -39,6 +40,11 @@ struct MiningOptions {
   /// VerticalIndex they build); 0 = the PRIVBASIS_THREADS env knob.
   /// Results are identical at every thread count.
   size_t num_threads = 0;
+  /// Cooperative cancellation (common/cancel.h): the miner polls once
+  /// per work chunk and returns StatusCode::kCancelled if the token has
+  /// fired. nullptr = not cancellable. Not part of any cache key — it is
+  /// per-call state, never per-configuration.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Output of a mining call.

@@ -64,7 +64,18 @@ struct TopKContext {
   /// stale (lower) value only weakens pruning — never drops a pattern —
   /// so lock-free readers stay exact and deterministic.
   std::atomic<uint64_t>* threshold_cache;
+  /// Cooperative cancel: a fired token flips `cancelled` and every task
+  /// unwinds at its next branch boundary.
+  const CancelToken* cancel;
+  std::atomic<bool>* cancelled;
 };
+
+bool PollCancel(const TopKContext& ctx) {
+  if (ctx.cancelled->load(std::memory_order_relaxed)) return true;
+  if (!IsCancelled(ctx.cancel)) return false;
+  ctx.cancelled->store(true, std::memory_order_relaxed);
+  return true;
+}
 
 uint64_t CurrentThreshold(const TopKContext& ctx) {
   return std::max<uint64_t>(
@@ -88,6 +99,7 @@ void OfferLocked(const TopKContext& ctx, FrequentItemset candidate) {
 void GrowTopK(const FpTree& tree, std::vector<Item>* suffix,
               TopKContext* ctx) {
   for (uint32_t rank : tree.RanksBySupport()) {
+    if (PollCancel(*ctx)) return;
     uint64_t support = tree.SupportAt(rank);
     uint64_t threshold = CurrentThreshold(*ctx);
     // Every pattern in this branch has support <= `support`; we iterate in
@@ -109,7 +121,8 @@ void GrowTopK(const FpTree& tree, std::vector<Item>* suffix,
 }  // namespace
 
 Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
-                            size_t max_length, size_t num_threads) {
+                            size_t max_length, size_t num_threads,
+                            const CancelToken* cancel) {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
 
   // Static floor: the k most frequent items are themselves k itemsets, so
@@ -125,8 +138,9 @@ Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
   BestK best(k);
   std::mutex best_mu;
   std::atomic<uint64_t> threshold_cache{0};
-  TopKContext ctx{max_length, floor_support, &best, &best_mu,
-                  &threshold_cache};
+  std::atomic<bool> cancelled{false};
+  TopKContext ctx{max_length, floor_support, &best,      &best_mu,
+                  &threshold_cache, cancel, &cancelled};
   FpTree tree(db, floor_support);
 
   // Each root rank is one pool task over the shared, immutable tree. The
@@ -137,6 +151,7 @@ Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
   const size_t threads = EffectiveThreads(num_threads);
   ThreadPool::Global().ParallelFor(
       0, tree.NumRanks(), 1, threads, [&](size_t, size_t, size_t r) {
+        if (PollCancel(ctx)) return;
         const uint32_t rank = static_cast<uint32_t>(r);
         const uint64_t support = tree.SupportAt(rank);
         if (support < CurrentThreshold(ctx)) return;
@@ -148,6 +163,9 @@ Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
           if (!cond.Empty()) GrowTopK(cond, &suffix, &ctx);
         }
       });
+  if (cancelled.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("top-k mine cancelled mid-scan");
+  }
 
   TopKResult result;
   result.itemsets = best.Take();

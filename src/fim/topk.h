@@ -31,9 +31,11 @@ struct TopKResult {
 /// run as thread-pool tasks sharing the rising threshold (`num_threads`,
 /// 0 = the PRIVBASIS_THREADS env knob); pruning only ever skips branches
 /// strictly below the final threshold, so the result is identical at
-/// every thread count.
+/// every thread count. A fired `cancel` token unwinds the mine with
+/// kCancelled at the next branch boundary (common/cancel.h).
 Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
-                            size_t max_length = 0, size_t num_threads = 0);
+                            size_t max_length = 0, size_t num_threads = 0,
+                            const CancelToken* cancel = nullptr);
 
 /// Statistics of a top-k collection, as reported in Table 2(a).
 struct TopKStats {

@@ -1,0 +1,118 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privbasis::server {
+
+namespace {
+
+/// EWMA weight for one observation: heavy enough that a handful of
+/// queries re-anchor a stale seed, light enough that one cache-cold
+/// outlier does not triple every prediction.
+constexpr double kEwmaAlpha = 0.2;
+
+}  // namespace
+
+double CostModel::WorkUnits(const DatasetStats& stats,
+                            const QuerySpec& spec) {
+  const double occ = static_cast<double>(stats.total_occurrences);
+  const double n = static_cast<double>(stats.num_transactions);
+  const double k = static_cast<double>(std::max<size_t>(1, spec.k));
+  switch (spec.method) {
+    case QueryMethod::kPrivBasis: {
+      // Three data passes dominate: the fk1 top-k mine (≈ one
+      // occurrence scan plus candidate growth), optional pair counting
+      // (per-transaction quadratic — only taken when λ outgrows the
+      // single-basis cap, so weighted down), and the BasisFreq scan
+      // whose per-transaction work grows with the basis width (≈ √k of
+      // the λ the mechanism tends to sample at larger k).
+      const double mine = occ;
+      const double pairs =
+          0.25 * n * stats.avg_transaction_len * stats.avg_transaction_len;
+      const double basis_freq = occ * std::sqrt(k);
+      double units = mine + pairs + basis_freq;
+      // Subsampled queries scan only the q-fraction they keep.
+      if (spec.sampling_rate < 1.0 && spec.sampling_rate > 0.0) {
+        units *= spec.sampling_rate;
+      }
+      return units;
+    }
+    case QueryMethod::kTruncatedFrequency: {
+      // Mining at length ≤ m multiplies the pass count; the k selection
+      // rounds then walk the explicit candidate set (bounded, usually
+      // far smaller than its configured limit — a flat per-round term).
+      const double m = static_cast<double>(std::max<size_t>(1, spec.tf.m));
+      return occ * m + k * 4096.0;
+    }
+  }
+  return occ;
+}
+
+double CostModel::PredictMs(double work_units) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return work_units * ns_per_unit_ * 1e-6;
+}
+
+void CostModel::Observe(double work_units, double actual_ms) {
+  if (work_units <= 0.0 || actual_ms < 0.0) return;
+  const double observed = actual_ms * 1e6 / work_units;
+  std::lock_guard<std::mutex> lock(mu_);
+  ns_per_unit_ += kEwmaAlpha * (observed - ns_per_unit_);
+  recent_query_ms_ += kEwmaAlpha * (actual_ms - recent_query_ms_);
+}
+
+double CostModel::ns_per_unit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ns_per_unit_;
+}
+
+double CostModel::recent_query_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recent_query_ms_;
+}
+
+AdmissionDecision AdmissionController::Decide(double work_units,
+                                              size_t queue_depth) const {
+  AdmissionDecision decision;
+  decision.predicted_ms = model_.PredictMs(work_units);
+  // A query reaching this point already holds a worker — running it IS
+  // the server's capacity, so a full backlog alone must not shed it
+  // (that would collapse throughput to zero under sustained overload).
+  // But when the queue is full AND the query is itself expensive
+  // (> half the SLO predicted), the backlog has eaten its latency
+  // headroom: shed it now, cheaply, instead of letting it time out
+  // mid-scan. Cheap queries keep flowing regardless of backlog.
+  if (options_.max_queue_depth > 0 &&
+      queue_depth >= options_.max_queue_depth && options_.slo_ms > 0 &&
+      decision.predicted_ms > 0.5 * static_cast<double>(options_.slo_ms)) {
+    decision.admit = false;
+    decision.reason = ShedReason::kQueueFull;
+    decision.retry_after_s = RetryAfterSeconds(queue_depth);
+    return decision;
+  }
+  if (options_.slo_ms > 0 &&
+      decision.predicted_ms > static_cast<double>(options_.slo_ms)) {
+    decision.admit = false;
+    decision.reason = ShedReason::kPredictedCost;
+    // This query can never meet the SLO on this dataset, but the load
+    // spike that often accompanies the shed will have passed; suggest
+    // one predicted-duration's worth of backoff.
+    decision.retry_after_s = std::clamp<int64_t>(
+        static_cast<int64_t>(std::ceil(decision.predicted_ms / 1000.0)), 1,
+        60);
+    return decision;
+  }
+  return decision;
+}
+
+int64_t AdmissionController::RetryAfterSeconds(size_t queue_depth) const {
+  // Roughly: the backlog's drain time at the recent per-query latency,
+  // floored at the 1 s granularity the header can express.
+  const double drain_ms =
+      model_.recent_query_ms() * static_cast<double>(queue_depth + 1);
+  return std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(drain_ms / 1000.0)), 1, 60);
+}
+
+}  // namespace privbasis::server

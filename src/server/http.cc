@@ -72,6 +72,13 @@ const std::string* HttpRequest::Header(std::string_view name) const {
   return nullptr;
 }
 
+const std::string* HttpResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
 bool HttpRequest::KeepAlive() const {
   const std::string* connection = Header("Connection");
   if (connection == nullptr) return version != "HTTP/1.0";
@@ -203,6 +210,9 @@ Status WriteHttpResponse(const net::Fd& fd, const HttpResponse& response,
     out += "Content-Type: " + response.content_type + "\r\n";
   }
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
   if (response.close_connection) out += "Connection: close\r\n";
   out += "\r\n";
   out += response.body;
@@ -248,6 +258,19 @@ Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
   response.status = std::atoi(raw.c_str() + 9);
   if (response.status < 100 || response.status > 599) {
     return Status::IoError("malformed HTTP status code");
+  }
+  // Surface the response headers (the admission tests read Retry-After).
+  size_t pos = line_end + 2;
+  while (pos < head_end + 2) {
+    const size_t next = raw.find("\r\n", pos);
+    if (next == std::string::npos || next > head_end) break;
+    const std::string_view header(raw.data() + pos, next - pos);
+    pos = next + 2;
+    const size_t colon = header.find(':');
+    if (colon == std::string_view::npos || colon == 0) continue;
+    response.headers.emplace_back(
+        std::string(Trim(header.substr(0, colon))),
+        std::string(Trim(header.substr(colon + 1))));
   }
   response.body = raw.substr(head_end + 4);
   return response;

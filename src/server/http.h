@@ -40,9 +40,16 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra headers beyond Content-Type/Content-Length/Connection (e.g.
+  /// Retry-After on shed responses). On the client side (HttpCall),
+  /// holds every response header as received.
+  std::vector<std::pair<std::string, std::string>> headers;
   /// Closes the connection after this response (set on fatal parse
   /// outcomes where the stream position is unreliable).
   bool close_connection = false;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* Header(std::string_view name) const;
 };
 
 /// Byte ceilings of one request.

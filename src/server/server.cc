@@ -1,11 +1,13 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <ctime>
 #include <limits>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/failpoint.h"
 #include "engine/accountant.h"
 #include "engine/engine.h"
@@ -43,6 +45,14 @@ HttpResponse JsonResponse(int status, const json::Value& body) {
   return response;
 }
 
+/// Attaches a Retry-After header — only for refusals that time heals
+/// (recovering 503s, queue/registry pressure 429s). Budget-exhausted
+/// 429s never get one: spent ε does not come back.
+HttpResponse WithRetryAfter(HttpResponse response, int64_t seconds) {
+  response.headers.emplace_back("Retry-After", std::to_string(seconds));
+  return response;
+}
+
 }  // namespace
 
 HttpResponse ErrorResponse(const Status& status) {
@@ -51,7 +61,9 @@ HttpResponse ErrorResponse(const Status& status) {
 }
 
 QueryServer::QueryServer(ServerOptions options)
-    : options_(std::move(options)), registry_(options_.registry_limits) {}
+    : options_(std::move(options)),
+      admission_(options_.admission),
+      registry_(options_.registry_limits) {}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -166,11 +178,49 @@ void QueryServer::AcceptLoop() {
       ++active_connections_;
       ++counters_.connections;
     }
-    pool_->Submit([this, fd]() mutable {
+    auto task = [this, fd]() mutable {
       HandleConnection(std::move(*fd));
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_connections_ == 0) idle_cv_.notify_all();
-    });
+    };
+    const size_t max_depth = options_.admission.max_queue_depth;
+    if (max_depth == 0) {
+      pool_->Submit(std::move(task));
+      continue;
+    }
+    if (!pool_->TrySubmit(std::move(task), max_depth)) {
+      // Bounded-queue shed: the connection would only have waited its
+      // deadline out behind max_depth others. Tell it to come back —
+      // a tiny 503 whose write cannot stall the accept loop (the
+      // response fits a fresh socket's send buffer; the short deadline
+      // is a backstop).
+      size_t queue_depth;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.connections_shed;
+        if (--active_connections_ == 0) idle_cv_.notify_all();
+        queue_depth = pool_->QueueDepth();
+      }
+      HttpResponse shed = ErrorResponse(Status::Unavailable(
+          "server at capacity (" + std::to_string(max_depth) +
+          " connections queued); retry shortly"));
+      shed = WithRetryAfter(std::move(shed),
+                            admission_.RetryAfterSeconds(queue_depth));
+      shed.close_connection = true;
+      (void)WriteHttpResponse(*fd, shed, net::DeadlineAfterMs(250));
+      // Drain until the client closes (it does so right after reading
+      // the 503): closing with unread request bytes still in our
+      // receive buffer turns the close into an RST, which can discard
+      // the un-read response from the client's buffer — the client
+      // would see a connection reset instead of the shed we wrote.
+      char discard[4096];
+      const net::Deadline drain_deadline = net::DeadlineAfterMs(250);
+      for (;;) {
+        auto n = net::ReadSome(*fd, discard, sizeof(discard),
+                               drain_deadline);
+        if (!n.ok() || *n == 0) break;
+      }
+    }
   }
 }
 
@@ -268,13 +318,17 @@ HttpResponse QueryServer::Route(const HttpRequest& request) {
     case RecoveryState::kReady:
       break;
     case RecoveryState::kRecovering: {
+      // Recovering is the refusal time heals — tell clients when to
+      // come back (WAL replay is typically sub-second).
       if (request.target == "/healthz") {
         json::Value body;
         body.Set("status", "recovering");
-        return JsonResponse(503, body);
+        return WithRetryAfter(JsonResponse(503, body), 1);
       }
-      return ErrorResponse(Status::Unavailable(
-          "state recovery in progress; retry shortly"));
+      return WithRetryAfter(
+          ErrorResponse(Status::Unavailable(
+              "state recovery in progress; retry shortly")),
+          1);
     }
     case RecoveryState::kFailed: {
       // Permanently 503 rather than serving a ledger we could not
@@ -292,6 +346,15 @@ HttpResponse QueryServer::Route(const HttpRequest& request) {
       return r;
     }
     return HandleHealth();
+  }
+  if (request.target == "/v1/stats") {
+    if (request.method != "GET") {
+      HttpResponse r = ErrorResponse(
+          Status::InvalidArgument("use GET /v1/stats"));
+      r.status = 405;
+      return r;
+    }
+    return HandleStats();
   }
   if (request.target == "/v1/query") {
     if (request.method != "POST") {
@@ -362,15 +425,90 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   auto spec = QuerySpecFromJson(*parsed);
   if (!spec.ok()) return finish(ErrorResponse(spec.status()));
 
+  // Client deadline ("deadline_ms" envelope key), capped by the
+  // server's own per-request budget: no query may outlive the window
+  // its response could still be written in.
+  int64_t deadline_ms = options_.request_deadline_ms;
+  if (const json::Value* v = parsed->Find("deadline_ms")) {
+    auto client_ms = v->GetUint();
+    if (!client_ms.ok()) {
+      return finish(ErrorResponse(Status::InvalidArgument(
+          std::string("\"deadline_ms\": ") +
+          std::string(client_ms.status().message()))));
+    }
+    if (*client_ms > 0 &&
+        *client_ms < static_cast<uint64_t>(deadline_ms)) {
+      deadline_ms = static_cast<int64_t>(*client_ms);
+    }
+  }
+
   std::shared_ptr<Dataset> dataset = registry_.Find(*id);
   if (dataset == nullptr) {
     return finish(ErrorResponse(
         Status::NotFound("unknown dataset \"" + *id + "\"")));
   }
+
+  // Admission: pure arithmetic over the memoized dataset statistics —
+  // a shed here has reserved nothing, drawn no noise, and left the
+  // ε ledger untouched. The refusal arrives in milliseconds instead of
+  // the 408 the client would otherwise wait a whole deadline for.
+  const double work_units = CostModel::WorkUnits(dataset->Stats(), *spec);
+  const AdmissionDecision decision =
+      admission_.Decide(work_units, pool_->QueueDepth());
+  if (!decision.admit) {
+    const bool queue_full = decision.reason == ShedReason::kQueueFull;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_full) {
+        ++counters_.queries_shed_queue;
+      } else {
+        ++counters_.queries_shed_predicted;
+      }
+    }
+    Status refused = Status::ResourceExhausted(
+        queue_full
+            ? "server overloaded: worker queue at capacity; retry after " +
+                  std::to_string(decision.retry_after_s) + " s"
+            : "query refused: predicted latency " +
+                  std::to_string(decision.predicted_ms) + " ms exceeds the " +
+                  std::to_string(options_.admission.slo_ms) + " ms SLO");
+    json::Value body = StatusToJson(refused);
+    body.Set("predicted_ms", decision.predicted_ms);
+    body.Set("slo_ms", options_.admission.slo_ms);
+    return finish(WithRetryAfter(JsonResponse(429, body),
+                                 decision.retry_after_s));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.queries_admitted;
+  }
+
   // The full in-process path: central validation, budget reservation
-  // (429 before any noise on overdraft), mechanism, ledger commit.
+  // (429 before any noise on overdraft), mechanism, ledger commit. The
+  // deadline rides along as a cooperative cancel token: mid-scan expiry
+  // unwinds within one shard-chunk, frees this worker, and charges the
+  // full reservation (fail-closed — noise may have been observed).
+  const CancelToken token = CancelToken::AfterMs(deadline_ms);
+  spec->cancel = &token;
+  const auto started = std::chrono::steady_clock::now();
   auto release = Engine::Run(dataset, *spec);
-  if (!release.ok()) return finish(ErrorResponse(release.status()));
+  if (!release.ok()) {
+    if (release.status().code() == StatusCode::kCancelled) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.queries_cancelled;
+    }
+    return finish(ErrorResponse(release.status()));
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  // Every completed query tightens the cost model's ns-per-unit scale.
+  admission_.model().Observe(work_units, elapsed_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.queries_completed;
+  }
   return finish(JsonResponse(200, ReleaseToJson(*release)));
 }
 
@@ -378,7 +516,15 @@ HttpResponse QueryServer::HandleRegisterDataset(const HttpRequest& request) {
   auto parsed = json::Parse(request.body);
   if (!parsed.ok()) return ErrorResponse(parsed.status());
   auto registered = registry_.RegisterFromJson(*parsed);
-  if (!registered.ok()) return ErrorResponse(registered.status());
+  if (!registered.ok()) {
+    HttpResponse response = ErrorResponse(registered.status());
+    // Registry-full is retryable (after an evict) — unlike a budget
+    // 429, where waiting buys nothing.
+    if (registered.status().code() == StatusCode::kResourceExhausted) {
+      response = WithRetryAfter(std::move(response), 5);
+    }
+    return response;
+  }
   // Use the returned handle, never a re-lookup: a concurrent DELETE of
   // the fresh id must not null this out under us.
   const std::shared_ptr<Dataset>& dataset = registered->dataset;
@@ -442,6 +588,30 @@ HttpResponse QueryServer::HandleEvict(const std::string& id) {
   HttpResponse response;
   response.status = 204;
   return response;
+}
+
+HttpResponse QueryServer::HandleStats() {
+  const Counters counters = this->counters();
+  json::Value body;
+  json::Value queries;
+  queries.Set("admitted", counters.queries_admitted);
+  queries.Set("shed_predicted", counters.queries_shed_predicted);
+  queries.Set("shed_queue", counters.queries_shed_queue);
+  queries.Set("cancelled", counters.queries_cancelled);
+  queries.Set("completed", counters.queries_completed);
+  body.Set("queries", std::move(queries));
+  json::Value connections;
+  connections.Set("accepted", counters.connections);
+  connections.Set("shed", counters.connections_shed);
+  body.Set("connections", std::move(connections));
+  json::Value admission;
+  admission.Set("slo_ms", options_.admission.slo_ms);
+  admission.Set("max_queue_depth", options_.admission.max_queue_depth);
+  admission.Set("queue_depth", pool_ != nullptr ? pool_->QueueDepth() : 0);
+  admission.Set("ns_per_unit", admission_.model().ns_per_unit());
+  admission.Set("recent_query_ms", admission_.model().recent_query_ms());
+  body.Set("admission", std::move(admission));
+  return JsonResponse(200, body);
 }
 
 HttpResponse QueryServer::HandleHealth() {

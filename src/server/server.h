@@ -9,6 +9,8 @@
 //                                    / synthetic profile → {"dataset": id}
 //   GET    /v1/datasets/:id/budget   Accountant ledger readback
 //   DELETE /v1/datasets/:id          evict (in-flight queries unaffected)
+//   GET    /v1/stats                 admission/overload counters + the
+//                                    cost model's live calibration
 //   GET    /healthz                  liveness + dataset count
 //
 // Per-request contract (tests/server_test.cc pins these down):
@@ -25,6 +27,16 @@
 //     to Engine::Run with the same dataset, spec, and seed — the wire
 //     layer round-trips doubles losslessly and the server adds no
 //     hidden state.
+//   * Overload-safe: with admission configured (server/admission.h), a
+//     query whose predicted latency blows the SLO or whose arrival
+//     finds the worker queue full is refused IMMEDIATELY — 429 with
+//     Retry-After and the predicted cost, ε ledger untouched — instead
+//     of timing out after consuming a worker. Admitted queries carry a
+//     deadline ("deadline_ms" envelope key, capped by
+//     request_deadline_ms) propagated as a cooperative cancel token
+//     into every mechanism scan: mid-scan expiry unwinds within one
+//     shard-chunk, answers 408, and charges the full reservation
+//     (fail-closed, engine/accountant.h).
 //
 // Concurrency: one accept thread hands connections to a dedicated
 // ThreadPool (not the global counting pool — a handler blocked on slow
@@ -47,6 +59,7 @@
 
 #include "common/net.h"
 #include "common/thread_pool.h"
+#include "server/admission.h"
 #include "server/dataset_registry.h"
 #include "server/http.h"
 #include "store/state_store.h"
@@ -74,6 +87,10 @@ struct ServerOptions {
   std::string state_dir;
   /// When ledger writes reach disk (only meaningful with a state_dir).
   store::FsyncMode fsync_mode = store::FsyncMode::kCommit;
+  /// Overload policy (server/admission.h): cost-model SLO shedding and
+  /// the bounded accept queue. Defaults keep both off — the
+  /// pre-existing unbounded behavior.
+  AdmissionOptions admission;
 };
 
 class QueryServer {
@@ -110,14 +127,27 @@ class QueryServer {
   /// binary's --preload) or via POST /v1/datasets.
   DatasetRegistry& registry() { return registry_; }
 
-  /// Monotone counters for smoke checks and the /healthz body.
+  /// Monotone counters for smoke checks, /healthz, and /v1/stats.
   struct Counters {
     uint64_t connections = 0;
+    uint64_t connections_shed = 0;  ///< refused at accept (queue full)
     uint64_t requests = 0;
     uint64_t queries_ok = 0;
     uint64_t queries_rejected = 0;  ///< non-2xx /v1/query responses
+    // Admission breakdown (queries only; each query lands in exactly
+    // one of admitted/shed_*, and every admitted query eventually lands
+    // in completed or cancelled or counts as an engine rejection):
+    uint64_t queries_admitted = 0;
+    uint64_t queries_shed_predicted = 0;  ///< 429: predicted cost > SLO
+    uint64_t queries_shed_queue = 0;      ///< 429: worker queue full
+    uint64_t queries_cancelled = 0;       ///< 408: deadline fired mid-run
+    uint64_t queries_completed = 0;       ///< 200 after admission
   };
   Counters counters() const;
+
+  /// The admission controller (cost model calibration is readable for
+  /// tests and /v1/stats).
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   enum class RecoveryState { kReady, kRecovering, kFailed };
@@ -134,8 +164,10 @@ class QueryServer {
   HttpResponse HandleBudget(const std::string& id);
   HttpResponse HandleEvict(const std::string& id);
   HttpResponse HandleHealth();
+  HttpResponse HandleStats();
 
   ServerOptions options_;
+  AdmissionController admission_;
   DatasetRegistry registry_;
   net::Fd listen_fd_;
   uint16_t port_ = 0;

@@ -215,10 +215,11 @@ json::Value QuerySpecToJson(const QuerySpec& spec) {
 Result<QuerySpec> QuerySpecFromJson(const json::Value& value) {
   PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* obj,
                              value.GetObject());
-  // "dataset" is the server envelope's handle id, not part of the spec.
+  // "dataset" (the registry handle id) and "deadline_ms" (the server's
+  // per-query deadline) are envelope keys, not part of the spec.
   PRIVBASIS_RETURN_NOT_OK(CheckKeys(
       *obj,
-      {"dataset", "method", "k", "epsilon", "seed", "theta",
+      {"dataset", "deadline_ms", "method", "k", "epsilon", "seed", "theta",
        "sampling_rate", "label", "rules", "pb", "tf"},
       "query"));
 
@@ -395,6 +396,10 @@ int HttpStatusForCode(StatusCode code) {
     // finishes, so the standard "try again later" code.
     case StatusCode::kUnavailable:
       return 503;
+    // A query whose deadline expired mid-run (or whose client-armed
+    // token fired): the request timed out from the client's view.
+    case StatusCode::kCancelled:
+      return 408;
   }
   return 500;
 }

@@ -23,8 +23,10 @@
 //           "lambda_cap": 0, "fk1_support_hint": 0},
 //    "tf": {"m": 2, "rho": 0.9, "selection": "em"|"laplace",
 //           "explicit_limit": 1000000}}
-// The envelope key "dataset" (the registry handle id) is the server's,
-// not the spec's; QuerySpecFromJson skips it.
+// The envelope keys "dataset" (the registry handle id) and
+// "deadline_ms" (per-query wall-clock deadline, capped by the server's
+// request deadline) are the server's, not the spec's; QuerySpecFromJson
+// skips them.
 #ifndef PRIVBASIS_SERVER_WIRE_H_
 #define PRIVBASIS_SERVER_WIRE_H_
 
@@ -72,7 +74,7 @@ Status CheckKeys(const json::Value::Object& obj,
 ///   kFailedPrecondition 409, kBudgetExhausted 429 (the "payment
 ///   required" refusal — 402 semantics — spelled with the standard
 ///   too-many-requests code), kResourceExhausted 429, kIoError/kInternal
-///   500.
+///   500, kUnavailable 503, kCancelled 408 (deadline expired mid-run).
 int HttpStatusForCode(StatusCode code);
 
 }  // namespace privbasis::server

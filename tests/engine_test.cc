@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/failpoint.h"
+
 #include "data/synthetic.h"
 #include "test_util.h"
 
@@ -347,6 +350,63 @@ TEST(EngineTest, TfMethodSharesRunnerAcrossQueries) {
   other.tf.m = 1;
   ASSERT_TRUE(Engine::Run(*dataset, QuerySpec(other).WithSeed(3)).ok());
   EXPECT_EQ(dataset->cache_counters().tf_builds, 2u);
+}
+
+TEST(EngineTest, PreCancelledQueryChargesNothing) {
+  auto dataset = SmallDataset(2.0);
+  CancelToken token;
+  token.Cancel();
+  auto release = Engine::Run(
+      *dataset, QuerySpec().WithTopK(10).WithEpsilon(1.0).WithCancel(&token));
+  ASSERT_FALSE(release.ok());
+  EXPECT_EQ(release.status().code(), StatusCode::kCancelled);
+  // Refused before the reservation: the ledger never saw this query.
+  EXPECT_EQ(dataset->accountant()->spent_epsilon(), 0.0);
+  EXPECT_EQ(dataset->accountant()->reserved_epsilon(), 0.0);
+  EXPECT_TRUE(dataset->accountant()->ledger().empty());
+  // The identical spec without the token runs normally.
+  auto ok = Engine::Run(*dataset, QuerySpec().WithTopK(10).WithEpsilon(1.0));
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(EngineTest, DeadlineMidScanChargesFullReservation) {
+  auto dataset = SmallDataset(4.0);
+  QuerySpec spec = QuerySpec().WithTopK(10).WithEpsilon(1.0);
+  // Warm the margin cache so the pre-reservation Prepare step is
+  // instant; the deadline must fire INSIDE the post-reservation
+  // BasisFreq scan, which the failpoint holds past the deadline.
+  ASSERT_TRUE(dataset->MarginSupport(spec.k, spec.pb.eta).ok());
+  ASSERT_TRUE(failpoint::Configure("basis_freq_chunk=sleep:800").ok());
+  const CancelToken token = CancelToken::AfterMs(200);
+  auto release = Engine::Run(*dataset, QuerySpec(spec).WithCancel(&token));
+  failpoint::Reset();
+  ASSERT_FALSE(release.ok());
+  EXPECT_EQ(release.status().code(), StatusCode::kCancelled)
+      << release.status();
+  // The token fired after the reservation: fail closed — the FULL
+  // reservation is charged (noise may already have been observed) and
+  // nothing stays reserved.
+  EXPECT_DOUBLE_EQ(dataset->accountant()->spent_epsilon(), 1.0);
+  EXPECT_EQ(dataset->accountant()->reserved_epsilon(), 0.0);
+  ASSERT_EQ(dataset->accountant()->ledger().size(), 1u);
+  // A later query on the same dataset is unaffected, and the two
+  // spends add up in the ledger.
+  auto ok = Engine::Run(*dataset, spec);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_DOUBLE_EQ(dataset->accountant()->spent_epsilon(),
+                   1.0 + ok->epsilon_spent);
+}
+
+TEST(EngineTest, CancelledColdBuildCachesNothing) {
+  auto dataset = SmallDataset();
+  CancelToken token;
+  token.Cancel();
+  // A cancelled cold margin build must not poison the cache...
+  EXPECT_FALSE(dataset->MarginSupport(10, 1.1, &token).ok());
+  EXPECT_EQ(dataset->cache_counters().margin_mines, 1u);
+  // ...the next caller retries and succeeds.
+  ASSERT_TRUE(dataset->MarginSupport(10, 1.1).ok());
+  EXPECT_EQ(dataset->cache_counters().margin_mines, 2u);
 }
 
 TEST(DatasetTest, BorrowSharesCallerStorage) {

@@ -242,6 +242,56 @@ TEST(StateStoreTest, WalWriteFailureFailsQueryClosedAndLedgerUntouched) {
   EXPECT_EQ(RunQuery(*server, id, 0.25), 200);
 }
 
+TEST(StateStoreTest, CancelledQueryWithTornWalCommitNeverUndercharges) {
+  // Cancellation × durability: a client deadline fires mid-scan (the
+  // aborted lease charges its full reservation, fail-closed) AND the
+  // WAL append recording that abort is torn. The replayed ledger must
+  // still never under-count what the live server acknowledged — the
+  // bare reserve record replays as the full charge.
+  StateDir dir("cancel_torn");
+  std::string id;
+  double acked = 0.0;
+  {
+    auto server = StartDurable(dir);
+    id = RegisterSmall(*server, 2.0);
+    ASSERT_FALSE(id.empty());
+    EXPECT_EQ(RunQuery(*server, id, 0.25), 200);
+    EXPECT_GT(ReadBudget(*server, id).spent, 0.0);
+
+    // Stall the scan past the client deadline and tear the NEXT WAL
+    // append after the reservation's ("@1" lets the reserve record
+    // through untouched; the abort record is the torn one).
+    ASSERT_TRUE(failpoint::Configure(
+                    "basis_freq_chunk=sleep:800,wal_append=torn:4@1")
+                    .ok());
+    auto cancelled = Call(*server, "POST", "/v1/query",
+                          "{\"dataset\":\"" + id +
+                              "\",\"k\":5,\"epsilon\":0.5,\"seed\":9,"
+                              "\"deadline_ms\":200}");
+    failpoint::Reset();
+    ASSERT_TRUE(cancelled.ok()) << cancelled.status();
+    EXPECT_EQ(cancelled->status, 408);
+
+    // Fail-closed in memory: the full 0.5 reservation is spent.
+    const BudgetReadback live = ReadBudget(*server, id);
+    EXPECT_GE(live.spent, 0.25 + 0.5 - 1e-9);
+    EXPECT_EQ(live.reserved, 0.0);
+    acked = live.spent;
+    server->Stop();
+  }
+  // Fail-closed on replay too: recovered spend is never below what the
+  // live server acknowledged, torn tail notwithstanding.
+  auto server = StartDurable(dir);
+  const BudgetReadback recovered = ReadBudget(*server, id);
+  ASSERT_EQ(recovered.http_status, 200);
+  EXPECT_GE(recovered.spent, acked - 1e-9);
+  EXPECT_EQ(recovered.reserved, 0.0);
+  // The recovered ledger still meters: an overdraft is refused, a
+  // within-budget query serves.
+  EXPECT_EQ(RunQuery(*server, id, 1.5), 429);
+  EXPECT_EQ(RunQuery(*server, id, 0.25), 200);
+}
+
 TEST(StateStoreTest, EvictionIsDurableAndFailsClosed) {
   StateDir dir("evict");
   std::string id;

@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -138,6 +140,49 @@ TEST(ThreadPoolTest, EmptyRangeIsNoop) {
   bool ran = false;
   pool.ParallelFor(5, 5, 1, 4, [&](size_t, size_t, size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, TrySubmitShedsBeyondBoundedDepth) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    // Park the only worker so queued tasks stay queued.
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+      ++ran;
+    });
+    // Wait until the worker has dequeued the blocker.
+    while (pool.QueueDepth() != 0) std::this_thread::yield();
+    EXPECT_TRUE(pool.TrySubmit([&] { ++ran; }, 2));
+    EXPECT_TRUE(pool.TrySubmit([&] { ++ran; }, 2));
+    EXPECT_EQ(pool.QueueDepth(), 2u);
+    // Queue at the bound: the third offer is shed, not queued.
+    EXPECT_FALSE(pool.TrySubmit([&] { ++ran; }, 2));
+    EXPECT_EQ(pool.QueueDepth(), 2u);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+  }
+  // Accepted tasks keep the never-dropped guarantee (the destructor
+  // drains the queue); the shed task never ran.
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, TrySubmitUnblockedQueueAccepts) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    // An idle pool drains as fast as we submit: a generous bound never
+    // sheds, and every accepted task runs exactly once.
+    EXPECT_TRUE(pool.TrySubmit([&] { ++ran; }, 64));
+  }
+  while (ran.load() != 32) std::this_thread::yield();
 }
 
 TEST(RngForkStreamTest, DeterministicAndNonAdvancing) {

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Overload harness for privbasis_server admission control.
+
+Boots the server binary with a small worker pool, a bounded queue, and a
+latency SLO, slows every scan deterministically through the failpoint
+env hook, then drives a multiple of the server's standing capacity at it
+from concurrent keep-alive clients. Exit 0 on pass, 1 on the first
+violated guarantee:
+
+  * every refusal is an IMMEDIATE 429/503 carrying Retry-After — no
+    request waits its deadline out just to learn the server was full;
+  * admitted queries finish within the SLO (p99 over the storm);
+  * accepted ε sums exactly to the server's budget ledger — sheds and
+    cancellations leave no trace;
+  * a client deadline expiring mid-scan answers 408 and charges exactly
+    the full reservation (fail-closed);
+  * /v1/stats counters agree with the client-side tally.
+
+    tools/overload_test.py --server-bin build/privbasis_server
+
+stdlib only; reuses the HTTP helpers from privbasis_client.py.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import privbasis_client  # noqa: E402
+from privbasis_client import ServerError, call, wait_ready  # noqa: E402
+
+TRANSACTIONS = [[0, 1, 2], [0, 1], [1, 2], [2], [0, 2], [0, 1, 2]]
+
+# Every BasisFreq scan stalls this long via the failpoint hook: queries
+# are deterministically slow, so the storm reliably outruns capacity.
+SCAN_SLEEP_MS = 250
+
+
+class Server:
+    """A privbasis_server child on an ephemeral port, scans slowed."""
+
+    def __init__(self, binary, threads, slo_ms, max_queue, log_path):
+        env = dict(os.environ)
+        env["PRIVBASIS_FAILPOINTS"] = f"basis_freq_chunk=sleep:{SCAN_SLEEP_MS}"
+        self.log = open(log_path, "w+")
+        self.proc = subprocess.Popen(
+            [binary, "--port", "0", "--threads", str(threads),
+             "--slo-ms", str(slo_ms), "--max-queue", str(max_queue)],
+            stdout=self.log, stderr=subprocess.STDOUT, env=env, text=True)
+        deadline = time.monotonic() + 30
+        self.url = None
+        while time.monotonic() < deadline and self.url is None:
+            time.sleep(0.05)
+            self.log.flush()
+            with open(log_path) as probe:
+                match = re.search(r"listening on (http://\S+)",
+                                  probe.read())
+                if match:
+                    self.url = match.group(1)
+        if self.url is None:
+            self.proc.kill()
+            raise SystemExit("server never printed its listen address")
+
+    def stop(self):
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+        self.log.close()
+
+
+def check(condition, what):
+    if not condition:
+        raise SystemExit(f"FAIL: {what}")
+    print(f"  ok: {what}")
+
+
+def read_spent(url, ds):
+    _, body = call(url, "GET", f"/v1/datasets/{ds}/budget")
+    return body["spent"]
+
+
+def run(args):
+    server = Server(args.server_bin, args.threads, args.slo_ms,
+                    args.max_queue, args.log)
+    try:
+        wait_ready(server.url)
+        status, body = call(server.url, "POST", "/v1/datasets",
+                            {"transactions": TRANSACTIONS,
+                             "budget": 1000.0})
+        check(status == 201, "register dataset")
+        ds = body["dataset"]
+
+        # The storm: clients >> workers + queue slots, mixed cheap (k=5)
+        # and expensive (k=40) specs, every client's first connection
+        # arriving at once (barrier). Refusals must be immediate.
+        capacity = args.threads + args.max_queue
+        clients = args.clients or 3 * capacity
+        print(f"[storm] {clients} clients x {args.rounds} rounds against "
+              f"{args.threads} workers + {args.max_queue} queue slots, "
+              f"scans slowed {SCAN_SLEEP_MS} ms")
+        outcomes = [[] for _ in range(clients)]
+        barrier = threading.Barrier(clients)
+
+        def client(i):
+            barrier.wait()
+            for r in range(args.rounds):
+                seed = 10_000 + i * 100 + r
+                k = 5 if (i + r) % 2 == 0 else 40
+                started = time.monotonic()
+                try:
+                    _, release = call(server.url, "POST", "/v1/query",
+                                      {"dataset": ds, "k": k,
+                                       "epsilon": 0.01, "seed": seed},
+                                      timeout=60)
+                    outcomes[i].append(
+                        ("ok", 200, time.monotonic() - started,
+                         release["budget"]["spent"], True))
+                except ServerError as err:
+                    outcomes[i].append(
+                        ("refused", err.status,
+                         time.monotonic() - started, 0.0,
+                         err.retry_after is not None))
+
+        workers = [threading.Thread(target=client, args=(i,))
+                   for i in range(clients)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+        completed, refused = [], []
+        for per_client in outcomes:
+            for kind, status, elapsed, spent, has_retry_after in per_client:
+                if kind == "ok":
+                    completed.append((elapsed, spent))
+                else:
+                    refused.append((status, elapsed, has_retry_after))
+        total = sum(len(o) for o in outcomes)
+        print(f"[storm] {len(completed)} completed, "
+              f"{len(refused)} refused of {total}")
+
+        check(total == clients * args.rounds, "every request got an answer")
+        check(len(refused) > 0,
+              "overload produced sheds (capacity was actually exceeded)")
+        check(len(completed) >= args.threads,
+              "the workers kept serving through the storm")
+        bad_status = [s for s, _, _ in refused if s not in (429, 503)]
+        check(not bad_status,
+              f"every refusal is 429/503 (bad: {bad_status})")
+        check(all(h for _, _, h in refused),
+              "every refusal carries Retry-After")
+        slowest_refusal = max(e for _, e, _ in refused)
+        check(slowest_refusal < 2.0,
+              f"refusals immediate (slowest "
+              f"{slowest_refusal * 1000:.0f} ms)")
+        latencies = sorted(elapsed for elapsed, _ in completed)
+        p99 = latencies[int(0.99 * (len(latencies) - 1))]
+        check(p99 <= args.slo_ms / 1000.0,
+              f"admitted p99 {p99 * 1000:.0f} ms within the "
+              f"{args.slo_ms} ms SLO")
+
+        # ε conservation: the ledger is exactly the acknowledged spends.
+        acked = sum(spent for _, spent in completed)
+        spent = read_spent(server.url, ds)
+        check(abs(spent - acked) < 1e-9,
+              f"ledger ε ({spent:.6f}) equals acked ε ({acked:.6f})")
+
+        # Deadline propagation over the wire: the scan stall outlives a
+        # 100 ms client deadline → 408, and the aborted lease charges
+        # its FULL reservation (fail-closed), never a partial.
+        before = spent
+        try:
+            call(server.url, "POST", "/v1/query",
+                 {"dataset": ds, "k": 5, "epsilon": 0.5, "seed": 1,
+                  "deadline_ms": 100})
+            raise SystemExit("FAIL: deadline query unexpectedly succeeded")
+        except ServerError as err:
+            check(err.status == 408, f"mid-scan deadline is 408 "
+                                     f"(got {err.status})")
+        after = read_spent(server.url, ds)
+        check(abs(after - before - 0.5) < 1e-9,
+              "cancelled query charged exactly its full reservation")
+
+        # The server's own counters agree with the client-side tally.
+        _, stats = call(server.url, "GET", "/v1/stats")
+        shed_connections = sum(1 for s, _, _ in refused if s == 503)
+        shed_queries = sum(1 for s, _, _ in refused if s == 429)
+        check(stats["queries"]["completed"] == len(completed),
+              "stats: completed matches")
+        check(stats["queries"]["cancelled"] == 1,
+              "stats: the deadline cancellation was counted")
+        check(stats["connections"]["shed"] == shed_connections,
+              "stats: connection sheds match")
+        check(stats["queries"]["shed_predicted"] +
+              stats["queries"]["shed_queue"] == shed_queries,
+              "stats: query sheds match")
+        print("[overload] PASS")
+        return 0
+    finally:
+        server.stop()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server-bin", required=True)
+    parser.add_argument("--threads", type=int, default=2,
+                        help="server worker threads")
+    parser.add_argument("--max-queue", type=int, default=2,
+                        help="server bounded queue depth")
+    parser.add_argument("--slo-ms", type=int, default=10_000,
+                        help="server admission SLO")
+    parser.add_argument("--clients", type=int, default=0,
+                        help="storm clients (default 3x capacity)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="queries per client")
+    parser.add_argument("--log", default="/tmp/privbasis_overload.log",
+                        help="server stdout/stderr capture")
+    args = parser.parse_args()
+    # Surface every refusal instead of sleeping on Retry-After — this
+    # harness asserts on the refusals themselves.
+    privbasis_client.RETRY_AFTER_LIMIT = 0
+    try:
+        return run(args)
+    except SystemExit as err:
+        if err.code not in (0, None):
+            try:
+                with open(args.log) as log:
+                    sys.stderr.write("---- server log ----\n" + log.read())
+            except OSError:
+                pass
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,24 +13,30 @@ Smoke mode (used by CI; exercises every endpoint and the error
 contract, exits nonzero on the first violation):
     tools/privbasis_client.py --server http://127.0.0.1:8080 --smoke
 
-stdlib only (urllib); no third-party deps.
+stdlib only (http.client); no third-party deps. Connections are kept
+alive and reused across calls (the server speaks HTTP/1.1 keep-alive),
+and a 429/503 carrying a Retry-After header — the server's shed and
+recovering responses — is honored with a bounded wait before retrying.
 """
 
 import argparse
+import http.client
 import json
 import sys
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 
 
 class ServerError(Exception):
-    """Non-2xx with parsed body (when JSON)."""
+    """Non-2xx with parsed body (when JSON) and the Retry-After header
+    (None when the server sent none — e.g. budget-exhausted 429s)."""
 
-    def __init__(self, status, body):
+    def __init__(self, status, body, retry_after=None):
         super().__init__(f"HTTP {status}: {body}")
         self.status = status
         self.body = body
+        self.retry_after = retry_after
 
 
 # Connection-refused retries (set by --connect-retries): a server that is
@@ -39,34 +45,103 @@ class ServerError(Exception):
 # startup race into a wait instead of a failure.
 CONNECT_RETRIES = 0
 
+# How many times one call() honors a Retry-After on 429/503 before
+# surfacing the refusal. A 429 WITHOUT the header (budget exhausted —
+# waiting buys nothing) is never retried.
+RETRY_AFTER_LIMIT = 2
+RETRY_AFTER_CAP_S = 5.0
+
+# Keep-alive connection per (host, port), reused across calls. Cached
+# per thread: http.client connections are not thread-safe, and harnesses
+# (crash_recovery_test, overload_test) hammer from many threads at once.
+_local = threading.local()
+
+
+def _connections():
+    conns = getattr(_local, "connections", None)
+    if conns is None:
+        conns = _local.connections = {}
+    return conns
+
+
+def _connection(server, timeout):
+    parts = urllib.parse.urlsplit(server if "//" in server
+                                  else "//" + server)
+    key = (parts.hostname, parts.port or 80)
+    conn = _connections().get(key)
+    if conn is None:
+        conn = http.client.HTTPConnection(key[0], key[1], timeout=timeout)
+        _connections()[key] = conn
+    conn.timeout = timeout
+    if conn.sock is not None:
+        conn.sock.settimeout(timeout)
+    return key, conn
+
+
+def _drop(key):
+    conn = _connections().pop(key, None)
+    if conn is not None:
+        conn.close()
+
 
 def call(server, method, path, payload=None, timeout=60):
-    url = server.rstrip("/") + path
     data = None
     headers = {}
     if payload is not None:
         data = json.dumps(payload).encode()
         headers["Content-Type"] = "application/json"
-    request = urllib.request.Request(url, data=data, headers=headers,
-                                     method=method)
-    for attempt in range(CONNECT_RETRIES + 1):
+    connect_attempts = 0
+    reopened_stale = False
+    honored = 0
+    while True:
+        key, conn = _connection(server, timeout)
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=timeout) as response:
-                raw = response.read()
-                return response.status, json.loads(raw) if raw else None
-        except urllib.error.HTTPError as err:
-            raw = err.read()
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+            retry_after = response.getheader("Retry-After")
+            if response.will_close:
+                _drop(key)
+        except ConnectionRefusedError:
+            _drop(key)
+            if connect_attempts < CONNECT_RETRIES:
+                time.sleep(min(0.1 * (2 ** connect_attempts), 2.0))
+                connect_attempts += 1
+                continue
+            raise
+        except (ConnectionError, BrokenPipeError,
+                http.client.BadStatusLine, http.client.CannotSendRequest):
+            # A parked keep-alive connection the server has since closed
+            # (idle timeout, request cap, restart): reopen once and
+            # resend. Only once — a second failure is a real error.
+            _drop(key)
+            if not reopened_stale:
+                reopened_stale = True
+                continue
+            raise
+        except Exception:
+            _drop(key)
+            raise
+        try:
+            body = json.loads(raw) if raw else None
+        except json.JSONDecodeError:
+            body = raw.decode(errors="replace")
+        if 200 <= status < 300:
+            return status, body
+        # Shed/recovering refusals name their own backoff; honor it
+        # (bounded) — the retried query spends no extra budget, the
+        # server refused before reserving any.
+        if (status in (429, 503) and retry_after is not None
+                and honored < RETRY_AFTER_LIMIT):
             try:
-                body = json.loads(raw)
-            except json.JSONDecodeError:
-                body = raw.decode(errors="replace")
-            raise ServerError(err.code, body) from None
-        except urllib.error.URLError as err:
-            refused = isinstance(err.reason, ConnectionRefusedError)
-            if not refused or attempt >= CONNECT_RETRIES:
-                raise
-            time.sleep(min(0.1 * (2 ** attempt), 2.0))
+                delay = float(retry_after)
+            except ValueError:
+                delay = 1.0
+            honored += 1
+            time.sleep(min(max(delay, 0.0), RETRY_AFTER_CAP_S))
+            continue
+        raise ServerError(status, body, retry_after)
 
 
 def wait_ready(server, attempts=100, delay=0.1):
@@ -76,7 +151,7 @@ def wait_ready(server, attempts=100, delay=0.1):
             status, body = call(server, "GET", "/healthz", timeout=5)
             if status == 200 and body.get("status") == "ok":
                 return body
-        except (ServerError, OSError):
+        except (ServerError, OSError, http.client.HTTPException):
             pass
         time.sleep(delay)
     raise SystemExit(f"server at {server} never became healthy")
@@ -127,6 +202,15 @@ def run_smoke(server):
            "same seed => identical release")
     expect(first["budget"]["spent"] <= 0.5 + 1e-9,
            "spend within requested epsilon")
+
+    # Admission counters see both queries (admitted + completed even
+    # with shedding disabled — the counters always run).
+    status, stats = call(server, "GET", "/v1/stats")
+    expect(status == 200 and
+           stats["queries"]["admitted"] >= 2 and
+           stats["queries"]["completed"] >= 2 and
+           stats["queries"]["admitted"] >= stats["queries"]["completed"],
+           "/v1/stats admission counters")
 
     # Ledger readback reflects both queries.
     _, budget = call(server, "GET", f"/v1/datasets/{ds}/budget")

@@ -49,6 +49,7 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s [--host H] [--port P] [--threads N]\n"
       "          [--deadline-ms MS] [--max-body BYTES]\n"
+      "          [--slo-ms MS] [--max-queue N]\n"
       "          [--allow-path-datasets on|off]\n"
       "          [--state-dir DIR] [--fsync always|commit|never]\n"
       "          [--preload PROFILE | --preload-input FILE]\n"
@@ -60,6 +61,12 @@ void PrintUsage(const char* argv0) {
       "  --threads N        connection workers (default: PRIVBASIS_THREADS)\n"
       "  --deadline-ms MS   per-request wall-clock budget (default 30000)\n"
       "  --max-body BYTES   request body ceiling (default 1048576)\n"
+      "  --slo-ms MS        admission SLO: shed (429 + Retry-After) any\n"
+      "                     query whose predicted latency exceeds MS\n"
+      "                     (default 0 = no cost-model shedding)\n"
+      "  --max-queue N      bounded worker queue: shed new arrivals once\n"
+      "                     N connections are already queued (503 +\n"
+      "                     Retry-After; default 0 = unbounded)\n"
       "  --allow-path-datasets on|off\n"
       "                     accept {\"path\": ...} registrations over\n"
       "                     HTTP (default off; preloads are unaffected)\n"
@@ -101,6 +108,11 @@ std::optional<ServerCliOptions> ParseArgs(int argc, char** argv) {
       options.server.request_deadline_ms = std::atoll(value);
     } else if (flag == "--max-body") {
       options.server.max_body_bytes =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--slo-ms") {
+      options.server.admission.slo_ms = std::atoll(value);
+    } else if (flag == "--max-queue") {
+      options.server.admission.max_queue_depth =
           static_cast<size_t>(std::strtoull(value, nullptr, 10));
     } else if (flag == "--allow-path-datasets") {
       // Value-taking like every other flag: "on"/"off".
