@@ -57,6 +57,14 @@ class CancelToken {
     return false;
   }
 
+  /// True when the token carries a wall deadline (vs explicit-only).
+  bool has_deadline() const { return has_deadline_; }
+
+  /// The absolute deadline; meaningless unless has_deadline(). The shard
+  /// planner reads this to propagate the REMAINING time to shard workers
+  /// as a per-request deadline_ms.
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
   /// OK until the token fires, then kCancelled.
   Status Check() const {
     if (Cancelled()) {

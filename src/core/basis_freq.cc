@@ -10,6 +10,7 @@
 #include "common/math_util.h"
 #include "common/simd.h"
 #include "common/thread_pool.h"
+#include "core/count_exec.h"
 #include "core/error_variance.h"
 
 namespace privbasis {
@@ -55,26 +56,10 @@ struct FusedEstimate {
 
 }  // namespace
 
-Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
-                                  const BasisSet& basis_set, size_t k,
-                                  double epsilon, Rng& rng,
-                                  PrivacyAccountant* accountant,
-                                  const BasisFreqOptions& options) {
-  if (!(epsilon > 0.0)) {
-    return Status::InvalidArgument("epsilon must be > 0");
-  }
-  if (basis_set.Length() > options.max_basis_length) {
-    return Status::InvalidArgument(
-        "basis length " + std::to_string(basis_set.Length()) +
-        " exceeds cap " + std::to_string(options.max_basis_length));
-  }
-  if (accountant != nullptr) {
-    PRIVBASIS_RETURN_NOT_OK(accountant->Consume(epsilon, "BasisFreq"));
-  }
-
+Result<std::vector<std::vector<uint64_t>>> CountBasisBins(
+    const TransactionDatabase& db, const BasisSet& basis_set,
+    size_t num_threads, const CancelToken* cancel) {
   const size_t w = basis_set.Width();
-  BasisFreqResult result;
-  if (w == 0) return result;
 
   // Per-basis bit layout, and the packed-mask decision: when the
   // concatenated per-basis bit fields fit in one 64-bit word, every
@@ -100,6 +85,14 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
                                        : (uint64_t{1} << basis_len[i]) - 1;
     total_bits += basis_len[i];
   }
+
+  std::vector<std::vector<uint64_t>> bins(w);
+  for (size_t i = 0; i < w; ++i) {
+    bins[i].assign(uint64_t{1} << basis_len[i], 0);
+  }
+  const size_t n = db.NumTransactions();
+  if (w == 0 || n == 0) return bins;
+
   const bool packed = total_bits <= 64 && universe < (uint32_t{1} << 31);
   std::vector<uint64_t> item_word;
   std::vector<uint32_t> memb_offsets;
@@ -138,26 +131,14 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
     }
   }
 
-  // Lines 2–6: initialize bins with Lap(w/ε) noise (count domain).
-  std::vector<std::vector<double>> bins(w);
-  const double noise_scale = static_cast<double>(w) / epsilon;
-  for (size_t i = 0; i < w; ++i) {
-    bins[i].assign(uint64_t{1} << basis_len[i], 0.0);
-    if (options.inject_noise) {
-      for (auto& cell : bins[i]) cell = SampleLaplace(rng, noise_scale);
-    }
-  }
-
-  // Lines 7–11: one scan of D; each transaction lands in exactly one bin
-  // per basis (the bin of its intersection mask). The scan is sharded
-  // across the pool into per-shard exact integer bins; the reduction runs
-  // in shard order and replays the sequential `+= 1.0` accumulation
-  // (AddOnesSequentially), so the noisy bins are bit-identical to the
-  // single-threaded scan at every shard and thread count.
-  const size_t n = db.NumTransactions();
+  // One scan of D; each transaction lands in exactly one bin per basis
+  // (the bin of its intersection mask). The scan is sharded across the
+  // pool into per-shard exact integer bins and the reduction runs in
+  // shard order, so the counts are bit-identical at every shard and
+  // thread count.
   uint64_t total_bins = 0;
   for (size_t i = 0; i < w; ++i) total_bins += uint64_t{1} << basis_len[i];
-  const size_t threads = EffectiveThreads(options.num_threads);
+  const size_t threads = EffectiveThreads(num_threads);
   size_t num_shards = 1;
   if (threads > 1 && n >= 4096) {
     // Keep the per-shard bin arena under ~128 MiB.
@@ -174,7 +155,7 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
   std::atomic<bool> cancelled{false};
   auto poll_cancel = [&] {
     if (cancelled.load(std::memory_order_relaxed)) return true;
-    if (!IsCancelled(options.cancel)) return false;
+    if (!IsCancelled(cancel)) return false;
     cancelled.store(true, std::memory_order_relaxed);
     return true;
   };
@@ -233,19 +214,85 @@ Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
       for (size_t s = 0; s < num_shards; ++s) {
         if (!shard_bins[s].empty()) count += shard_bins[s][i][mask];
       }
-      if (count != 0) {
-        bins[i][mask] = AddOnesSequentially(bins[i][mask], count);
+      bins[i][mask] = count;
+    }
+  }
+  return bins;
+}
+
+Result<BasisFreqResult> BasisFreq(const TransactionDatabase& db,
+                                  const BasisSet& basis_set, size_t k,
+                                  double epsilon, Rng& rng,
+                                  PrivacyAccountant* accountant,
+                                  const BasisFreqOptions& options) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  if (basis_set.Length() > options.max_basis_length) {
+    return Status::InvalidArgument(
+        "basis length " + std::to_string(basis_set.Length()) +
+        " exceeds cap " + std::to_string(options.max_basis_length));
+  }
+  if (accountant != nullptr) {
+    PRIVBASIS_RETURN_NOT_OK(accountant->Consume(epsilon, "BasisFreq"));
+  }
+
+  const size_t w = basis_set.Width();
+  BasisFreqResult result;
+  if (w == 0) return result;
+
+  // Lines 7–11 run FIRST: the exact bin counts — locally, or scattered
+  // across shards through the executor and merged by integer addition.
+  // Counting consumes no randomness, so hoisting it above the noise
+  // draws leaves the RNG stream untouched and the release bit-identical
+  // at any shard count.
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint64_t>> counts,
+      options.exec != nullptr
+          ? options.exec->BasisBinCounts(basis_set, options.cancel)
+          : CountBasisBins(db, basis_set, options.num_threads,
+                           options.cancel));
+  if (counts.size() != w) {
+    return Status::Internal("executor returned " +
+                            std::to_string(counts.size()) +
+                            " bin vectors for width " + std::to_string(w));
+  }
+  for (size_t i = 0; i < w; ++i) {
+    const uint64_t want = uint64_t{1} << basis_set.basis(i).size();
+    if (counts[i].size() != want) {
+      return Status::Internal("executor bin vector " + std::to_string(i) +
+                              " has " + std::to_string(counts[i].size()) +
+                              " bins, want " + std::to_string(want));
+    }
+  }
+
+  // Lines 2–6: initialize bins with Lap(w/ε) noise (count domain), then
+  // fold in the exact counts by replaying the sequential `+= 1.0`
+  // accumulation (AddOnesSequentially) — bit-identical to the original
+  // count-then-noise single-threaded loop.
+  std::vector<std::vector<double>> bins(w);
+  const double noise_scale = static_cast<double>(w) / epsilon;
+  for (size_t i = 0; i < w; ++i) {
+    bins[i].assign(counts[i].size(), 0.0);
+    if (options.inject_noise) {
+      for (auto& cell : bins[i]) cell = SampleLaplace(rng, noise_scale);
+    }
+  }
+  for (size_t i = 0; i < w; ++i) {
+    for (uint64_t mask = 0; mask < bins[i].size(); ++mask) {
+      if (counts[i][mask] != 0) {
+        bins[i][mask] = AddOnesSequentially(bins[i][mask], counts[i][mask]);
       }
     }
   }
-  shard_bins.clear();
+  counts.clear();
 
   // Lines 12–26: per basis, superset sums recover subset counts; fuse
   // multi-basis estimates by inverse-variance weighting.
   std::unordered_map<Itemset, FusedEstimate, ItemsetHash> candidates;
   for (size_t i = 0; i < w; ++i) {
     const Itemset& b = basis_set.basis(i);
-    const size_t len = basis_len[i];
+    const size_t len = b.size();
     std::vector<double> sums;
     if (options.use_fast_superset_sum) {
       sums = std::move(bins[i]);

@@ -21,6 +21,8 @@
 
 namespace privbasis {
 
+class CountExecutor;  // core/count_exec.h
+
 /// Tuning and test hooks of BasisFreq.
 struct BasisFreqOptions {
   /// Test hook: false runs the identical pipeline with zero noise, turning
@@ -40,8 +42,13 @@ struct BasisFreqOptions {
   /// Cooperative cancellation: the scan polls once per transaction chunk
   /// and unwinds with kCancelled within one shard-chunk of the token
   /// firing. nullptr = not cancellable. Note the epsilon consumed from
-  /// `accountant` stays consumed — the noise was already drawn.
+  /// `accountant` stays consumed — it was reserved before the scan.
   const CancelToken* cancel = nullptr;
+  /// Scatter-gather seam: when set, the exact bin counts come from
+  /// `exec->BasisBinCounts` (merged across shards) instead of a local
+  /// scan of `db`. Bit-identical either way — the scan consumes no
+  /// randomness, so the post-merge noise draws are unchanged.
+  const CountExecutor* exec = nullptr;
 };
 
 /// Output of one BasisFreq invocation.
@@ -52,6 +59,17 @@ struct BasisFreqResult {
   /// Number of distinct candidate itemsets in C(B).
   size_t num_candidates = 0;
 };
+
+/// The exact-counting half of Algorithm 1, exposed so shard workers can
+/// run it on their slice: out[i][mask] = number of transactions whose
+/// intersection with basis i is exactly the subset `mask` encodes
+/// (out[i] has 2^|Bi| entries). Consumes no randomness and merges
+/// across horizontal partitions by plain integer addition. `num_threads`
+/// 0 = the PRIVBASIS_THREADS env knob; a fired `cancel` token unwinds
+/// with kCancelled within one transaction chunk.
+Result<std::vector<std::vector<uint64_t>>> CountBasisBins(
+    const TransactionDatabase& db, const BasisSet& basis_set,
+    size_t num_threads = 0, const CancelToken* cancel = nullptr);
 
 /// Runs Algorithm 1 with privacy budget `epsilon`. If `accountant` is
 /// non-null, `epsilon` is charged to it (fails when the budget is

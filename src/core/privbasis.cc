@@ -6,6 +6,7 @@
 
 #include "common/logspace.h"
 #include "core/construct_basis.h"
+#include "core/count_exec.h"
 #include "dp/budget.h"
 #include "dp/exponential_mechanism.h"
 #include "fim/topk.h"
@@ -194,10 +195,20 @@ Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,
     // Step 3: the λ2 most frequent pairs within F.
     std::vector<Itemset> p;
     if (lambda2_count > 0 && f.size() >= 2) {
-      std::vector<uint64_t> pair_counts =
-          CountPairSupports(db, f, options.cancel);
-      if (IsCancelled(options.cancel)) {
-        return Status::Cancelled("pair counting cancelled mid-scan");
+      std::vector<uint64_t> pair_counts;
+      if (options.exec != nullptr) {
+        PRIVBASIS_ASSIGN_OR_RETURN(
+            pair_counts, options.exec->PairSupports(f, options.cancel));
+        if (pair_counts.size() != f.size() * f.size()) {
+          return Status::Internal(
+              "executor returned " + std::to_string(pair_counts.size()) +
+              " pair counts for " + std::to_string(f.size()) + " items");
+        }
+      } else {
+        pair_counts = CountPairSupports(db, f, options.cancel);
+        if (IsCancelled(options.cancel)) {
+          return Status::Cancelled("pair counting cancelled mid-scan");
+        }
       }
       std::vector<std::pair<uint32_t, uint32_t>> pair_index;
       std::vector<uint64_t> qualities;
@@ -231,10 +242,12 @@ Result<PrivBasisResult> RunPrivBasisImpl(const TransactionDatabase& db,
   }
 
   // Step 5: noisy counts over C(B) and top-k selection.
+  BasisFreqOptions bf_options = options.basis_freq;
+  if (bf_options.exec == nullptr) bf_options.exec = options.exec;
   PRIVBASIS_ASSIGN_OR_RETURN(
       BasisFreqResult bf,
       BasisFreq(db, result.basis_set, k, alpha3_eps, rng, &accountant,
-                options.basis_freq));
+                bf_options));
   result.topk = std::move(bf.topk);
   result.epsilon_spent = accountant.spent_epsilon();
   return result;

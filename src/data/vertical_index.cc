@@ -1,6 +1,7 @@
 #include "data/vertical_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -252,20 +253,37 @@ uint64_t VerticalIndex::SupportOfPair(Item a, Item b) const {
 
 void VerticalIndex::SupportOfMany(std::span<const Itemset> queries,
                                   std::span<uint64_t> out,
-                                  size_t num_threads) const {
+                                  size_t num_threads,
+                                  const CancelToken* cancel) const {
   assert(out.size() >= queries.size());
   const size_t threads = EffectiveThreads(num_threads);
   const size_t grain = std::max<size_t>(1, queries.size() / (threads * 8));
+  // Cancellation granularity: one poll per kCancelChunk queries (each
+  // query is a full tid-list intersection, so the chunk bounds the stop
+  // latency). The shared sticky flag keeps all ranges stopping together
+  // with a single clock read after the token fires.
+  constexpr size_t kCancelChunk = 256;
+  std::atomic<bool> cancelled{false};
+  auto poll_cancel = [&] {
+    if (cancelled.load(std::memory_order_relaxed)) return true;
+    if (!IsCancelled(cancel)) return false;
+    cancelled.store(true, std::memory_order_relaxed);
+    return true;
+  };
   ThreadPool::Global().ParallelFor(
       0, queries.size(), grain, threads, [&](size_t b, size_t e, size_t) {
-        for (size_t i = b; i < e; ++i) out[i] = SupportOf(queries[i]);
+        for (size_t i = b; i < e; ++i) {
+          if ((i - b) % kCancelChunk == 0 && poll_cancel()) return;
+          out[i] = SupportOf(queries[i]);
+        }
       });
 }
 
 std::vector<uint64_t> VerticalIndex::SupportOfMany(
-    std::span<const Itemset> queries, size_t num_threads) const {
+    std::span<const Itemset> queries, size_t num_threads,
+    const CancelToken* cancel) const {
   std::vector<uint64_t> out(queries.size());
-  SupportOfMany(queries, std::span<uint64_t>(out), num_threads);
+  SupportOfMany(queries, std::span<uint64_t>(out), num_threads, cancel);
   return out;
 }
 

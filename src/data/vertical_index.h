@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.h"
 #include "data/itemset.h"
 #include "data/transaction_db.h"
 
@@ -60,11 +61,15 @@ class VerticalIndex {
 
   /// Batch support counting: out[i] = SupportOf(queries[i]), computed in
   /// parallel (0 = PRIVBASIS_THREADS). Deterministic: output order is the
-  /// query order regardless of thread count.
+  /// query order regardless of thread count. A fired `cancel` token stops
+  /// the batch within one query chunk and leaves `out` partially filled —
+  /// the caller must check the token afterwards and discard the results.
   void SupportOfMany(std::span<const Itemset> queries,
-                     std::span<uint64_t> out, size_t num_threads = 0) const;
+                     std::span<uint64_t> out, size_t num_threads = 0,
+                     const CancelToken* cancel = nullptr) const;
   std::vector<uint64_t> SupportOfMany(std::span<const Itemset> queries,
-                                      size_t num_threads = 0) const;
+                                      size_t num_threads = 0,
+                                      const CancelToken* cancel = nullptr) const;
 
   /// True iff `item` is backed by a dense bitmap (diagnostics / tests).
   bool IsDense(Item item) const {

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <utility>
 
+#include "common/env.h"
 #include "data/dataset_io.h"
 #include "fim/topk.h"
+#include "shard/shard_exec.h"
+#include "shard/sharded_db.h"
 
 namespace privbasis {
 
@@ -13,7 +16,10 @@ Dataset::Dataset(std::shared_ptr<const TransactionDatabase> db,
                  Options options)
     : db_(std::move(db)),
       options_(options),
-      accountant_(std::make_shared<Accountant>(options.total_epsilon)) {}
+      accountant_(std::make_shared<Accountant>(options.total_epsilon)),
+      resolved_shards_(options.num_shards != 0
+                           ? options.num_shards
+                           : static_cast<size_t>(NumShards())) {}
 
 std::shared_ptr<Dataset> Dataset::Create(TransactionDatabase db,
                                          Options options) {
@@ -64,6 +70,50 @@ std::shared_ptr<const VerticalIndex> Dataset::Index() const {
     index_.built = true;
   }
   return index_.value;
+}
+
+std::shared_ptr<const CountExecutor> Dataset::count_executor() const {
+  std::lock_guard<std::mutex> lock(executor_.mu);
+  if (!executor_.built) {
+    if (resolved_shards_ <= 1) {
+      // Unsharded: mechanisms scan db() directly. Cache the nullptr so
+      // repeated queries skip the shard-count check.
+      executor_.value = nullptr;
+    } else {
+      shard_builds_.fetch_add(1, std::memory_order_relaxed);
+      auto partitioned = ShardedDatabase::Create(*db_, resolved_shards_);
+      // Create() fails only on zero shards, which resolved_shards_ can
+      // never be; fall back to unsharded rather than crash regardless.
+      if (partitioned.ok()) {
+        executor_.value = std::make_shared<const LocalShardExecutor>(
+            std::make_shared<const ShardedDatabase>(std::move(*partitioned)),
+            options_.num_threads);
+      } else {
+        executor_.value = nullptr;
+      }
+    }
+    executor_.built = true;
+  }
+  return executor_.value;
+}
+
+void Dataset::AttachCountExecutor(std::shared_ptr<const CountExecutor> exec) {
+  std::lock_guard<std::mutex> lock(executor_.mu);
+  executor_.value = std::move(exec);
+  executor_.built = true;
+}
+
+size_t Dataset::shard_fanout() const {
+  {
+    std::lock_guard<std::mutex> lock(executor_.mu);
+    if (executor_.built) {
+      return executor_.value != nullptr ? executor_.value->NumShards() : 1;
+    }
+  }
+  // Not built yet: report what the lazy build would produce, without
+  // forcing the (potentially expensive) partitioning from the admission
+  // path.
+  return resolved_shards_;
 }
 
 Result<uint64_t> Dataset::BuildMarginSupport(size_t k1,
@@ -152,6 +202,7 @@ Dataset::CacheCounters Dataset::cache_counters() const {
   counters.margin_mines = margin_mines_.load(std::memory_order_relaxed);
   counters.truth_mines = truth_mines_.load(std::memory_order_relaxed);
   counters.tf_builds = tf_builds_.load(std::memory_order_relaxed);
+  counters.shard_builds = shard_builds_.load(std::memory_order_relaxed);
   return counters;
 }
 

@@ -33,6 +33,7 @@
 
 #include "baseline/tf.h"
 #include "common/status.h"
+#include "core/count_exec.h"
 #include "data/dataset_stats.h"
 #include "data/synthetic.h"
 #include "data/transaction_db.h"
@@ -52,6 +53,11 @@ struct DatasetOptions {
   /// Parallelism for cache construction (index build, top-k mining);
   /// 0 = the PRIVBASIS_THREADS env knob.
   size_t num_threads = 0;
+  /// In-process horizontal shard count for counting scans; 0 = the
+  /// PRIVBASIS_SHARDS env knob (default 1 = unsharded). Never changes
+  /// results — partial supports merge exactly (src/shard) — so this is
+  /// purely an execution knob.
+  size_t num_shards = 0;
 };
 
 class Dataset {
@@ -93,6 +99,23 @@ class Dataset {
   /// Memoized hybrid tid-list index (built on first use).
   std::shared_ptr<const VerticalIndex> Index() const;
 
+  /// The scatter-gather executor queries on this dataset count through:
+  /// the attached one (coordinator mode), else a lazily built in-process
+  /// LocalShardExecutor when the effective shard count exceeds 1, else
+  /// nullptr (unsharded — mechanisms scan `db()` directly). Memoized;
+  /// the handle keeps the returned executor alive.
+  std::shared_ptr<const CountExecutor> count_executor() const;
+
+  /// Installs an externally built executor (the server's coordinator
+  /// attaches a RemoteShardExecutor over its worker fleet at dataset
+  /// registration). Replaces any previously built/attached executor;
+  /// meant to be called before the dataset serves queries.
+  void AttachCountExecutor(std::shared_ptr<const CountExecutor> exec);
+
+  /// Effective counting fan-out: the executor's shard count, or 1 when
+  /// unsharded. The admission cost model divides predicted work by this.
+  size_t shard_fanout() const;
+
   /// Memoized support of the ⌈η·k⌉-th most frequent itemset — the
   /// PrivBasis fk1 hint. Exactly the quantity the mechanism would mine
   /// internally, so warm and cold queries are bit-identical. `cancel` is
@@ -125,6 +148,7 @@ class Dataset {
     size_t margin_mines = 0;
     size_t truth_mines = 0;
     size_t tf_builds = 0;
+    size_t shard_builds = 0;
   };
   CacheCounters cache_counters() const;
 
@@ -169,8 +193,13 @@ class Dataset {
   Options options_;
   std::shared_ptr<Accountant> accountant_;
 
+  /// options_.num_shards resolved against the PRIVBASIS_SHARDS env knob
+  /// at construction (always ≥ 1).
+  size_t resolved_shards_ = 1;
+
   mutable CacheCell<DatasetStats> stats_;
   mutable CacheCell<std::shared_ptr<const VerticalIndex>> index_;
+  mutable CacheCell<std::shared_ptr<const CountExecutor>> executor_;
   mutable KeyedCache<size_t, uint64_t> margins_;  // k1 -> support
   mutable KeyedCache<size_t, std::shared_ptr<const GroundTruth>> truths_;
   mutable KeyedCache<TfKey, std::shared_ptr<const TfRunner>> tf_runners_;
@@ -181,6 +210,7 @@ class Dataset {
   mutable std::atomic<size_t> margin_mines_{0};
   mutable std::atomic<size_t> truth_mines_{0};
   mutable std::atomic<size_t> tf_builds_{0};
+  mutable std::atomic<size_t> shard_builds_{0};
 };
 
 }  // namespace privbasis

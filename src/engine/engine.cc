@@ -20,6 +20,9 @@ namespace {
 struct PreparedQuery {
   PrivBasisOptions pb;
   std::shared_ptr<const TfRunner> tf_runner;
+  // Keeps pb.exec alive for the whole run even if the dataset's
+  // executor is swapped (AttachCountExecutor) mid-query.
+  std::shared_ptr<const CountExecutor> exec;
 };
 
 Result<PreparedQuery> Prepare(const Dataset& dataset, const QuerySpec& spec) {
@@ -41,6 +44,15 @@ Result<PreparedQuery> Prepare(const Dataset& dataset, const QuerySpec& spec) {
       // BasisFreq pass each poll it once per work chunk.
       prepared.pb.cancel = spec.cancel;
       prepared.pb.basis_freq.cancel = spec.cancel;
+      // Route counting scans through the dataset's scatter-gather
+      // executor (nullptr when unsharded). The subsampled path scans a
+      // fresh subsample database, which the dataset's shards don't
+      // cover, so it stays on the direct path. The raw pointer is owned
+      // by the Dataset's memoized cell, which outlives this run.
+      if (spec.sampling_rate >= 1.0 && prepared.pb.exec == nullptr) {
+        prepared.exec = dataset.count_executor();
+        prepared.pb.exec = prepared.exec.get();
+      }
       break;
     case QueryMethod::kTruncatedFrequency:
       PRIVBASIS_ASSIGN_OR_RETURN(prepared.tf_runner,

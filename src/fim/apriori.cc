@@ -95,10 +95,15 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
     std::vector<Itemset> candidates;
     std::vector<uint64_t> supports;
     std::vector<FrequentItemset> next;
-    auto flush = [&] {
+    // A fired cancel token stops the batch mid-chunk; the partially
+    // counted supports are discarded with the whole level.
+    auto flush = [&]() -> Status {
       supports.resize(candidates.size());
       index.SupportOfMany(candidates, std::span<uint64_t>(supports),
-                          options.num_threads);
+                          options.num_threads, options.cancel);
+      if (IsCancelled(options.cancel)) {
+        return Status::Cancelled("apriori mine cancelled mid-scan");
+      }
       for (size_t c = 0; c < candidates.size(); ++c) {
         if (supports[c] >= options.min_support) {
           next.push_back(
@@ -106,6 +111,7 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
         }
       }
       candidates.clear();
+      return Status::OK();
     };
     std::vector<Item> candidate;
     for (size_t i = 0; i < level.size(); ++i) {
@@ -113,10 +119,12 @@ Result<MiningResult> MineApriori(const TransactionDatabase& db,
         if (!JoinPrefix(level[i].items, level[j].items, &candidate)) break;
         if (!AllSubsetsFrequent(candidate, frequent)) continue;
         candidates.push_back(Itemset::FromSorted(candidate));
-        if (candidates.size() >= kCandidateChunk) flush();
+        if (candidates.size() >= kCandidateChunk) {
+          PRIVBASIS_RETURN_NOT_OK(flush());
+        }
       }
     }
-    flush();
+    PRIVBASIS_RETURN_NOT_OK(flush());
     level = std::move(next);
     ++level_num;
   }

@@ -68,6 +68,14 @@ class DatasetRegistry {
   /// synchronized against concurrent registrations.
   void SetRegisterHook(RegisterHook hook) { hook_ = std::move(hook); }
 
+  /// Runs for EVERY dataset becoming findable — wire registrations,
+  /// operator preloads, and recovered ones alike (unlike the durability
+  /// hook, which recovered datasets skip). Runs after the durability
+  /// hook, still before the handle is findable; a failure fails the
+  /// registration. The coordinator uses this to ship shard slices to its
+  /// workers and attach a RemoteShardExecutor.
+  void SetAttachHook(RegisterHook hook) { attach_hook_ = std::move(hook); }
+
   /// Adds a handle, returning its new "ds-N" id. Ids are never reused.
   /// Fails only if the registration hook does.
   Result<std::string> Register(std::shared_ptr<Dataset> dataset);
@@ -133,6 +141,7 @@ class DatasetRegistry {
 
   Limits limits_;
   RegisterHook hook_;
+  RegisterHook attach_hook_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Dataset>> datasets_;
   size_t next_id_ = 1;

@@ -8,10 +8,12 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "common/env.h"
 #include "common/failpoint.h"
 #include "engine/accountant.h"
 #include "engine/engine.h"
 #include "server/wire.h"
+#include "shard/sharded_db.h"
 
 namespace privbasis::server {
 
@@ -77,6 +79,27 @@ Status QueryServer::Start() {
   pool_ = std::make_unique<ThreadPool>(
       std::max<size_t>(1, EffectiveThreads(options_.num_threads)));
   stopping_.store(false, std::memory_order_release);
+  // Coordinator mode: stand up the worker fleet BEFORE anything can
+  // register (including recovery) — every dataset becoming findable must
+  // go through the attach hook, and a misconfigured fleet should fail
+  // startup, not the first registration.
+  if (!options_.shard_workers.empty()) {
+    for (const std::string& spec : options_.shard_workers) {
+      PRIVBASIS_ASSIGN_OR_RETURN(WorkerAddr addr, ParseWorkerAddr(spec));
+      shard_workers_.push_back(
+          std::make_shared<ShardWorkerClient>(std::move(addr)));
+    }
+    for (const auto& worker : shard_workers_) {
+      if (Status alive = worker->Ping(2000); !alive.ok()) {
+        return alive;
+      }
+    }
+    registry_.SetAttachHook(
+        [this](const std::string& id,
+               const std::shared_ptr<Dataset>& dataset) {
+          return ShardToWorkers(id, dataset);
+        });
+  }
   // Recovery runs behind the already-listening socket: a restarting
   // server is reachable immediately (503, retryable) instead of
   // connection-refused, and no route can touch the registry before the
@@ -402,6 +425,21 @@ HttpResponse QueryServer::Route(const HttpRequest& request) {
                        request.target));
 }
 
+Status QueryServer::ShardToWorkers(const std::string& id,
+                                   const std::shared_ptr<Dataset>& dataset) {
+  // Same contiguous partition the in-process executor would use, so a
+  // coordinator-served release is bit-identical to a local one.
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      ShardedDatabase slices,
+      ShardedDatabase::Create(dataset->db(), shard_workers_.size()));
+  for (size_t s = 0; s < shard_workers_.size(); ++s) {
+    PRIVBASIS_RETURN_NOT_OK(shard_workers_[s]->LoadShard(id, slices.shard(s)));
+  }
+  dataset->AttachCountExecutor(
+      std::make_shared<RemoteShardExecutor>(id, shard_workers_));
+  return Status::OK();
+}
+
 HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   auto finish = [this](HttpResponse response) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -452,7 +490,12 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   // a shed here has reserved nothing, drawn no noise, and left the
   // ε ledger untouched. The refusal arrives in milliseconds instead of
   // the 408 the client would otherwise wait a whole deadline for.
-  const double work_units = CostModel::WorkUnits(dataset->Stats(), *spec);
+  // The predicted cost is divided by the dataset's counting fan-out:
+  // sharded scans finish ~fanout× sooner, and Observe() below feeds the
+  // same scaled units back, so ns_per_unit calibrates consistently.
+  const double work_units =
+      CostModel::WorkUnits(dataset->Stats(), *spec) /
+      static_cast<double>(std::max<size_t>(1, dataset->shard_fanout()));
   const AdmissionDecision decision =
       admission_.Decide(work_units, pool_->QueueDepth());
   if (!decision.admit) {
@@ -585,6 +628,12 @@ HttpResponse QueryServer::HandleEvict(const std::string& id) {
   if (!registry_.Remove(id)) {
     return ErrorResponse(Status::NotFound("unknown dataset \"" + id + "\""));
   }
+  // Best-effort shard unload: a failure only leaves a worker holding a
+  // slice no query can reach any more (ids are never reused), so it must
+  // not turn a completed eviction into an error.
+  for (const auto& worker : shard_workers_) {
+    (void)worker->DropShard(id);
+  }
   HttpResponse response;
   response.status = 204;
   return response;
@@ -592,26 +641,24 @@ HttpResponse QueryServer::HandleEvict(const std::string& id) {
 
 HttpResponse QueryServer::HandleStats() {
   const Counters counters = this->counters();
-  json::Value body;
-  json::Value queries;
-  queries.Set("admitted", counters.queries_admitted);
-  queries.Set("shed_predicted", counters.queries_shed_predicted);
-  queries.Set("shed_queue", counters.queries_shed_queue);
-  queries.Set("cancelled", counters.queries_cancelled);
-  queries.Set("completed", counters.queries_completed);
-  body.Set("queries", std::move(queries));
-  json::Value connections;
-  connections.Set("accepted", counters.connections);
-  connections.Set("shed", counters.connections_shed);
-  body.Set("connections", std::move(connections));
-  json::Value admission;
-  admission.Set("slo_ms", options_.admission.slo_ms);
-  admission.Set("max_queue_depth", options_.admission.max_queue_depth);
-  admission.Set("queue_depth", pool_ != nullptr ? pool_->QueueDepth() : 0);
-  admission.Set("ns_per_unit", admission_.model().ns_per_unit());
-  admission.Set("recent_query_ms", admission_.model().recent_query_ms());
-  body.Set("admission", std::move(admission));
-  return JsonResponse(200, body);
+  StatsSnapshot stats;
+  stats.queries_admitted = counters.queries_admitted;
+  stats.queries_shed_predicted = counters.queries_shed_predicted;
+  stats.queries_shed_queue = counters.queries_shed_queue;
+  stats.queries_cancelled = counters.queries_cancelled;
+  stats.queries_completed = counters.queries_completed;
+  stats.connections = counters.connections;
+  stats.connections_shed = counters.connections_shed;
+  stats.slo_ms = options_.admission.slo_ms;
+  stats.max_queue_depth = options_.admission.max_queue_depth;
+  stats.queue_depth = pool_ != nullptr ? pool_->QueueDepth() : 0;
+  stats.ns_per_unit = admission_.model().ns_per_unit();
+  stats.recent_query_ms = admission_.model().recent_query_ms();
+  stats.shard_workers = shard_workers_.size();
+  stats.shard_fanout = shard_workers_.empty()
+                           ? static_cast<uint64_t>(NumShards())
+                           : shard_workers_.size();
+  return JsonResponse(200, StatsToJson(stats));
 }
 
 HttpResponse QueryServer::HandleHealth() {

@@ -60,6 +60,7 @@
 #include "common/net.h"
 #include "common/thread_pool.h"
 #include "server/admission.h"
+#include "shard/remote.h"
 #include "server/dataset_registry.h"
 #include "server/http.h"
 #include "store/state_store.h"
@@ -91,6 +92,15 @@ struct ServerOptions {
   /// the bounded accept queue. Defaults keep both off — the
   /// pre-existing unbounded behavior.
   AdmissionOptions admission;
+  /// Shard-worker addresses ("host:port" or bare "port"), one per
+  /// shard. Non-empty turns the server into a scatter-gather
+  /// coordinator: every registered dataset is partitioned into
+  /// |shard_workers| slices shipped to the privbasis_shardd processes,
+  /// and queries count through them (shard/remote.h). Start() fails if
+  /// any worker is unreachable. Results are bit-identical to serving
+  /// locally; a worker dying mid-query fails that query fail-closed
+  /// (full ε charge), never a partial count.
+  std::vector<std::string> shard_workers;
 };
 
 class QueryServer {
@@ -159,6 +169,14 @@ class QueryServer {
   /// the routing table without a live connection if needed.
   HttpResponse Route(const HttpRequest& request);
 
+  /// Coordinator attach hook: partitions `dataset` into one slice per
+  /// worker, ships the slices (LoadShard), and attaches a
+  /// RemoteShardExecutor so its queries count through the fleet. A
+  /// failure fails the registration — a dataset must not serve locally
+  /// when the operator asked for process separation.
+  Status ShardToWorkers(const std::string& id,
+                        const std::shared_ptr<Dataset>& dataset);
+
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleRegisterDataset(const HttpRequest& request);
   HttpResponse HandleBudget(const std::string& id);
@@ -169,6 +187,8 @@ class QueryServer {
   ServerOptions options_;
   AdmissionController admission_;
   DatasetRegistry registry_;
+  /// One persistent client per shard worker (empty = not a coordinator).
+  std::vector<std::shared_ptr<ShardWorkerClient>> shard_workers_;
   net::Fd listen_fd_;
   uint16_t port_ = 0;
   std::unique_ptr<ThreadPool> pool_;

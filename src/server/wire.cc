@@ -373,6 +373,100 @@ json::Value StatusToJson(const Status& status) {
   return v;
 }
 
+json::Value StatsToJson(const StatsSnapshot& stats) {
+  json::Value body;
+  json::Value queries;
+  queries.Set("admitted", stats.queries_admitted);
+  queries.Set("shed_predicted", stats.queries_shed_predicted);
+  queries.Set("shed_queue", stats.queries_shed_queue);
+  queries.Set("cancelled", stats.queries_cancelled);
+  queries.Set("completed", stats.queries_completed);
+  body.Set("queries", std::move(queries));
+  json::Value connections;
+  connections.Set("accepted", stats.connections);
+  connections.Set("shed", stats.connections_shed);
+  body.Set("connections", std::move(connections));
+  json::Value admission;
+  admission.Set("slo_ms", stats.slo_ms);
+  admission.Set("max_queue_depth", stats.max_queue_depth);
+  admission.Set("queue_depth", stats.queue_depth);
+  admission.Set("ns_per_unit", stats.ns_per_unit);
+  admission.Set("recent_query_ms", stats.recent_query_ms);
+  body.Set("admission", std::move(admission));
+  json::Value shards;
+  shards.Set("workers", stats.shard_workers);
+  shards.Set("fanout", stats.shard_fanout);
+  body.Set("shards", std::move(shards));
+  return body;
+}
+
+Result<StatsSnapshot> StatsFromJson(const json::Value& value) {
+  StatsSnapshot stats;
+  PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* obj,
+                             value.GetObject());
+  PRIVBASIS_RETURN_NOT_OK(CheckKeys(
+      *obj, {"queries", "connections", "admission", "shards"}, "stats"));
+  if (const json::Value* queries = value.Find("queries")) {
+    PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* q,
+                               queries->GetObject());
+    PRIVBASIS_RETURN_NOT_OK(CheckKeys(
+        *q, {"admitted", "shed_predicted", "shed_queue", "cancelled",
+             "completed"},
+        "stats query"));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*queries, "admitted", &stats.queries_admitted));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*queries, "shed_predicted", &stats.queries_shed_predicted));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*queries, "shed_queue", &stats.queries_shed_queue));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*queries, "cancelled", &stats.queries_cancelled));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*queries, "completed", &stats.queries_completed));
+  }
+  if (const json::Value* connections = value.Find("connections")) {
+    PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* c,
+                               connections->GetObject());
+    PRIVBASIS_RETURN_NOT_OK(
+        CheckKeys(*c, {"accepted", "shed"}, "stats connection"));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*connections, "accepted", &stats.connections));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*connections, "shed", &stats.connections_shed));
+  }
+  if (const json::Value* admission = value.Find("admission")) {
+    PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* a,
+                               admission->GetObject());
+    PRIVBASIS_RETURN_NOT_OK(CheckKeys(
+        *a,
+        {"slo_ms", "max_queue_depth", "queue_depth", "ns_per_unit",
+         "recent_query_ms"},
+        "stats admission"));
+    uint64_t slo_ms = 0;
+    PRIVBASIS_RETURN_NOT_OK(ReadUint(*admission, "slo_ms", &slo_ms));
+    stats.slo_ms = static_cast<int64_t>(slo_ms);
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*admission, "max_queue_depth", &stats.max_queue_depth));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*admission, "queue_depth", &stats.queue_depth));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadDouble(*admission, "ns_per_unit", &stats.ns_per_unit));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadDouble(*admission, "recent_query_ms", &stats.recent_query_ms));
+  }
+  if (const json::Value* shards = value.Find("shards")) {
+    PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* s,
+                               shards->GetObject());
+    PRIVBASIS_RETURN_NOT_OK(
+        CheckKeys(*s, {"workers", "fanout"}, "stats shard"));
+    PRIVBASIS_RETURN_NOT_OK(ReadUint(*shards, "workers",
+                                     &stats.shard_workers));
+    PRIVBASIS_RETURN_NOT_OK(ReadUint(*shards, "fanout",
+                                     &stats.shard_fanout));
+  }
+  return stats;
+}
+
 int HttpStatusForCode(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:

@@ -61,6 +61,38 @@ Result<Release> ReleaseFromJson(const json::Value& value);
 /// every non-2xx response.
 json::Value StatusToJson(const Status& status);
 
+/// The GET /v1/stats payload as a plain struct, so the wire form is
+/// golden-testable (tests/wire_test.cc) without a live server — the
+/// server fills one from its counters and serializes it here.
+struct StatsSnapshot {
+  // Query admission breakdown.
+  uint64_t queries_admitted = 0;
+  uint64_t queries_shed_predicted = 0;
+  uint64_t queries_shed_queue = 0;
+  uint64_t queries_cancelled = 0;
+  uint64_t queries_completed = 0;
+  // Connection handling.
+  uint64_t connections = 0;
+  uint64_t connections_shed = 0;
+  // Admission configuration + live cost-model calibration.
+  int64_t slo_ms = 0;
+  uint64_t max_queue_depth = 0;
+  uint64_t queue_depth = 0;
+  double ns_per_unit = 0.0;
+  double recent_query_ms = 0.0;
+  // Sharded execution topology: remote worker count (0 = none
+  // configured) and the default counting fan-out new datasets get.
+  uint64_t shard_workers = 0;
+  uint64_t shard_fanout = 1;
+};
+
+/// Serializes the snapshot in fixed member order (the /v1/stats body).
+json::Value StatsToJson(const StatsSnapshot& stats);
+
+/// Parses StatsToJson output. Strict: unknown keys are rejected, so a
+/// client built against this schema notices a server that grew fields.
+Result<StatsSnapshot> StatsFromJson(const json::Value& value);
+
 /// Rejects members of `obj` whose key is not in `allowed` — the strict
 /// half of the wire contract, shared by every JSON-accepting endpoint
 /// (a typoed "budget" must 400, not silently register an unlimited

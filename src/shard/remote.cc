@@ -1,0 +1,309 @@
+#include "shard/remote.h"
+
+#include <charconv>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace privbasis {
+
+namespace {
+
+/// Default wall bound for counting ops with no caller deadline, and for
+/// control ops (load/drop): generous, but a dead worker must not hold a
+/// query thread forever.
+constexpr int64_t kDefaultCallMs = 120'000;
+/// Transport slack on top of the propagated op deadline: the worker
+/// should time the op out first (kCancelled), the transport second.
+constexpr int64_t kTransportSlackMs = 2'000;
+
+Status Unavailable(const WorkerAddr& addr, const Status& cause) {
+  return Status::Unavailable("shard worker " + addr.host + ":" +
+                             std::to_string(addr.port) + ": " +
+                             cause.ToString());
+}
+
+}  // namespace
+
+Result<WorkerAddr> ParseWorkerAddr(const std::string& spec) {
+  WorkerAddr addr;
+  const size_t colon = spec.rfind(':');
+  std::string port_part;
+  if (colon == std::string::npos) {
+    addr.host = "127.0.0.1";
+    port_part = spec;
+  } else {
+    addr.host = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  if (addr.host.empty()) addr.host = "127.0.0.1";
+  uint32_t port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_part.data(), port_part.data() + port_part.size(), port);
+  if (ec != std::errc{} || ptr != port_part.data() + port_part.size() ||
+      port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad shard worker address '" + spec +
+                                   "' (want host:port)");
+  }
+  addr.port = static_cast<uint16_t>(port);
+  return addr;
+}
+
+Result<shardwire::Frame> ShardWorkerClient::Call(shardwire::FrameType type,
+                                                 std::string payload,
+                                                 net::Deadline deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!conn_.valid()) {
+    Result<net::Fd> conn = net::ConnectTcp(addr_.host, addr_.port, deadline);
+    if (!conn.ok()) return Unavailable(addr_, conn.status());
+    conn_ = std::move(conn).value();
+  }
+  Status written = shardwire::WriteFrame(conn_, type, payload, deadline);
+  if (!written.ok()) {
+    conn_.Close();
+    return Unavailable(addr_, written);
+  }
+  Result<shardwire::Frame> response = shardwire::ReadFrame(conn_, deadline);
+  if (!response.ok()) {
+    conn_.Close();
+    return Unavailable(addr_, response.status());
+  }
+  if (response->type == shardwire::FrameType::kError) {
+    // The worker's own verdict (kCancelled, kNotFound, ...) — the
+    // connection stays healthy.
+    return shardwire::DecodeError(response->payload);
+  }
+  if (response->type != shardwire::FrameType::kOk) {
+    conn_.Close();
+    return Unavailable(addr_,
+                       Status::Internal("unexpected response frame type"));
+  }
+  return response;
+}
+
+Result<uint32_t> ShardWorkerClient::DeadlineMsFor(
+    const CancelToken* cancel) const {
+  if (cancel == nullptr || !cancel->has_deadline()) return uint32_t{0};
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      cancel->deadline() - std::chrono::steady_clock::now());
+  if (remaining.count() <= 0) {
+    return Status::Cancelled("query deadline expired before shard fan-out");
+  }
+  return static_cast<uint32_t>(std::min<int64_t>(
+      remaining.count(), std::numeric_limits<uint32_t>::max()));
+}
+
+Status ShardWorkerClient::Ping(int64_t timeout_ms) {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      shardwire::Frame response,
+      Call(shardwire::FrameType::kPing, std::string(),
+           net::DeadlineAfterMs(timeout_ms)));
+  (void)response;
+  return Status::OK();
+}
+
+Status ShardWorkerClient::LoadShard(const std::string& dataset_id,
+                                    const TransactionDatabase& shard) {
+  shardwire::Writer w;
+  w.PutString(dataset_id);
+  w.PutString(shardwire::EncodeDatabase(shard));
+  return Call(shardwire::FrameType::kLoadShard, std::move(w).Take(),
+              net::DeadlineAfterMs(kDefaultCallMs))
+      .status();
+}
+
+Status ShardWorkerClient::DropShard(const std::string& dataset_id) {
+  shardwire::Writer w;
+  w.PutString(dataset_id);
+  return Call(shardwire::FrameType::kDropShard, std::move(w).Take(),
+              net::DeadlineAfterMs(kDefaultCallMs))
+      .status();
+}
+
+Result<std::vector<uint64_t>> ShardWorkerClient::ItemSupports(
+    const std::string& dataset_id, const CancelToken* cancel) {
+  PRIVBASIS_ASSIGN_OR_RETURN(uint32_t deadline_ms, DeadlineMsFor(cancel));
+  shardwire::Writer w;
+  w.PutString(dataset_id);
+  w.PutU32(deadline_ms);
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      shardwire::Frame response,
+      Call(shardwire::FrameType::kItemSupports, std::move(w).Take(),
+           net::DeadlineAfterMs(deadline_ms > 0
+                                    ? deadline_ms + kTransportSlackMs
+                                    : kDefaultCallMs)));
+  shardwire::Reader r(response.payload);
+  PRIVBASIS_ASSIGN_OR_RETURN(std::vector<uint64_t> counts, r.GetU64Vec());
+  PRIVBASIS_RETURN_NOT_OK(r.ExpectEnd());
+  return counts;
+}
+
+Result<std::vector<uint64_t>> ShardWorkerClient::PairSupports(
+    const std::string& dataset_id, const std::vector<Item>& items,
+    const CancelToken* cancel) {
+  PRIVBASIS_ASSIGN_OR_RETURN(uint32_t deadline_ms, DeadlineMsFor(cancel));
+  shardwire::Writer w;
+  w.PutString(dataset_id);
+  w.PutU32(deadline_ms);
+  w.PutU32Vec(items);
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      shardwire::Frame response,
+      Call(shardwire::FrameType::kPairSupports, std::move(w).Take(),
+           net::DeadlineAfterMs(deadline_ms > 0
+                                    ? deadline_ms + kTransportSlackMs
+                                    : kDefaultCallMs)));
+  shardwire::Reader r(response.payload);
+  PRIVBASIS_ASSIGN_OR_RETURN(std::vector<uint64_t> counts, r.GetU64Vec());
+  PRIVBASIS_RETURN_NOT_OK(r.ExpectEnd());
+  return counts;
+}
+
+Result<std::vector<std::vector<uint64_t>>> ShardWorkerClient::BasisBins(
+    const std::string& dataset_id, const BasisSet& basis_set,
+    const CancelToken* cancel) {
+  PRIVBASIS_ASSIGN_OR_RETURN(uint32_t deadline_ms, DeadlineMsFor(cancel));
+  shardwire::Writer w;
+  w.PutString(dataset_id);
+  w.PutU32(deadline_ms);
+  std::string payload = std::move(w).Take();
+  payload += shardwire::EncodeBasisSet(basis_set);
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      shardwire::Frame response,
+      Call(shardwire::FrameType::kBasisBins, std::move(payload),
+           net::DeadlineAfterMs(deadline_ms > 0
+                                    ? deadline_ms + kTransportSlackMs
+                                    : kDefaultCallMs)));
+  return shardwire::DecodeU64Vecs(response.payload);
+}
+
+Result<std::vector<uint64_t>> ShardWorkerClient::SupportOfMany(
+    const std::string& dataset_id, std::span<const Itemset> queries,
+    const CancelToken* cancel) {
+  PRIVBASIS_ASSIGN_OR_RETURN(uint32_t deadline_ms, DeadlineMsFor(cancel));
+  shardwire::Writer w;
+  w.PutString(dataset_id);
+  w.PutU32(deadline_ms);
+  std::string payload = std::move(w).Take();
+  payload += shardwire::EncodeItemsets(queries);
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      shardwire::Frame response,
+      Call(shardwire::FrameType::kSupportOfMany, std::move(payload),
+           net::DeadlineAfterMs(deadline_ms > 0
+                                    ? deadline_ms + kTransportSlackMs
+                                    : kDefaultCallMs)));
+  shardwire::Reader r(response.payload);
+  PRIVBASIS_ASSIGN_OR_RETURN(std::vector<uint64_t> counts, r.GetU64Vec());
+  PRIVBASIS_RETURN_NOT_OK(r.ExpectEnd());
+  return counts;
+}
+
+namespace {
+
+/// Fans `fn(worker_index)` across all workers on the global pool and
+/// returns per-worker results in worker order, or the first failure in
+/// worker order (deterministic regardless of completion order).
+template <typename T>
+Result<std::vector<T>> ScatterToWorkers(
+    size_t num_workers, const std::function<Result<T>(size_t)>& fn) {
+  if (num_workers == 0) {
+    return Status::Internal("remote shard executor has no workers");
+  }
+  std::vector<std::optional<Result<T>>> slots(num_workers);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    tasks.push_back([&, i] { slots[i].emplace(fn(i)); });
+  }
+  ThreadPool::Global().RunAll(tasks, num_workers);
+  std::vector<T> out;
+  out.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    if (!slots[i]->ok()) return slots[i]->status();
+    out.push_back(std::move(*slots[i]).value());
+  }
+  return out;
+}
+
+Status MergeInto(std::vector<uint64_t>* acc,
+                 const std::vector<uint64_t>& delta) {
+  if (acc->size() != delta.size()) {
+    return Status::Unavailable(
+        "shard worker partial size mismatch: " + std::to_string(acc->size()) +
+        " vs " + std::to_string(delta.size()));
+  }
+  for (size_t i = 0; i < delta.size(); ++i) (*acc)[i] += delta[i];
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<uint64_t>>> RemoteShardExecutor::BasisBinCounts(
+    const BasisSet& basis_set, const CancelToken* cancel) const {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<std::vector<uint64_t>>> partials,
+      (ScatterToWorkers<std::vector<std::vector<uint64_t>>>(
+          workers_.size(), [&](size_t i) {
+            return workers_[i]->BasisBins(dataset_id_, basis_set, cancel);
+          })));
+  std::vector<std::vector<uint64_t>> merged = std::move(partials[0]);
+  for (size_t i = 1; i < partials.size(); ++i) {
+    if (partials[i].size() != merged.size()) {
+      return Status::Unavailable("shard worker bin width mismatch");
+    }
+    for (size_t b = 0; b < merged.size(); ++b) {
+      PRIVBASIS_RETURN_NOT_OK(MergeInto(&merged[b], partials[i][b]));
+    }
+  }
+  return merged;
+}
+
+Result<std::vector<uint64_t>> RemoteShardExecutor::PairSupports(
+    const std::vector<Item>& items, const CancelToken* cancel) const {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint64_t>> partials,
+      (ScatterToWorkers<std::vector<uint64_t>>(
+          workers_.size(), [&](size_t i) {
+            return workers_[i]->PairSupports(dataset_id_, items, cancel);
+          })));
+  std::vector<uint64_t> merged = std::move(partials[0]);
+  for (size_t i = 1; i < partials.size(); ++i) {
+    PRIVBASIS_RETURN_NOT_OK(MergeInto(&merged, partials[i]));
+  }
+  return merged;
+}
+
+Result<std::vector<uint64_t>> RemoteShardExecutor::SupportOfMany(
+    std::span<const Itemset> queries, const CancelToken* cancel) const {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint64_t>> partials,
+      (ScatterToWorkers<std::vector<uint64_t>>(
+          workers_.size(), [&](size_t i) {
+            return workers_[i]->SupportOfMany(dataset_id_, queries, cancel);
+          })));
+  std::vector<uint64_t> merged = std::move(partials[0]);
+  for (size_t i = 1; i < partials.size(); ++i) {
+    PRIVBASIS_RETURN_NOT_OK(MergeInto(&merged, partials[i]));
+  }
+  return merged;
+}
+
+Result<std::vector<uint64_t>> RemoteShardExecutor::ItemSupports(
+    const CancelToken* cancel) const {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint64_t>> partials,
+      (ScatterToWorkers<std::vector<uint64_t>>(
+          workers_.size(), [&](size_t i) {
+            return workers_[i]->ItemSupports(dataset_id_, cancel);
+          })));
+  std::vector<uint64_t> merged = std::move(partials[0]);
+  for (size_t i = 1; i < partials.size(); ++i) {
+    PRIVBASIS_RETURN_NOT_OK(MergeInto(&merged, partials[i]));
+  }
+  return merged;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,131 @@
+#include "shard/shard_exec.h"
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/basis_freq.h"
+#include "core/privbasis.h"
+
+namespace privbasis {
+
+namespace {
+
+/// Scatters `fn(shard_index)` across all shards on the global pool and
+/// returns the per-shard results in shard order, or the first error in
+/// shard order (deterministic regardless of completion order).
+template <typename T>
+Result<std::vector<T>> ScatterGather(
+    size_t num_shards, size_t parallelism,
+    const std::function<Result<T>(size_t)>& fn) {
+  std::vector<std::optional<Result<T>>> slots(num_shards);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    tasks.push_back([&, s] { slots[s].emplace(fn(s)); });
+  }
+  ThreadPool::Global().RunAll(tasks, parallelism);
+  std::vector<T> out;
+  out.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!slots[s]->ok()) return slots[s]->status();
+    out.push_back(std::move(*slots[s]).value());
+  }
+  return out;
+}
+
+/// partial[i] += delta[i], failing on shape mismatch (a merge across
+/// shards of the same database can only mismatch through a bug).
+Status AccumulateInto(std::vector<uint64_t>* acc,
+                      const std::vector<uint64_t>& delta) {
+  if (acc->size() != delta.size()) {
+    return Status::Internal("shard partial size mismatch: " +
+                            std::to_string(acc->size()) + " vs " +
+                            std::to_string(delta.size()));
+  }
+  for (size_t i = 0; i < delta.size(); ++i) (*acc)[i] += delta[i];
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<uint64_t>>> LocalShardExecutor::BasisBinCounts(
+    const BasisSet& basis_set, const CancelToken* cancel) const {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<std::vector<uint64_t>>> partials,
+      (ScatterGather<std::vector<std::vector<uint64_t>>>(
+          shards_->NumShards(), num_threads_, [&](size_t s) {
+            return CountBasisBins(shards_->shard(s), basis_set, num_threads_,
+                                  cancel);
+          })));
+  std::vector<std::vector<uint64_t>> merged = std::move(partials[0]);
+  for (size_t s = 1; s < partials.size(); ++s) {
+    if (partials[s].size() != merged.size()) {
+      return Status::Internal("shard bin width mismatch");
+    }
+    for (size_t i = 0; i < merged.size(); ++i) {
+      PRIVBASIS_RETURN_NOT_OK(AccumulateInto(&merged[i], partials[s][i]));
+    }
+  }
+  return merged;
+}
+
+Result<std::vector<uint64_t>> LocalShardExecutor::PairSupports(
+    const std::vector<Item>& items, const CancelToken* cancel) const {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint64_t>> partials,
+      (ScatterGather<std::vector<uint64_t>>(
+          shards_->NumShards(), num_threads_,
+          [&](size_t s) -> Result<std::vector<uint64_t>> {
+            std::vector<uint64_t> counts =
+                CountPairSupports(shards_->shard(s), items, cancel);
+            if (IsCancelled(cancel)) {
+              return Status::Cancelled("pair counting cancelled mid-scan");
+            }
+            return counts;
+          })));
+  std::vector<uint64_t> merged = std::move(partials[0]);
+  for (size_t s = 1; s < partials.size(); ++s) {
+    PRIVBASIS_RETURN_NOT_OK(AccumulateInto(&merged, partials[s]));
+  }
+  return merged;
+}
+
+Result<std::vector<uint64_t>> LocalShardExecutor::SupportOfMany(
+    std::span<const Itemset> queries, const CancelToken* cancel) const {
+  PRIVBASIS_ASSIGN_OR_RETURN(
+      std::vector<std::vector<uint64_t>> partials,
+      (ScatterGather<std::vector<uint64_t>>(
+          shards_->NumShards(), num_threads_,
+          [&](size_t s) -> Result<std::vector<uint64_t>> {
+            std::vector<uint64_t> counts =
+                shards_->Index(s).SupportOfMany(queries, num_threads_, cancel);
+            if (IsCancelled(cancel)) {
+              return Status::Cancelled("batch support cancelled mid-scan");
+            }
+            return counts;
+          })));
+  std::vector<uint64_t> merged = std::move(partials[0]);
+  for (size_t s = 1; s < partials.size(); ++s) {
+    PRIVBASIS_RETURN_NOT_OK(AccumulateInto(&merged, partials[s]));
+  }
+  return merged;
+}
+
+Result<std::vector<uint64_t>> LocalShardExecutor::ItemSupports(
+    const CancelToken* cancel) const {
+  // Per-slice item supports are memoized at Build time; merging them is
+  // pure arithmetic, so no fan-out is needed.
+  if (IsCancelled(cancel)) {
+    return Status::Cancelled("item supports cancelled");
+  }
+  std::vector<uint64_t> merged(shards_->UniverseSize(), 0);
+  for (size_t s = 0; s < shards_->NumShards(); ++s) {
+    PRIVBASIS_RETURN_NOT_OK(
+        AccumulateInto(&merged, shards_->shard(s).ItemSupports()));
+  }
+  return merged;
+}
+
+}  // namespace privbasis

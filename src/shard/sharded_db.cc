@@ -1,0 +1,50 @@
+#include "shard/sharded_db.h"
+
+#include <utility>
+
+namespace privbasis {
+
+Result<ShardedDatabase> ShardedDatabase::Create(const TransactionDatabase& db,
+                                                size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const size_t n = db.NumTransactions();
+  std::vector<TransactionDatabase> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t begin = n * s / num_shards;
+    const size_t end = n * (s + 1) / num_shards;
+    TransactionDatabase::Builder builder(db.UniverseSize());
+    for (size_t t = begin; t < end; ++t) {
+      const auto txn = db.Transaction(t);
+      builder.AddTransaction(std::vector<Item>(txn.begin(), txn.end()));
+    }
+    PRIVBASIS_ASSIGN_OR_RETURN(TransactionDatabase slice,
+                               std::move(builder).Build());
+    shards.push_back(std::move(slice));
+  }
+  return ShardedDatabase(std::move(shards), n, db.UniverseSize());
+}
+
+ShardedDatabase::ShardedDatabase(std::vector<TransactionDatabase> shards,
+                                 size_t num_transactions,
+                                 uint32_t universe_size)
+    : shards_(std::move(shards)),
+      num_transactions_(num_transactions),
+      universe_size_(universe_size) {
+  index_cells_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    index_cells_.push_back(std::make_unique<IndexCell>());
+  }
+}
+
+const VerticalIndex& ShardedDatabase::Index(size_t s) const {
+  IndexCell& cell = *index_cells_[s];
+  std::call_once(cell.once, [&] {
+    cell.index = std::make_unique<VerticalIndex>(shards_[s]);
+  });
+  return *cell.index;
+}
+
+}  // namespace privbasis

@@ -1,0 +1,97 @@
+// ShardWorker: the serving loop of a privbasis_shardd process.
+//
+// Holds shard slices pushed by the coordinator (kLoadShard), keyed by
+// dataset id, and answers exact counting requests over them. One accept
+// thread plus one thread per coordinator connection; every counting op
+// arms a CancelToken from the request's deadline_ms, so the
+// coordinator's remaining per-query budget bounds each shard scan.
+//
+// The worker is deliberately privacy-blind: it only ever computes exact
+// integer counts over its slice. All randomness, budget accounting, and
+// release assembly stay on the coordinator — a worker crash can
+// therefore never leak ε, only fail a query (which the coordinator
+// charges in full, fail closed).
+#ifndef PRIVBASIS_SHARD_WORKER_H_
+#define PRIVBASIS_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/net.h"
+#include "common/status.h"
+#include "data/transaction_db.h"
+#include "data/vertical_index.h"
+#include "shard/wire.h"
+
+namespace privbasis {
+
+struct ShardWorkerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port — read it back with port().
+  uint16_t port = 0;
+  /// Scan parallelism per op; 0 = the PRIVBASIS_THREADS env knob.
+  size_t num_threads = 0;
+};
+
+class ShardWorker {
+ public:
+  /// Binds and spawns the accept thread. The returned worker serves
+  /// until Stop() (or destruction).
+  static Result<std::unique_ptr<ShardWorker>> Start(
+      const ShardWorkerOptions& options);
+
+  ~ShardWorker();
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, tears down live connections (in-flight ops fail
+  /// on their response write) and joins all threads. Idempotent.
+  void Stop();
+
+  /// Number of loaded shard slices (tests).
+  size_t NumLoadedShards() const;
+
+ private:
+  struct LoadedShard {
+    explicit LoadedShard(TransactionDatabase database)
+        : db(std::move(database)) {}
+    TransactionDatabase db;
+    std::once_flag index_once;
+    std::unique_ptr<VerticalIndex> index;
+    const VerticalIndex& Index();
+  };
+
+  ShardWorker(const ShardWorkerOptions& options, net::Fd listen_fd,
+              uint16_t port);
+
+  void AcceptLoop();
+  void HandleConnection(net::Fd conn);
+  /// Dispatches one request frame; returns the response frame to send.
+  shardwire::Frame HandleFrame(const shardwire::Frame& request);
+  Result<std::string> HandleOp(const shardwire::Frame& request);
+  Result<std::shared_ptr<LoadedShard>> FindShard(const std::string& id);
+
+  ShardWorkerOptions options_;
+  net::Fd listen_fd_;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<LoadedShard>> shards_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> live_conn_fds_;
+};
+
+}  // namespace privbasis
+
+#endif  // PRIVBASIS_SHARD_WORKER_H_

@@ -276,6 +276,71 @@ TEST(WireReleaseTest, RejectsMalformedItemsets) {
   }
 }
 
+// GET /v1/stats body: byte-exact golden plus a lossless round trip, so
+// monitoring clients can parse the schema without a live server.
+TEST(WireStatsTest, GoldenRoundTrip) {
+  StatsSnapshot stats;
+  stats.queries_admitted = 10;
+  stats.queries_shed_predicted = 2;
+  stats.queries_shed_queue = 1;
+  stats.queries_cancelled = 3;
+  stats.queries_completed = 7;
+  stats.connections = 20;
+  stats.connections_shed = 4;
+  stats.slo_ms = 250;
+  stats.max_queue_depth = 16;
+  stats.queue_depth = 5;
+  stats.ns_per_unit = 57.25;
+  stats.recent_query_ms = 3.5;
+  stats.shard_workers = 2;
+  stats.shard_fanout = 2;
+
+  const std::string golden =
+      "{\"queries\":{\"admitted\":10,\"shed_predicted\":2,"
+      "\"shed_queue\":1,\"cancelled\":3,\"completed\":7},"
+      "\"connections\":{\"accepted\":20,\"shed\":4},"
+      "\"admission\":{\"slo_ms\":250,\"max_queue_depth\":16,"
+      "\"queue_depth\":5,\"ns_per_unit\":57.25,"
+      "\"recent_query_ms\":3.5},"
+      "\"shards\":{\"workers\":2,\"fanout\":2}}";
+  EXPECT_EQ(StatsToJson(stats).Dump(), golden);
+
+  auto parsed = json::Parse(golden);
+  ASSERT_TRUE(parsed.ok());
+  auto back = StatsFromJson(*parsed);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->queries_admitted, 10u);
+  EXPECT_EQ(back->queries_shed_predicted, 2u);
+  EXPECT_EQ(back->queries_shed_queue, 1u);
+  EXPECT_EQ(back->queries_cancelled, 3u);
+  EXPECT_EQ(back->queries_completed, 7u);
+  EXPECT_EQ(back->connections, 20u);
+  EXPECT_EQ(back->connections_shed, 4u);
+  EXPECT_EQ(back->slo_ms, 250);
+  EXPECT_EQ(back->max_queue_depth, 16u);
+  EXPECT_EQ(back->queue_depth, 5u);
+  EXPECT_EQ(back->ns_per_unit, 57.25);
+  EXPECT_EQ(back->recent_query_ms, 3.5);
+  EXPECT_EQ(back->shard_workers, 2u);
+  EXPECT_EQ(back->shard_fanout, 2u);
+  // Re-serialization is the identical byte string.
+  EXPECT_EQ(StatsToJson(*back).Dump(), golden);
+}
+
+TEST(WireStatsTest, RejectsUnknownKeys) {
+  for (const char* text : {
+           "{\"extra\":1}",
+           "{\"queries\":{\"admited\":1}}",    // typo
+           "{\"admission\":{\"slo\":250}}",    // wrong key
+           "{\"shards\":{\"workers\":1,\"fanout\":1,\"extra\":2}}",
+           "{\"shards\":[1,2]}",               // wrong type
+       }) {
+    auto parsed = json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_FALSE(StatsFromJson(*parsed).ok()) << text;
+  }
+}
+
 TEST(WireStatusTest, ErrorBodyAndHttpMapping) {
   const Status status = Status::BudgetExhausted("0.2 remaining");
   EXPECT_EQ(StatusToJson(status).Dump(),

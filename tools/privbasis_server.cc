@@ -50,6 +50,7 @@ void PrintUsage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--threads N]\n"
       "          [--deadline-ms MS] [--max-body BYTES]\n"
       "          [--slo-ms MS] [--max-queue N]\n"
+      "          [--shard-workers H1:P1,H2:P2,...]\n"
       "          [--allow-path-datasets on|off]\n"
       "          [--state-dir DIR] [--fsync always|commit|never]\n"
       "          [--preload PROFILE | --preload-input FILE]\n"
@@ -67,6 +68,13 @@ void PrintUsage(const char* argv0) {
       "  --max-queue N      bounded worker queue: shed new arrivals once\n"
       "                     N connections are already queued (503 +\n"
       "                     Retry-After; default 0 = unbounded)\n"
+      "  --shard-workers L  comma-separated privbasis_shardd addresses\n"
+      "                     (host:port or bare port). Turns this server\n"
+      "                     into a scatter-gather coordinator: datasets\n"
+      "                     are partitioned across the workers and every\n"
+      "                     query counts through them. Results are\n"
+      "                     bit-identical to serving locally; a dead\n"
+      "                     worker fails queries closed (full ε charge)\n"
       "  --allow-path-datasets on|off\n"
       "                     accept {\"path\": ...} registrations over\n"
       "                     HTTP (default off; preloads are unaffected)\n"
@@ -114,6 +122,22 @@ std::optional<ServerCliOptions> ParseArgs(int argc, char** argv) {
     } else if (flag == "--max-queue") {
       options.server.admission.max_queue_depth =
           static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--shard-workers") {
+      std::string list = value;
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const std::string spec =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!spec.empty()) options.server.shard_workers.push_back(spec);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (options.server.shard_workers.empty()) {
+        std::fprintf(stderr, "--shard-workers needs at least one address\n");
+        return std::nullopt;
+      }
     } else if (flag == "--allow-path-datasets") {
       // Value-taking like every other flag: "on"/"off".
       options.server.registry_limits.allow_paths =

@@ -1,0 +1,98 @@
+// privbasis_shardd: a shard-worker process for sharded scatter-gather
+// execution (src/shard).
+//
+//   privbasis_shardd --port 9101
+//   privbasis_shardd --host 127.0.0.1 --port 0 --threads 4
+//
+// Holds shard slices pushed by a privbasis_server coordinator running
+// with --shard-workers, and answers exact counting requests over the
+// length-prefixed shard wire protocol (shard/wire.h). The worker is
+// privacy-blind: no randomness, no budget — killing it can fail a
+// query (which the coordinator charges in full, fail closed) but never
+// leak ε.
+//
+// Prints one "listening HOST:PORT" line to stdout, then serves until
+// SIGINT/SIGTERM. Exit codes: 0 clean shutdown, 1 startup failure,
+// 2 bad usage. PRIVBASIS_FAILPOINTS arms fault-injection sites
+// ("shard_worker_op") for the kill-mid-query harness.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <optional>
+#include <string>
+
+#include "shard/worker.h"
+
+namespace privbasis {
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--threads N]\n"
+               "\n"
+               "  --host H     bind address (default 127.0.0.1)\n"
+               "  --port P     port; 0 picks an ephemeral one (default 0)\n"
+               "  --threads N  scan parallelism (default: PRIVBASIS_THREADS)\n",
+               argv0);
+}
+
+std::optional<ShardWorkerOptions> ParseArgs(int argc, char** argv) {
+  ShardWorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return std::nullopt;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return std::nullopt;
+    }
+    const char* value = argv[++i];
+    if (flag == "--host") {
+      options.host = value;
+    } else if (flag == "--port") {
+      options.port = static_cast<uint16_t>(std::atoi(value));
+    } else if (flag == "--threads") {
+      options.num_threads =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+void HandleSignal(int) { g_shutdown = 1; }
+
+int RunWorker(const ShardWorkerOptions& options) {
+  auto worker = ShardWorker::Start(options);
+  if (!worker.ok()) {
+    std::fprintf(stderr, "start: %s\n", worker.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("listening %s:%u\n", options.host.c_str(), (*worker)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    timespec ts{0, 100'000'000};  // 100 ms
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("shutting down\n");
+  (*worker)->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace privbasis
+
+int main(int argc, char** argv) {
+  auto options = privbasis::ParseArgs(argc, argv);
+  if (!options.has_value()) {
+    privbasis::PrintUsage(argv[0]);
+    return 2;
+  }
+  return privbasis::RunWorker(*options);
+}

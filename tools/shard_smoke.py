@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Coordinator + shard-worker smoke for sharded scatter-gather execution.
+
+Boots two privbasis_shardd workers and a privbasis_server coordinator
+running with --shard-workers, plus a plain single-process reference
+server, and checks the distributed guarantees end to end over real
+sockets. Exit 0 on pass, 1 on the first violated guarantee:
+
+  * registration ships shard slices to the fleet, and a query served
+    through the coordinator is byte-identical to the unsharded
+    reference server at the same seed (exact counting consumes no RNG,
+    so fan-out must not perturb the release);
+  * same seed through the fleet twice => identical release;
+  * /v1/stats reports the fleet (shards.workers == shards.fanout == 2);
+  * kill -9 of one worker mid-query (its scan parked on the
+    shard_worker_op failpoint) fails the query with a 5xx and charges
+    the FULL reservation — a dead worker never under-charges ε and
+    never yields a partial release;
+  * with the worker still dead, the next query is refused up front,
+    again at full charge (fail closed, no partial counting).
+
+    tools/shard_smoke.py --server-bin build/privbasis_server \
+        --worker-bin build/privbasis_shardd
+
+stdlib only; reuses the HTTP helpers from privbasis_client.py.
+"""
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from privbasis_client import ServerError, call, wait_ready  # noqa: E402
+
+# How long a parked worker scan sleeps (failpoint), and how long the
+# harness waits before kill -9: the kill must land while the query is
+# inside the fan-out, not before it reaches the worker.
+PARK_MS = 2000
+KILL_AFTER_S = 0.7
+
+
+class Child:
+    """A child process whose startup line announces its address."""
+
+    def __init__(self, argv, log_path, pattern, env=None):
+        self.log_path = log_path
+        self.log = open(log_path, "w+")
+        self.proc = subprocess.Popen(argv, stdout=self.log,
+                                     stderr=subprocess.STDOUT,
+                                     env=env, text=True)
+        deadline = time.monotonic() + 30
+        self.addr = None
+        while time.monotonic() < deadline and self.addr is None:
+            time.sleep(0.05)
+            with open(log_path) as probe:
+                match = re.search(pattern, probe.read())
+                if match:
+                    self.addr = match.group(1)
+        if self.addr is None:
+            self.proc.kill()
+            raise SystemExit(f"{argv[0]} never printed its listen address "
+                             f"(see {log_path})")
+
+    def kill9(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+        self.log.close()
+
+
+def start_worker(binary, log_path, failpoints=None):
+    env = dict(os.environ)
+    env.pop("PRIVBASIS_FAILPOINTS", None)
+    if failpoints:
+        env["PRIVBASIS_FAILPOINTS"] = failpoints
+    return Child([binary, "--port", "0"], log_path,
+                 r"listening (\S+:\d+)", env=env)
+
+
+def start_server(binary, log_path, shard_workers=None):
+    argv = [binary, "--port", "0", "--threads", "4"]
+    if shard_workers:
+        argv += ["--shard-workers", ",".join(shard_workers)]
+    env = dict(os.environ)
+    env.pop("PRIVBASIS_FAILPOINTS", None)
+    return Child(argv, log_path, r"listening on (http://\S+)", env=env)
+
+
+def check(condition, what):
+    if not condition:
+        raise SystemExit(f"FAIL: {what}")
+    print(f"  ok: {what}")
+
+
+def register(url):
+    _, body = call(url, "POST", "/v1/datasets",
+                   {"profile": "mushroom", "scale": 0.1, "seed": 11,
+                    "budget": 4.0})
+    return body["dataset"]
+
+
+def query(url, ds, epsilon, seed):
+    _, body = call(url, "POST", "/v1/query",
+                   {"dataset": ds, "k": 20, "epsilon": epsilon,
+                    "seed": seed})
+    return body
+
+
+def read_spent(url, ds):
+    _, body = call(url, "GET", f"/v1/datasets/{ds}/budget")
+    return body["spent"]
+
+
+def run_happy_path(args, log_dir):
+    print("[shard_smoke] coordinator + 2 workers vs unsharded reference")
+    workers = [start_worker(args.worker_bin, f"{log_dir}/worker{i}.log")
+               for i in (1, 2)]
+    coord = start_server(args.server_bin, f"{log_dir}/coordinator.log",
+                         [w.addr for w in workers])
+    ref = start_server(args.server_bin, f"{log_dir}/reference.log")
+    try:
+        wait_ready(coord.addr)
+        wait_ready(ref.addr)
+        ds_coord = register(coord.addr)
+        ds_ref = register(ref.addr)
+
+        first = query(coord.addr, ds_coord, 0.5, seed=7)
+        again = query(coord.addr, ds_coord, 0.5, seed=7)
+
+        def release_of(body):
+            # Everything but the cumulative ledger readback, which
+            # advances between queries by design.
+            return {k: v for k, v in body.items() if k != "budget"}
+
+        check(release_of(first) == release_of(again),
+              "same seed through the fleet => identical release")
+
+        direct = query(ref.addr, ds_ref, 0.5, seed=7)
+        check(first["itemsets"] == direct["itemsets"],
+              "coordinator release == unsharded reference (bit-identical)")
+
+        _, stats = call(coord.addr, "GET", "/v1/stats")
+        check(stats["shards"]["workers"] == 2 and
+              stats["shards"]["fanout"] == 2,
+              "/v1/stats reports the 2-worker fleet")
+        _, ref_stats = call(ref.addr, "GET", "/v1/stats")
+        check(ref_stats["shards"]["workers"] == 0,
+              "reference server reports no fleet")
+
+        status, _ = call(coord.addr, "DELETE", f"/v1/datasets/{ds_coord}")
+        check(status == 204, "evict broadcasts DropShard without error")
+    finally:
+        for child in [coord, ref] + workers:
+            child.stop()
+
+
+def run_kill_mid_query(args, log_dir):
+    print("[shard_smoke] kill -9 one worker mid-query (failpoint-parked)")
+    failpoints = f"shard_worker_op=sleep:{PARK_MS}"
+    workers = [start_worker(args.worker_bin, f"{log_dir}/kworker{i}.log",
+                            failpoints=failpoints)
+               for i in (1, 2)]
+    coord = start_server(args.server_bin, f"{log_dir}/kcoordinator.log",
+                         [w.addr for w in workers])
+    try:
+        wait_ready(coord.addr)
+        ds = register(coord.addr)
+
+        outcome = {}
+
+        def parked_query():
+            try:
+                outcome["body"] = query(coord.addr, ds, 0.5, seed=3)
+            except ServerError as err:
+                outcome["status"] = err.status
+
+        thread = threading.Thread(target=parked_query)
+        thread.start()
+        time.sleep(KILL_AFTER_S)
+        workers[1].kill9()
+        thread.join(timeout=120)
+        check(not thread.is_alive(), "parked query completes after kill")
+        check(outcome.get("status", 0) >= 500,
+              f"killed worker mid-query => 5xx, no partial release "
+              f"(got {outcome.get('status', outcome.get('body'))})")
+        spent = read_spent(coord.addr, ds)
+        check(abs(spent - 0.5) < 1e-9,
+              f"aborted query charged the FULL 0.5 reservation "
+              f"(spent={spent})")
+
+        # Worker still dead: fan-out is refused up front, again at full
+        # charge — the coordinator never falls back to partial counting.
+        status = None
+        try:
+            query(coord.addr, ds, 0.25, seed=4)
+        except ServerError as err:
+            status = err.status
+        check(status is not None and status >= 500,
+              f"dead worker => up-front 5xx (got {status})")
+        spent = read_spent(coord.addr, ds)
+        check(abs(spent - 0.75) < 1e-9,
+              f"up-front refusal still charges in full (spent={spent})")
+    finally:
+        for child in [coord] + workers:
+            child.stop()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server-bin", default="build/privbasis_server")
+    parser.add_argument("--worker-bin", default="build/privbasis_shardd")
+    parser.add_argument("--log-dir", default="/tmp/shard_smoke")
+    args = parser.parse_args()
+    os.makedirs(args.log_dir, exist_ok=True)
+
+    run_happy_path(args, args.log_dir)
+    run_kill_mid_query(args, args.log_dir)
+    print("[shard_smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
