@@ -318,6 +318,73 @@ void RunSuite() {
     EmitJsonSamples("server_overload", latencies, {{"dataset", "kosarak"}},
                     {{"p50_ms", p50 * 1e3}, {"p99_ms", p99 * 1e3}});
   }
+
+  // Same-dataset fan-out: 8 concurrent clients firing the identical
+  // query at one dataset, with the query batcher off and then on. The
+  // batched server groups the candidate-support phases of concurrent
+  // admitted requests into one shared scan, so a round of 8 queries
+  // costs ~1 scan instead of 8; releases stay bit-identical either way
+  // (exact counts merge before any noise draw). Emits one phase per
+  // mode plus the throughput ratio — the acceptance signal is
+  // batching_speedup >= 1.5 on the batched phase.
+  {
+    constexpr size_t kClients = 8;
+    auto run_fanout = [&](server::ServerOptions options) {
+      server::QueryServer qserver(options);
+      UnwrapStatus(qserver.Start(), "QueryServer::Start (fanout)");
+      const std::string id =
+          *qserver.registry().Register(Dataset::Borrow(kosarak));
+      const std::string body =
+          "{\"dataset\":\"" + id + "\",\"k\":50,\"epsilon\":1.0,\"seed\":9}";
+      {
+        auto warm_up = server::HttpCall(qserver.host(), qserver.port(), "POST",
+                                        "/v1/query", body, 60'000);
+        UnwrapStatus(warm_up.status(), "server warm-up query (fanout)");
+        if (warm_up->status != 200) std::abort();
+      }
+      const size_t reps = SmokeReps();
+      std::vector<double> samples;
+      samples.reserve(reps);
+      for (size_t r = 0; r < reps; ++r) {
+        WallTimer timer;
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (size_t c = 0; c < kClients; ++c) {
+          clients.emplace_back([&] {
+            auto response = server::HttpCall(qserver.host(), qserver.port(),
+                                             "POST", "/v1/query", body,
+                                             60'000);
+            UnwrapStatus(response.status(), "server query (fanout)");
+            if (response->status != 200) std::abort();
+          });
+        }
+        for (auto& client : clients) client.join();
+        samples.push_back(timer.ElapsedSeconds());
+      }
+      qserver.Stop();
+      return samples;
+    };
+    auto min_of = [](const std::vector<double>& samples) {
+      double min_s = samples[0];
+      for (double s : samples) min_s = std::min(min_s, s);
+      return min_s;
+    };
+    server::ServerOptions plain;
+    plain.num_threads = kClients;
+    plain.batch_window_us = 0;  // explicitly off, immune to env overrides
+    const std::vector<double> plain_samples = run_fanout(plain);
+    server::ServerOptions batched;
+    batched.num_threads = kClients;
+    batched.batch_window_us = 20'000;
+    batched.max_batch = kClients;
+    const std::vector<double> batched_samples = run_fanout(batched);
+    const double speedup = min_of(plain_samples) / min_of(batched_samples);
+    EmitJsonSamples("server_fanout_plain", plain_samples,
+                    {{"dataset", "kosarak"}});
+    EmitJsonSamples("server_fanout_batched", batched_samples,
+                    {{"dataset", "kosarak"}},
+                    {{"batching_speedup", speedup}});
+  }
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -195,6 +197,140 @@ Result<size_t> ReadSome(const Fd& fd, char* buf, size_t len,
                                PollFor(fd.get(), POLLIN, deadline));
     if (!ready) return DeadlineExceeded("read");
   }
+}
+
+Result<Fd> AcceptNonBlocking(const Fd& listen_fd) {
+  for (;;) {
+    const int conn = ::accept(listen_fd.get(), nullptr, nullptr);
+    if (conn >= 0) {
+      Fd fd(conn);
+      PRIVBASIS_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+      const int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return Errno("accept");
+  }
+}
+
+Result<ReadEvent> ReadAvailable(const Fd& fd, std::string* buffer,
+                                size_t max_bytes) {
+  char chunk[16384];
+  const size_t want = std::min(max_bytes, sizeof(chunk));
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), chunk, want, 0);
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      return ReadEvent::kData;
+    }
+    if (n == 0) return ReadEvent::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return ReadEvent::kWouldBlock;
+    }
+    return Errno("recv");
+  }
+}
+
+Result<size_t> WriteSome(const Fd& fd, std::string_view data) {
+  for (;;) {
+    const ssize_t n =
+        ::send(fd.get(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("send");
+  }
+}
+
+namespace {
+
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+Result<Epoll> Epoll::Create() {
+  Fd epfd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epfd.valid()) return Errno("epoll_create1");
+  return Epoll(std::move(epfd));
+}
+
+Status Epoll::Add(const Fd& fd, bool want_read, bool want_write,
+                  uint64_t tag) {
+  epoll_event ev{};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd.get(), &ev) < 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Mod(const Fd& fd, bool want_read, bool want_write,
+                  uint64_t tag) {
+  epoll_event ev{};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd.get(), &ev) < 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Del(const Fd& fd) {
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd.get(), nullptr) < 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Status Epoll::Wait(int timeout_ms, std::vector<EpollEvent>* events) {
+  events->clear();
+  epoll_event raw[64];
+  for (;;) {
+    const int n = ::epoll_wait(epfd_.get(), raw,
+                               static_cast<int>(std::size(raw)), timeout_ms);
+    if (n >= 0) {
+      events->reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        EpollEvent ev;
+        ev.tag = raw[i].data.u64;
+        ev.readable = (raw[i].events & (EPOLLIN | EPOLLRDHUP)) != 0;
+        ev.writable = (raw[i].events & EPOLLOUT) != 0;
+        ev.error = (raw[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        events->push_back(ev);
+      }
+      return Status::OK();
+    }
+    if (errno == EINTR) continue;
+    return Errno("epoll_wait");
+  }
+}
+
+Result<WakeupFd> WakeupFd::Create() {
+  Fd fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!fd.valid()) return Errno("eventfd");
+  return WakeupFd(std::move(fd));
+}
+
+void WakeupFd::Signal() const {
+  const uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n =
+      ::write(fd_.get(), &one, sizeof(one));
+}
+
+void WakeupFd::Drain() const {
+  uint64_t count = 0;
+  [[maybe_unused]] const ssize_t n =
+      ::read(fd_.get(), &count, sizeof(count));
 }
 
 Status WriteAll(const Fd& fd, std::string_view data, Deadline deadline) {

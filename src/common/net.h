@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -82,6 +83,87 @@ Result<bool> PollReadable(const Fd& fd, Deadline deadline);
 
 /// Writes all of `data` before `deadline` or fails.
 Status WriteAll(const Fd& fd, std::string_view data, Deadline deadline);
+
+// ---------------------------------------------------------------------
+// Readiness-loop primitives (the server's epoll event loop). Unlike the
+// deadline-blocking helpers above, these never park the calling thread:
+// one I/O thread multiplexes every connection fd and timers are the
+// loop's own job.
+
+/// Accepts one pending connection without blocking. Returns an invalid
+/// Fd when none is pending (EAGAIN) — not an error. Accepted fds are
+/// non-blocking with TCP_NODELAY, exactly as AcceptWithDeadline.
+Result<Fd> AcceptNonBlocking(const Fd& listen_fd);
+
+/// One non-blocking read pass: what happened on the socket.
+enum class ReadEvent {
+  kData,        ///< ≥ 1 byte appended to the buffer
+  kWouldBlock,  ///< nothing pending; wait for readiness
+  kEof,         ///< orderly close from the peer
+};
+
+/// Appends up to `max_bytes` available bytes to `buffer` without
+/// blocking (one recv call).
+Result<ReadEvent> ReadAvailable(const Fd& fd, std::string* buffer,
+                                size_t max_bytes);
+
+/// One non-blocking write pass: bytes sent (0 = socket buffer full,
+/// wait for writability).
+Result<size_t> WriteSome(const Fd& fd, std::string_view data);
+
+/// One epoll readiness report, tagged with the caller's 64-bit key.
+struct EpollEvent {
+  uint64_t tag = 0;
+  bool readable = false;
+  bool writable = false;
+  /// EPOLLERR/EPOLLHUP: the connection is dead or half-dead; reads will
+  /// report it precisely, so callers may simply treat it as readable.
+  bool error = false;
+};
+
+/// Thin epoll(7) wrapper (level-triggered). Move-only, owns the epoll fd.
+class Epoll {
+ public:
+  Epoll() = default;
+  static Result<Epoll> Create();
+
+  bool valid() const { return epfd_.valid(); }
+
+  /// Registers `fd` with read/write interest under `tag`.
+  Status Add(const Fd& fd, bool want_read, bool want_write, uint64_t tag);
+  /// Updates interest for an already registered fd.
+  Status Mod(const Fd& fd, bool want_read, bool want_write, uint64_t tag);
+  /// Unregisters `fd` (required before closing a still-registered fd
+  /// only when it was dup'ed; harmless otherwise).
+  Status Del(const Fd& fd);
+
+  /// Waits up to `timeout_ms` (-1 = indefinitely) and appends ready
+  /// events to `events` (cleared first). EINTR retries internally.
+  Status Wait(int timeout_ms, std::vector<EpollEvent>* events);
+
+ private:
+  explicit Epoll(Fd epfd) : epfd_(std::move(epfd)) {}
+  Fd epfd_;
+};
+
+/// eventfd-backed cross-thread wakeup for an epoll loop: Signal() from
+/// any thread makes fd() readable; the loop Drain()s it and re-checks
+/// its queues. Signal/Drain are async-safe and idempotent.
+class WakeupFd {
+ public:
+  WakeupFd() = default;
+  static Result<WakeupFd> Create();
+
+  bool valid() const { return fd_.valid(); }
+  const Fd& fd() const { return fd_; }
+
+  void Signal() const;
+  void Drain() const;
+
+ private:
+  explicit WakeupFd(Fd fd) : fd_(std::move(fd)) {}
+  Fd fd_;
+};
 
 }  // namespace privbasis::net
 

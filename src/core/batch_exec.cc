@@ -1,0 +1,348 @@
+#include "core/batch_exec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+#include <optional>
+#include <utility>
+
+#include "core/basis_freq.h"
+#include "core/privbasis.h"
+
+namespace privbasis {
+
+namespace {
+
+/// The cancel token a fused scan runs under. Member deadlines differ,
+/// but counts merge exactly, so the shared scan may only be cut short
+/// once EVERY member is past its deadline — the max. If any member has
+/// no deadline the scan is uninterruptible (nullptr); members with
+/// fired tokens still fail closed via the per-member post-check.
+const CancelToken* FusedToken(const std::vector<const CancelToken*>& cancels,
+                              std::optional<CancelToken>& storage) {
+  std::chrono::steady_clock::time_point latest{};
+  for (const CancelToken* token : cancels) {
+    if (token == nullptr || !token->has_deadline()) return nullptr;
+    latest = std::max(latest, token->deadline());
+  }
+  storage.emplace(latest);
+  return &*storage;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ DirectCountExecutor
+
+Result<std::vector<std::vector<uint64_t>>> DirectCountExecutor::BasisBinCounts(
+    const BasisSet& basis_set, const CancelToken* cancel) const {
+  return CountBasisBins(*db_, basis_set, num_threads_, cancel);
+}
+
+Result<std::vector<uint64_t>> DirectCountExecutor::PairSupports(
+    const std::vector<Item>& items, const CancelToken* cancel) const {
+  std::vector<uint64_t> counts = CountPairSupports(*db_, items, cancel);
+  if (IsCancelled(cancel)) {
+    return Status::Cancelled("pair counting cancelled mid-scan");
+  }
+  return counts;
+}
+
+Result<std::vector<uint64_t>> DirectCountExecutor::SupportOfMany(
+    std::span<const Itemset> queries, const CancelToken* cancel) const {
+  std::vector<uint64_t> counts =
+      index_->SupportOfMany(queries, num_threads_, cancel);
+  if (IsCancelled(cancel)) {
+    return Status::Cancelled("batch support cancelled mid-scan");
+  }
+  return counts;
+}
+
+Result<std::vector<uint64_t>> DirectCountExecutor::ItemSupports(
+    const CancelToken* cancel) const {
+  if (IsCancelled(cancel)) {
+    return Status::Cancelled("item supports cancelled");
+  }
+  return db_->ItemSupports();
+}
+
+// ---------------------------------------------------- BatchingCountExecutor
+
+BatchingCountExecutor::BatchingCountExecutor(
+    std::shared_ptr<const CountExecutor> inner, Options options,
+    std::shared_ptr<BatchStats> stats)
+    : inner_(std::move(inner)),
+      options_(options),
+      stats_(std::move(stats)) {}
+
+BatchingCountExecutor::~BatchingCountExecutor() = default;
+
+void BatchingCountExecutor::BeginQuery(int64_t window_hint_us) {
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (window_hint_us > 0) {
+    window_hint_us_.store(window_hint_us, std::memory_order_relaxed);
+  }
+}
+
+void BatchingCountExecutor::EndQuery() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool BatchingCountExecutor::Passthrough() const {
+  return options_.window_us <= 0 || options_.max_batch <= 1 ||
+         inflight_.load(std::memory_order_relaxed) <= 1;
+}
+
+template <typename Req, typename Resp, typename Fuse>
+Result<Resp> BatchingCountExecutor::RunBatched(Gate<Req, Resp>& gate,
+                                               const Req& req,
+                                               const CancelToken* cancel,
+                                               Fuse&& fuse) const {
+  using R = Round<Req, Resp>;
+  std::shared_ptr<R> round;
+  size_t my_index = 0;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> g(gate.mu);
+    if (gate.current == nullptr) {
+      gate.current = std::make_shared<R>();
+      leader = true;
+    }
+    round = gate.current;
+    std::lock_guard<std::mutex> r(round->mu);
+    my_index = round->reqs.size();
+    round->reqs.push_back(&req);
+    round->cancels.push_back(cancel);
+    if (round->reqs.size() >= options_.max_batch) {
+      // Full: detach so the next arrival starts a fresh round.
+      round->closed = true;
+      gate.current = nullptr;
+    }
+    round->cv.notify_all();  // the leader re-evaluates its target
+  }
+
+  if (leader) {
+    // Wait (bounded) for co-riders. The target is the live in-flight
+    // count — when this query is the only one left, there is nobody to
+    // wait for and the round closes immediately.
+    int64_t window_us = options_.window_us;
+    const int64_t hint = window_hint_us_.load(std::memory_order_relaxed);
+    if (hint > 0 && hint < window_us) window_us = hint;
+    const auto close_at = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(window_us);
+    {
+      std::unique_lock<std::mutex> r(round->mu);
+      for (;;) {
+        if (round->closed) break;
+        const size_t target = std::clamp<size_t>(
+            static_cast<size_t>(
+                std::max<int64_t>(1, inflight_.load(std::memory_order_relaxed))),
+            size_t{1}, options_.max_batch);
+        if (round->reqs.size() >= target) break;
+        if (round->cv.wait_until(r, close_at) == std::cv_status::timeout) {
+          break;
+        }
+      }
+    }
+    // Close under gate → round lock order (a max_batch joiner may have
+    // closed and detached it already).
+    {
+      std::lock_guard<std::mutex> g(gate.mu);
+      std::lock_guard<std::mutex> r(round->mu);
+      if (!round->closed) {
+        round->closed = true;
+        if (gate.current == round) gate.current = nullptr;
+      }
+    }
+    // The member list is frozen; run the fused scan without any lock.
+    const size_t n = round->reqs.size();
+    if (n > 1 && stats_ != nullptr) {
+      stats_->batches.fetch_add(1, std::memory_order_relaxed);
+      stats_->batched_queries.fetch_add(n, std::memory_order_relaxed);
+      stats_->scans_saved.fetch_add(n - 1, std::memory_order_relaxed);
+    }
+    Result<std::vector<Resp>> fused = fuse(round->reqs, round->cancels);
+    {
+      std::lock_guard<std::mutex> r(round->mu);
+      if (fused.ok()) {
+        round->resps = std::move(*fused);
+        if (round->resps.size() != n) {
+          round->status = Status::Internal("fused batch split mismatch");
+        }
+      } else {
+        round->status = fused.status();
+      }
+      round->done = true;
+    }
+    round->cv.notify_all();
+  }
+
+  Resp mine;
+  {
+    std::unique_lock<std::mutex> r(round->mu);
+    round->cv.wait(r, [&] { return round->done; });
+    if (!round->status.ok()) return round->status;
+    mine = std::move(round->resps[my_index]);
+  }
+  // A shared scan only honors the LATEST member deadline; fail this
+  // member closed if its own token fired meanwhile — exactly what its
+  // solo scan would have done.
+  if (IsCancelled(cancel)) {
+    return Status::Cancelled("query cancelled during batched count");
+  }
+  return mine;
+}
+
+Result<std::vector<std::vector<uint64_t>>>
+BatchingCountExecutor::BasisBinCounts(const BasisSet& basis_set,
+                                      const CancelToken* cancel) const {
+  if (Passthrough()) return inner_->BasisBinCounts(basis_set, cancel);
+  using Resp = std::vector<std::vector<uint64_t>>;
+  const BasisBinReq req{&basis_set};
+  return RunBatched(
+      bin_gate_, req, cancel,
+      [this](const std::vector<const BasisBinReq*>& reqs,
+             const std::vector<const CancelToken*>& cancels)
+          -> Result<std::vector<Resp>> {
+        if (reqs.size() == 1) {
+          PRIVBASIS_ASSIGN_OR_RETURN(
+              Resp bins,
+              inner_->BasisBinCounts(*reqs[0]->basis_set, cancels[0]));
+          std::vector<Resp> out;
+          out.push_back(std::move(bins));
+          return out;
+        }
+        // One scan over the concatenated bases; per-basis bin rows are
+        // independent, so splitting rows back by member width is exact.
+        std::optional<CancelToken> storage;
+        const CancelToken* token = FusedToken(cancels, storage);
+        BasisSet fused_set;
+        for (const BasisBinReq* r : reqs) {
+          for (const Itemset& basis : r->basis_set->bases()) {
+            fused_set.Add(basis);
+          }
+        }
+        PRIVBASIS_ASSIGN_OR_RETURN(Resp bins,
+                                   inner_->BasisBinCounts(fused_set, token));
+        std::vector<Resp> out;
+        out.reserve(reqs.size());
+        size_t row = 0;
+        for (const BasisBinReq* r : reqs) {
+          const size_t width = r->basis_set->Width();
+          out.emplace_back(std::make_move_iterator(bins.begin() + row),
+                           std::make_move_iterator(bins.begin() + row + width));
+          row += width;
+        }
+        return out;
+      });
+}
+
+Result<std::vector<uint64_t>> BatchingCountExecutor::PairSupports(
+    const std::vector<Item>& items, const CancelToken* cancel) const {
+  if (Passthrough()) return inner_->PairSupports(items, cancel);
+  using Resp = std::vector<uint64_t>;
+  const PairReq req{&items};
+  return RunBatched(
+      pair_gate_, req, cancel,
+      [this](const std::vector<const PairReq*>& reqs,
+             const std::vector<const CancelToken*>& cancels)
+          -> Result<std::vector<Resp>> {
+        if (reqs.size() == 1) {
+          PRIVBASIS_ASSIGN_OR_RETURN(
+              Resp counts, inner_->PairSupports(*reqs[0]->items, cancels[0]));
+          std::vector<Resp> out;
+          out.push_back(std::move(counts));
+          return out;
+        }
+        // Fuse every member's pairs into one SupportOfMany scan, then
+        // reshape each slice back into the dense m×m layout of
+        // CountPairSupports. Pair supports are exact either way.
+        std::optional<CancelToken> storage;
+        const CancelToken* token = FusedToken(cancels, storage);
+        std::vector<Itemset> queries;
+        for (const PairReq* r : reqs) {
+          const std::vector<Item>& member = *r->items;
+          for (size_t i = 0; i < member.size(); ++i) {
+            for (size_t j = i + 1; j < member.size(); ++j) {
+              queries.push_back(Itemset{member[i], member[j]});
+            }
+          }
+        }
+        PRIVBASIS_ASSIGN_OR_RETURN(Resp counts,
+                                   inner_->SupportOfMany(queries, token));
+        std::vector<Resp> out;
+        out.reserve(reqs.size());
+        size_t pos = 0;
+        for (const PairReq* r : reqs) {
+          const size_t m = r->items->size();
+          Resp dense(m * m, 0);
+          for (size_t i = 0; i < m; ++i) {
+            for (size_t j = i + 1; j < m; ++j) {
+              dense[i * m + j] = counts[pos++];
+            }
+          }
+          out.push_back(std::move(dense));
+        }
+        return out;
+      });
+}
+
+Result<std::vector<uint64_t>> BatchingCountExecutor::SupportOfMany(
+    std::span<const Itemset> queries, const CancelToken* cancel) const {
+  if (Passthrough()) return inner_->SupportOfMany(queries, cancel);
+  using Resp = std::vector<uint64_t>;
+  const ManyReq req{queries};
+  return RunBatched(
+      many_gate_, req, cancel,
+      [this](const std::vector<const ManyReq*>& reqs,
+             const std::vector<const CancelToken*>& cancels)
+          -> Result<std::vector<Resp>> {
+        if (reqs.size() == 1) {
+          PRIVBASIS_ASSIGN_OR_RETURN(
+              Resp counts, inner_->SupportOfMany(reqs[0]->queries, cancels[0]));
+          std::vector<Resp> out;
+          out.push_back(std::move(counts));
+          return out;
+        }
+        std::optional<CancelToken> storage;
+        const CancelToken* token = FusedToken(cancels, storage);
+        std::vector<Itemset> all;
+        for (const ManyReq* r : reqs) {
+          all.insert(all.end(), r->queries.begin(), r->queries.end());
+        }
+        PRIVBASIS_ASSIGN_OR_RETURN(Resp counts,
+                                   inner_->SupportOfMany(all, token));
+        std::vector<Resp> out;
+        out.reserve(reqs.size());
+        size_t pos = 0;
+        for (const ManyReq* r : reqs) {
+          const size_t len = r->queries.size();
+          out.emplace_back(counts.begin() + pos, counts.begin() + pos + len);
+          pos += len;
+        }
+        return out;
+      });
+}
+
+Result<std::vector<uint64_t>> BatchingCountExecutor::ItemSupports(
+    const CancelToken* cancel) const {
+  if (Passthrough()) return inner_->ItemSupports(cancel);
+  using Resp = std::vector<uint64_t>;
+  const ItemReq req{};
+  return RunBatched(item_gate_, req, cancel,
+                    [this](const std::vector<const ItemReq*>& reqs,
+                           const std::vector<const CancelToken*>& cancels)
+                        -> Result<std::vector<Resp>> {
+                      std::optional<CancelToken> storage;
+                      const CancelToken* token =
+                          reqs.size() == 1 ? cancels[0]
+                                           : FusedToken(cancels, storage);
+                      PRIVBASIS_ASSIGN_OR_RETURN(
+                          Resp supports, inner_->ItemSupports(token));
+                      // Identical answer for every member: share it.
+                      std::vector<Resp> out(reqs.size() - 1, supports);
+                      out.push_back(std::move(supports));
+                      return out;
+                    });
+}
+
+}  // namespace privbasis

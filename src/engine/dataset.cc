@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/env.h"
+#include "core/batch_exec.h"
 #include "data/dataset_io.h"
 #include "fim/topk.h"
 #include "shard/shard_exec.h"
@@ -92,6 +93,21 @@ std::shared_ptr<const CountExecutor> Dataset::count_executor() const {
         executor_.value = nullptr;
       }
     }
+    executor_.built = true;
+  }
+  return executor_.value;
+}
+
+std::shared_ptr<const CountExecutor> Dataset::EnsureCountExecutor() const {
+  std::shared_ptr<const CountExecutor> exec = count_executor();
+  if (exec != nullptr) return exec;
+  // Unsharded: adapt the direct-scan path. Build the index OUTSIDE the
+  // executor lock (Index() takes its own cell lock).
+  std::shared_ptr<const VerticalIndex> index = Index();
+  std::lock_guard<std::mutex> lock(executor_.mu);
+  if (executor_.value == nullptr) {
+    executor_.value = std::make_shared<const DirectCountExecutor>(
+        db_, std::move(index), options_.num_threads);
     executor_.built = true;
   }
   return executor_.value;

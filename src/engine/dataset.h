@@ -106,6 +106,14 @@ class Dataset {
   /// the handle keeps the returned executor alive.
   std::shared_ptr<const CountExecutor> count_executor() const;
 
+  /// Like count_executor(), but never nullptr: when the dataset is
+  /// unsharded it lazily builds (and memoizes) a DirectCountExecutor
+  /// over db() + Index() — the exact functions the mechanisms call when
+  /// no executor is attached, so routing counts through it never
+  /// changes a release bit. The batching layer wraps this so it can
+  /// fuse scans regardless of fan-out.
+  std::shared_ptr<const CountExecutor> EnsureCountExecutor() const;
+
   /// Installs an externally built executor (the server's coordinator
   /// attaches a RemoteShardExecutor over its worker fleet at dataset
   /// registration). Replaces any previously built/attached executor;

@@ -1,0 +1,177 @@
+// Epoll readiness loop for the query server: ONE I/O thread owns every
+// connection fd (plus the listening socket), so a parked keep-alive
+// client costs a file descriptor instead of a pool worker — the
+// thread-per-connection model it replaces let an idle-client storm
+// starve real queries out of the worker pool.
+//
+// Division of labor:
+//   * The loop thread does all socket I/O: non-blocking accepts,
+//     incremental reads feeding the pure-buffer ParseHttpRequest,
+//     write-queue flushes on EPOLLOUT, and every per-connection timer
+//     (idle keep-alive window, mid-request 408 deadline, response
+//     write deadline, oversized-body drain).
+//   * Only a COMPLETE parsed request crosses to the owner via
+//     `hooks.dispatch` (called on the loop thread; hand off fast).
+//     The owner answers — from any thread — with CompleteRequest().
+//   * One request in flight per connection: read interest is parked
+//     while dispatched, and pipelined bytes already buffered are
+//     parsed as soon as the previous response finishes flushing.
+//
+// Protocol errors never reach the dispatcher: the loop asks
+// `hooks.error_response` to render the 400/408/413/431 and closes
+// after writing it, preserving the pre-loop per-request contract
+// (tests/server_test.cc pins it down).
+#ifndef PRIVBASIS_SERVER_EVENT_LOOP_H_
+#define PRIVBASIS_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/net.h"
+#include "common/status.h"
+#include "server/http.h"
+
+namespace privbasis::server {
+
+class EventLoop {
+ public:
+  struct Options {
+    HttpLimits limits;
+    /// Bounds each phase of a connection separately: the idle
+    /// keep-alive window, reading one request, and writing one
+    /// response (a slow successful query whose ε was committed still
+    /// gets a full window to be delivered).
+    int64_t request_deadline_ms = 30'000;
+    /// Requests served per keep-alive connection before
+    /// Connection: close.
+    size_t max_requests_per_connection = 1024;
+  };
+
+  struct Hooks {
+    /// A complete request, on the loop thread. The callee must
+    /// eventually CompleteRequest(conn_id, ...) — synchronously or from
+    /// any other thread.
+    std::function<void(uint64_t conn_id, HttpRequest request)> dispatch;
+    /// A connection was accepted (loop thread; counters only).
+    std::function<void()> on_connection;
+    /// Renders the response for a protocol-level failure (kTimeout,
+    /// kMalformed, kHeaderTooLarge, kBodyTooLarge). The loop closes the
+    /// connection after writing it.
+    std::function<HttpResponse(HttpReadOutcome)> error_response;
+  };
+
+  EventLoop(Options options, Hooks hooks);
+  /// RequestStop + Join if still running.
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Takes ownership of the (already listening) socket and starts the
+  /// I/O thread.
+  Status Start(net::Fd listen_fd);
+
+  /// Thread-safe: queues `response` for the request dispatched on
+  /// `conn_id` and wakes the loop. Dropped silently if the connection
+  /// died in the meantime (the client is gone either way).
+  void CompleteRequest(uint64_t conn_id, HttpResponse response);
+
+  /// Stops accepting (closes the listen socket, freeing the port) and
+  /// closes idle / mid-read connections. Connections with a dispatched
+  /// request or a partially written response stay for Join() to finish.
+  void RequestStop();
+
+  /// Flushes remaining responses (each bounded by its write deadline),
+  /// closes everything, and joins the loop thread. Call only after all
+  /// dispatched requests have completed (e.g. the worker pool joined) —
+  /// a completion arriving after Join starts is dropped with its
+  /// connection. Idempotent.
+  void Join();
+
+ private:
+  /// What the connection is between I/O events. Orthogonally to the
+  /// state, `out` may hold a partially flushed response.
+  enum class ConnState {
+    kIdle,      ///< between requests (in-buffer empty or pipelined tail)
+    kReading,   ///< partial request buffered; 408 deadline armed
+    kDispatched,  ///< request handed off; read interest parked
+    kDraining,  ///< discarding an oversized body before the 413
+  };
+
+  struct Conn {
+    uint64_t id = 0;  ///< epoll tag; never reused
+    net::Fd fd;
+    std::string in;
+    std::string out;
+    size_t out_off = 0;
+    ConnState state = ConnState::kIdle;
+    size_t served = 0;
+    size_t drain_remaining = 0;
+    HttpResponse deferred;  ///< the 413 to send once draining finishes
+    bool close_after_write = false;
+    bool peer_eof = false;
+    // Cached epoll interest so Mod is only issued on change.
+    bool want_read = true;
+    bool want_write = false;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void Run();
+  void DoAccept();
+  void ProcessCompletions(bool force_close);
+  void HandleReadable(uint64_t id, Conn& conn);
+  void HandleWritable(uint64_t id, Conn& conn);
+  /// Parses buffered bytes; may dispatch, answer an error, or start a
+  /// drain. Returns false if the connection was closed.
+  bool TryParse(uint64_t id, Conn& conn);
+  /// Serializes `response` onto the write queue (close_connection must
+  /// be final — it decides the Connection: close header) and attempts
+  /// an optimistic flush.
+  bool SendResponse(uint64_t id, Conn& conn, HttpResponse response);
+  /// Flushes as much of `out` as the socket accepts; on completion runs
+  /// the close-or-next-request transition. Returns false if closed.
+  bool FlushWrites(uint64_t id, Conn& conn);
+  void UpdateInterest(Conn& conn);
+  void ArmDeadline(Conn& conn, int64_t ms);
+  void CloseConn(uint64_t id);
+  /// Closes expired connections; answers 408/413 where the contract
+  /// says so. Also re-arms accepting after an EMFILE backoff.
+  void SweepDeadlines();
+  int NextTimeoutMs() const;
+
+  Options options_;
+  Hooks hooks_;
+  net::Fd listen_fd_;
+  net::Epoll epoll_;
+  net::WakeupFd wakeup_;
+  std::thread thread_;
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex completions_mu_;
+  std::vector<std::pair<uint64_t, HttpResponse>> completions_;
+
+  // Loop-thread state.
+  std::unordered_map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen socket, 1 = wakeup
+  bool accepting_ = true;      // listen fd registered with epoll
+  bool listen_open_ = true;
+  std::chrono::steady_clock::time_point accept_retry_at_{};
+  bool accept_backoff_ = false;
+};
+
+}  // namespace privbasis::server
+
+#endif  // PRIVBASIS_SERVER_EVENT_LOOP_H_

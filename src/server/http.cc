@@ -36,9 +36,17 @@ bool ParseHead(std::string_view head, HttpRequest* request) {
   const size_t line_end = head.find("\r\n");
   if (line_end == std::string_view::npos) return false;
   std::string_view line = head.substr(0, line_end);
+  // Strict request-line grammar (RFC 7230 §3.1.1): exactly three
+  // space-separated tokens, no tabs. Pairing find with rfind would
+  // accept an embedded space in the target ("GET /a b HTTP/1.1").
   const size_t sp1 = line.find(' ');
-  const size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  if (sp1 == std::string_view::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos ||
+      line.find('\t') != std::string_view::npos) {
+    return false;
+  }
   request->method = std::string(line.substr(0, sp1));
   request->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
   request->version = std::string(line.substr(sp2 + 1));
@@ -85,42 +93,28 @@ bool HttpRequest::KeepAlive() const {
   return !EqualsIgnoreCase(*connection, "close");
 }
 
-HttpReadOutcome ReadHttpRequest(const net::Fd& fd, const HttpLimits& limits,
-                                net::Deadline deadline, std::string* buffer,
-                                HttpRequest* request) {
+HttpParseResult ParseHttpRequest(std::string* buffer,
+                                 const HttpLimits& limits,
+                                 HttpRequest* request) {
   *request = HttpRequest();
-  char chunk[8192];
-  size_t head_end = std::string::npos;
-  // Phase 1: accumulate until CRLFCRLF.
-  for (;;) {
-    head_end = buffer->find("\r\n\r\n");
-    if (head_end != std::string::npos) break;
-    if (buffer->size() > limits.max_header_bytes) {
-      return HttpReadOutcome::kHeaderTooLarge;
-    }
-    auto n = net::ReadSome(fd, chunk, sizeof(chunk), deadline);
-    if (!n.ok()) {
-      return n.status().code() == StatusCode::kResourceExhausted
-                 ? (buffer->empty() ? HttpReadOutcome::kClosed
-                                    : HttpReadOutcome::kTimeout)
-                 : HttpReadOutcome::kIoError;
-    }
-    if (*n == 0) {
-      // EOF: clean between requests, malformed mid-head.
-      return buffer->empty() ? HttpReadOutcome::kClosed
-                             : HttpReadOutcome::kMalformed;
-    }
-    buffer->append(chunk, *n);
+  HttpParseResult result;
+  const size_t head_end = buffer->find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    result.outcome = buffer->size() > limits.max_header_bytes
+                         ? HttpParseOutcome::kHeaderTooLarge
+                         : HttpParseOutcome::kNeedMore;
+    return result;
   }
   if (head_end + 4 > limits.max_header_bytes) {
-    return HttpReadOutcome::kHeaderTooLarge;
+    result.outcome = HttpParseOutcome::kHeaderTooLarge;
+    return result;
   }
   if (!ParseHead(std::string_view(*buffer).substr(0, head_end + 2),
                  request)) {
-    return HttpReadOutcome::kMalformed;
+    result.outcome = HttpParseOutcome::kMalformed;
+    return result;
   }
 
-  // Phase 2: the body, if any.
   size_t content_length = 0;
   if (const std::string* cl = request->Header("Content-Length")) {
     // Duplicate Content-Length headers are a framing error (RFC 7230
@@ -130,57 +124,102 @@ HttpReadOutcome ReadHttpRequest(const net::Fd& fd, const HttpLimits& limits,
     for (const auto& [key, value] : request->headers) {
       occurrences += EqualsIgnoreCase(key, "Content-Length");
     }
-    if (occurrences > 1) return HttpReadOutcome::kMalformed;
+    if (occurrences > 1) {
+      result.outcome = HttpParseOutcome::kMalformed;
+      return result;
+    }
     // Strict digits-only parse: "-1" must be a 400 grammar violation,
     // not a strtoull wraparound answered 413.
     if (cl->empty() ||
         cl->find_first_not_of("0123456789") != std::string::npos) {
-      return HttpReadOutcome::kMalformed;
+      result.outcome = HttpParseOutcome::kMalformed;
+      return result;
     }
     errno = 0;
     char* end = nullptr;
     const unsigned long long parsed = std::strtoull(cl->c_str(), &end, 10);
     if (errno == ERANGE || end != cl->c_str() + cl->size()) {
-      return HttpReadOutcome::kMalformed;
+      result.outcome = HttpParseOutcome::kMalformed;
+      return result;
     }
     content_length = static_cast<size_t>(parsed);
   } else if (request->Header("Transfer-Encoding") != nullptr) {
     // Content-Length bodies only (header comment); a chunked request
     // would desynchronize the stream, so reject it outright.
-    return HttpReadOutcome::kMalformed;
+    result.outcome = HttpParseOutcome::kMalformed;
+    return result;
   }
   const size_t body_start = head_end + 4;
   if (content_length > limits.max_body_bytes) {
-    // Drain the declared body (bounded) before the caller responds:
-    // closing with unread request bytes in flight sends a RST that can
-    // destroy the 413 before the client reads it. Beyond the cap the
-    // sender is abusive and just gets the reset.
-    constexpr size_t kDrainCap = 8 * 1024 * 1024;
-    if (content_length <= kDrainCap) {
-      size_t received = buffer->size() - body_start;
-      while (received < content_length) {
-        auto n = net::ReadSome(fd, chunk, sizeof(chunk), deadline);
-        if (!n.ok() || *n == 0) break;
-        received += *n;
-        buffer->resize(body_start);  // discard, keep memory bounded
-      }
-    }
-    return HttpReadOutcome::kBodyTooLarge;
+    // Consume the head plus whatever of the oversized body has already
+    // arrived; report the remainder so the caller can discard it before
+    // responding 413.
+    const size_t received =
+        std::min(buffer->size() - body_start, content_length);
+    buffer->erase(0, body_start + received);
+    result.outcome = HttpParseOutcome::kBodyTooLarge;
+    result.drain_bytes = content_length - received;
+    return result;
   }
-  while (buffer->size() - body_start < content_length) {
-    auto n = net::ReadSome(fd, chunk, sizeof(chunk), deadline);
-    if (!n.ok()) {
-      return n.status().code() == StatusCode::kResourceExhausted
-                 ? HttpReadOutcome::kTimeout
-                 : HttpReadOutcome::kIoError;
-    }
-    if (*n == 0) return HttpReadOutcome::kMalformed;
-    buffer->append(chunk, *n);
+  if (buffer->size() - body_start < content_length) {
+    result.outcome = HttpParseOutcome::kNeedMore;
+    return result;
   }
   request->body = buffer->substr(body_start, content_length);
   // Keep pipelined bytes beyond this request for the next call.
   buffer->erase(0, body_start + content_length);
-  return HttpReadOutcome::kOk;
+  result.outcome = HttpParseOutcome::kOk;
+  return result;
+}
+
+HttpReadOutcome ReadHttpRequest(const net::Fd& fd, const HttpLimits& limits,
+                                net::Deadline deadline, std::string* buffer,
+                                HttpRequest* request) {
+  char chunk[8192];
+  for (;;) {
+    const HttpParseResult parsed = ParseHttpRequest(buffer, limits, request);
+    switch (parsed.outcome) {
+      case HttpParseOutcome::kOk:
+        return HttpReadOutcome::kOk;
+      case HttpParseOutcome::kMalformed:
+        return HttpReadOutcome::kMalformed;
+      case HttpParseOutcome::kHeaderTooLarge:
+        return HttpReadOutcome::kHeaderTooLarge;
+      case HttpParseOutcome::kBodyTooLarge: {
+        // Drain the declared body (bounded) before the caller responds:
+        // closing with unread request bytes in flight sends a RST that
+        // can destroy the 413 before the client reads it. Beyond the
+        // cap the sender is abusive and just gets the reset.
+        constexpr size_t kDrainCap = 8 * 1024 * 1024;
+        size_t remaining = parsed.drain_bytes;
+        if (remaining <= kDrainCap) {
+          while (remaining > 0) {
+            auto n = net::ReadSome(fd, chunk,
+                                   std::min(sizeof(chunk), remaining),
+                                   deadline);
+            if (!n.ok() || *n == 0) break;
+            remaining -= *n;
+          }
+        }
+        return HttpReadOutcome::kBodyTooLarge;
+      }
+      case HttpParseOutcome::kNeedMore:
+        break;
+    }
+    auto n = net::ReadSome(fd, chunk, sizeof(chunk), deadline);
+    if (!n.ok()) {
+      return n.status().code() == StatusCode::kResourceExhausted
+                 ? (buffer->empty() ? HttpReadOutcome::kClosed
+                                    : HttpReadOutcome::kTimeout)
+                 : HttpReadOutcome::kIoError;
+    }
+    if (*n == 0) {
+      // EOF: clean between requests, malformed mid-request.
+      return buffer->empty() ? HttpReadOutcome::kClosed
+                             : HttpReadOutcome::kMalformed;
+    }
+    buffer->append(chunk, *n);
+  }
 }
 
 const char* HttpReasonPhrase(int status) {
@@ -202,21 +241,29 @@ const char* HttpReasonPhrase(int status) {
   }
 }
 
-Status WriteHttpResponse(const net::Fd& fd, const HttpResponse& response,
-                         net::Deadline deadline) {
+std::string SerializeHttpResponse(const HttpResponse& response) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     HttpReasonPhrase(response.status) + "\r\n";
-  if (!response.body.empty() || response.status != 204) {
+  // RFC 7230 §3.3.2: a 204 carries no body and MUST NOT carry
+  // Content-Length — suppress both framing headers and the payload.
+  const bool framed = response.status != 204;
+  if (framed) {
     out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
   }
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   for (const auto& [key, value] : response.headers) {
     out += key + ": " + value + "\r\n";
   }
   if (response.close_connection) out += "Connection: close\r\n";
   out += "\r\n";
-  out += response.body;
-  return net::WriteAll(fd, out, deadline);
+  if (framed) out += response.body;
+  return out;
+}
+
+Status WriteHttpResponse(const net::Fd& fd, const HttpResponse& response,
+                         net::Deadline deadline) {
+  return net::WriteAll(fd, SerializeHttpResponse(response), deadline);
 }
 
 Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
@@ -251,11 +298,28 @@ Result<HttpResponse> HttpCall(const std::string& host, uint16_t port,
   }
   HttpResponse response;
   const size_t line_end = raw.find("\r\n");
-  // "HTTP/1.1 200 OK"
-  if (line_end < 12 || raw.compare(0, 5, "HTTP/") != 0) {
+  // "HTTP/1.1 200 OK" — the status code is the 3-digit token after the
+  // first space; don't assume the version token is exactly 8 chars
+  // ("HTTP/2 200" is a valid status line too).
+  const std::string_view status_line(raw.data(), line_end);
+  if (!status_line.starts_with("HTTP/")) {
     return Status::IoError("malformed HTTP status line");
   }
-  response.status = std::atoi(raw.c_str() + 9);
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > status_line.size()) {
+    return Status::IoError("malformed HTTP status line");
+  }
+  response.status = 0;
+  for (size_t i = sp + 1; i < sp + 4; ++i) {
+    const char c = status_line[i];
+    if (c < '0' || c > '9') {
+      return Status::IoError("malformed HTTP status code");
+    }
+    response.status = response.status * 10 + (c - '0');
+  }
+  if (sp + 4 < status_line.size() && status_line[sp + 4] != ' ') {
+    return Status::IoError("malformed HTTP status code");
+  }
   if (response.status < 100 || response.status > 599) {
     return Status::IoError("malformed HTTP status code");
   }

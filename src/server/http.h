@@ -71,12 +71,47 @@ enum class HttpReadOutcome {
   kIoError,         ///< transport error; just drop the connection
 };
 
+/// How one non-blocking parse attempt over a byte buffer ended. The
+/// pure-buffer twin of HttpReadOutcome: no transport, no deadline —
+/// kNeedMore simply means "feed me more bytes", so both the blocking
+/// ReadHttpRequest and the epoll event loop share one parser.
+enum class HttpParseOutcome {
+  kNeedMore,        ///< incomplete; append more bytes and call again
+  kOk,              ///< `request` is complete (consumed from the buffer)
+  kMalformed,       ///< grammar violation → 400
+  kHeaderTooLarge,  ///< → 431
+  kBodyTooLarge,    ///< → 413 (head consumed; see drain_bytes)
+};
+
+struct HttpParseResult {
+  HttpParseOutcome outcome = HttpParseOutcome::kNeedMore;
+  /// On kBodyTooLarge: declared body bytes still in flight on the wire
+  /// (the head and already-received body were consumed). The caller
+  /// should discard this many incoming bytes before responding, so the
+  /// 413 isn't destroyed by a RST from closing with unread data.
+  size_t drain_bytes = 0;
+};
+
+/// Attempts to parse one complete request from the front of `buffer`.
+/// On kOk the request's bytes are consumed (pipelined followers stay);
+/// on kNeedMore the buffer is untouched; on kBodyTooLarge the head and
+/// received body are consumed and `drain_bytes` reports the remainder.
+HttpParseResult ParseHttpRequest(std::string* buffer,
+                                 const HttpLimits& limits,
+                                 HttpRequest* request);
+
 /// Reads one request from `fd` (appending to / consuming from `buffer`,
 /// which carries pipelined bytes between calls on a keep-alive
 /// connection). Blocks until a full request, a limit, or `deadline`.
 HttpReadOutcome ReadHttpRequest(const net::Fd& fd, const HttpLimits& limits,
                                 net::Deadline deadline, std::string* buffer,
                                 HttpRequest* request);
+
+/// Renders `response` as wire bytes (status line, Content-Type/Length
+/// framing — suppressed for 204 per RFC 7230 §3.3.2 — extra headers,
+/// Connection: close, body). Shared by WriteHttpResponse and the event
+/// loop's write queue.
+std::string SerializeHttpResponse(const HttpResponse& response);
 
 /// Writes `response` with Content-Length and Connection headers.
 Status WriteHttpResponse(const net::Fd& fd, const HttpResponse& response,

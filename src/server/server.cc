@@ -74,11 +74,19 @@ Status QueryServer::Start() {
   PRIVBASIS_ASSIGN_OR_RETURN(listen_fd_,
                              net::ListenTcp(options_.host, options_.port));
   PRIVBASIS_ASSIGN_OR_RETURN(port_, net::LocalPort(listen_fd_));
-  // Connection handlers block on client I/O, so they get their own pool;
-  // Submit needs ≥ 1 worker.
+  // Request handlers may block on Engine::Run, so they get their own
+  // pool (not the global counting pool); Submit needs ≥ 1 worker.
   pool_ = std::make_unique<ThreadPool>(
       std::max<size_t>(1, EffectiveThreads(options_.num_threads)));
   stopping_.store(false, std::memory_order_release);
+  batch_window_us_ = options_.batch_window_us >= 0
+                         ? options_.batch_window_us
+                         : GetEnvInt("PRIVBASIS_BATCH_WINDOW_US", 0);
+  max_batch_ = options_.max_batch != 0
+                   ? options_.max_batch
+                   : static_cast<size_t>(std::max<int64_t>(
+                         1, GetEnvInt("PRIVBASIS_MAX_BATCH", 8)));
+  if (BatchingEnabled()) batch_stats_ = std::make_shared<BatchStats>();
   // Coordinator mode: stand up the worker fleet BEFORE anything can
   // register (including recovery) — every dataset becoming findable must
   // go through the attach hook, and a misconfigured fleet should fail
@@ -94,10 +102,12 @@ Status QueryServer::Start() {
         return alive;
       }
     }
+  }
+  if (!shard_workers_.empty() || BatchingEnabled()) {
     registry_.SetAttachHook(
         [this](const std::string& id,
                const std::shared_ptr<Dataset>& dataset) {
-          return ShardToWorkers(id, dataset);
+          return AttachExecutors(id, dataset);
         });
   }
   // Recovery runs behind the already-listening socket: a restarting
@@ -109,7 +119,29 @@ Status QueryServer::Start() {
                           std::memory_order_release);
     recovery_thread_ = std::thread([this] { RecoverState(); });
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  EventLoop::Options loop_options;
+  loop_options.limits = HttpLimits{.max_body_bytes = options_.max_body_bytes};
+  loop_options.request_deadline_ms = options_.request_deadline_ms;
+  loop_options.max_requests_per_connection =
+      options_.max_requests_per_connection;
+  EventLoop::Hooks hooks;
+  hooks.dispatch = [this](uint64_t conn_id, HttpRequest request) {
+    DispatchRequest(conn_id, std::move(request));
+  };
+  hooks.on_connection = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.connections;
+  };
+  hooks.error_response = [this](HttpReadOutcome outcome) {
+    return ProtocolErrorResponse(outcome);
+  };
+  loop_ = std::make_unique<EventLoop>(std::move(loop_options),
+                                      std::move(hooks));
+  if (Status up = loop_->Start(std::move(listen_fd_)); !up.ok()) {
+    loop_.reset();
+    pool_.reset();
+    return up;
+  }
   started_ = true;
   return Status::OK();
 }
@@ -162,15 +194,16 @@ void QueryServer::Stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_release);
   if (recovery_thread_.joinable()) recovery_thread_.join();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listen_fd_.Close();
-  {
-    // In-flight handlers run to completion (their own deadlines bound
-    // the wait); new connections were already refused above.
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  // Ordering matters: stop accepting first (frees the port, closes idle
+  // connections), then join the pool — its destructor runs every queued
+  // task, so each dispatched request still produces its CompleteRequest
+  // — and only then flush + close the remaining connections.
+  if (loop_ != nullptr) loop_->RequestStop();
+  pool_.reset();
+  if (loop_ != nullptr) {
+    loop_->Join();
+    loop_.reset();
   }
-  pool_.reset();  // drains any still-queued (unstarted) connections
   started_ = false;
 }
 
@@ -179,158 +212,72 @@ QueryServer::Counters QueryServer::counters() const {
   return counters_;
 }
 
-void QueryServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    // Short waits so Stop() is noticed promptly without closing the fd
-    // under a concurrent accept.
-    auto accepted =
-        net::AcceptWithDeadline(listen_fd_, net::DeadlineAfterMs(50));
-    if (!accepted.ok()) {
-      // Transient resource exhaustion (EMFILE/ENFILE/ENOBUFS under
-      // connection load) must not kill the accept loop — that would
-      // leave a zombie server whose backlog silently absorbs clients.
-      // Back off one tick and retry; Stop() remains the only exit.
-      timespec backoff{0, 50'000'000};  // 50 ms
-      nanosleep(&backoff, nullptr);
-      continue;
-    }
-    if (!accepted->valid()) continue;  // deadline tick
-    auto fd = std::make_shared<net::Fd>(std::move(*accepted));
+void QueryServer::DispatchRequest(uint64_t conn_id, HttpRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests;
+  }
+  auto task = [this, conn_id, request = std::move(request)]() mutable {
+    HttpResponse response = Route(request);
+    // Client-requested close; the loop adds its own reasons (served
+    // count, shutdown) on top.
+    response.close_connection =
+        response.close_connection || !request.KeepAlive();
+    loop_->CompleteRequest(conn_id, std::move(response));
+  };
+  const size_t max_depth = options_.admission.max_queue_depth;
+  if (max_depth == 0) {
+    pool_->Submit(std::move(task));
+    return;
+  }
+  if (!pool_->TrySubmit(std::move(task), max_depth)) {
+    // Bounded-queue shed: the request would only have waited its
+    // deadline out behind max_depth others. Tell the client to come
+    // back — the loop writes the tiny 503 without ever blocking a
+    // worker, and closes afterwards.
+    size_t queue_depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++active_connections_;
-      ++counters_.connections;
+      ++counters_.connections_shed;
+      queue_depth = pool_->QueueDepth();
     }
-    auto task = [this, fd]() mutable {
-      HandleConnection(std::move(*fd));
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_connections_ == 0) idle_cv_.notify_all();
-    };
-    const size_t max_depth = options_.admission.max_queue_depth;
-    if (max_depth == 0) {
-      pool_->Submit(std::move(task));
-      continue;
-    }
-    if (!pool_->TrySubmit(std::move(task), max_depth)) {
-      // Bounded-queue shed: the connection would only have waited its
-      // deadline out behind max_depth others. Tell it to come back —
-      // a tiny 503 whose write cannot stall the accept loop (the
-      // response fits a fresh socket's send buffer; the short deadline
-      // is a backstop).
-      size_t queue_depth;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++counters_.connections_shed;
-        if (--active_connections_ == 0) idle_cv_.notify_all();
-        queue_depth = pool_->QueueDepth();
-      }
-      HttpResponse shed = ErrorResponse(Status::Unavailable(
-          "server at capacity (" + std::to_string(max_depth) +
-          " connections queued); retry shortly"));
-      shed = WithRetryAfter(std::move(shed),
-                            admission_.RetryAfterSeconds(queue_depth));
-      shed.close_connection = true;
-      (void)WriteHttpResponse(*fd, shed, net::DeadlineAfterMs(250));
-      // Drain until the client closes (it does so right after reading
-      // the 503): closing with unread request bytes still in our
-      // receive buffer turns the close into an RST, which can discard
-      // the un-read response from the client's buffer — the client
-      // would see a connection reset instead of the shed we wrote.
-      char discard[4096];
-      const net::Deadline drain_deadline = net::DeadlineAfterMs(250);
-      for (;;) {
-        auto n = net::ReadSome(*fd, discard, sizeof(discard),
-                               drain_deadline);
-        if (!n.ok() || *n == 0) break;
-      }
-    }
+    HttpResponse shed = ErrorResponse(Status::Unavailable(
+        "server at capacity (" + std::to_string(max_depth) +
+        " requests queued); retry shortly"));
+    shed = WithRetryAfter(std::move(shed),
+                          admission_.RetryAfterSeconds(queue_depth));
+    shed.close_connection = true;
+    loop_->CompleteRequest(conn_id, std::move(shed));
   }
 }
 
-void QueryServer::HandleConnection(net::Fd fd) {
-  const HttpLimits limits{.max_body_bytes = options_.max_body_bytes};
-  std::string buffer;
-  for (size_t served = 0; served < options_.max_requests_per_connection;
-       ++served) {
-    // Idle wait in short stop-aware ticks: a parked keep-alive
-    // connection must not hold Stop() hostage for the full request
-    // deadline. The per-request deadline starts once bytes arrive.
-    if (buffer.empty()) {
-      const net::Deadline idle_deadline =
-          net::DeadlineAfterMs(options_.request_deadline_ms);
-      for (;;) {
-        if (stopping_.load(std::memory_order_acquire)) return;
-        auto readable = net::PollReadable(fd, net::DeadlineAfterMs(100));
-        if (!readable.ok()) return;
-        if (*readable) break;
-        if (std::chrono::steady_clock::now() >= idle_deadline) {
-          return;  // idle keep-alive timeout: just close
-        }
-      }
-    }
-    const net::Deadline deadline =
-        net::DeadlineAfterMs(options_.request_deadline_ms);
-    HttpRequest request;
-    const HttpReadOutcome outcome =
-        ReadHttpRequest(fd, limits, deadline, &buffer, &request);
-
-    HttpResponse response;
-    bool have_request = false;
-    switch (outcome) {
-      case HttpReadOutcome::kOk:
-        have_request = true;
-        break;
-      case HttpReadOutcome::kClosed:
-      case HttpReadOutcome::kIoError:
-        return;
-      case HttpReadOutcome::kTimeout:
-        response = ErrorResponse(Status::ResourceExhausted(
-            "request deadline (" +
-            std::to_string(options_.request_deadline_ms) + " ms) exceeded"));
-        response.status = 408;
-        break;
-      case HttpReadOutcome::kMalformed:
-        response = ErrorResponse(
-            Status::InvalidArgument("malformed HTTP request"));
-        break;
-      case HttpReadOutcome::kHeaderTooLarge:
-        response = ErrorResponse(Status::ResourceExhausted(
-            "request headers exceed 16 KiB"));
-        response.status = 431;
-        break;
-      case HttpReadOutcome::kBodyTooLarge:
-        response = ErrorResponse(Status::ResourceExhausted(
-            "request body exceeds " +
-            std::to_string(options_.max_body_bytes) + " bytes"));
-        response.status = 413;
-        break;
-    }
-
-    if (have_request) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++counters_.requests;
-      }
-      response = Route(request);
-      response.close_connection =
-          response.close_connection || !request.KeepAlive() ||
-          served + 1 == options_.max_requests_per_connection;
-    } else {
-      // The stream position is unreliable after any read failure.
-      response.close_connection = true;
-    }
-    // The response gets its own write deadline: by the time a slow (but
-    // successful) query finishes, the request deadline may already be
-    // spent, and dropping the write would lose a release whose ε was
-    // just committed to the ledger — the one outcome a budget-metered
-    // server must never produce.
-    if (!WriteHttpResponse(fd, response,
-                           net::DeadlineAfterMs(options_.request_deadline_ms))
-             .ok()) {
-      return;
-    }
-    if (response.close_connection) return;
+HttpResponse QueryServer::ProtocolErrorResponse(HttpReadOutcome outcome) const {
+  HttpResponse response;
+  switch (outcome) {
+    case HttpReadOutcome::kTimeout:
+      response = ErrorResponse(Status::ResourceExhausted(
+          "request deadline (" +
+          std::to_string(options_.request_deadline_ms) + " ms) exceeded"));
+      response.status = 408;
+      break;
+    case HttpReadOutcome::kHeaderTooLarge:
+      response = ErrorResponse(
+          Status::ResourceExhausted("request headers exceed 16 KiB"));
+      response.status = 431;
+      break;
+    case HttpReadOutcome::kBodyTooLarge:
+      response = ErrorResponse(Status::ResourceExhausted(
+          "request body exceeds " +
+          std::to_string(options_.max_body_bytes) + " bytes"));
+      response.status = 413;
+      break;
+    case HttpReadOutcome::kMalformed:
+    default:
+      response =
+          ErrorResponse(Status::InvalidArgument("malformed HTTP request"));
+      break;
   }
+  return response;
 }
 
 HttpResponse QueryServer::Route(const HttpRequest& request) {
@@ -423,6 +370,27 @@ HttpResponse QueryServer::Route(const HttpRequest& request) {
   return ErrorResponse(
       Status::NotFound("no route for " + request.method + " " +
                        request.target));
+}
+
+Status QueryServer::AttachExecutors(const std::string& id,
+                                    const std::shared_ptr<Dataset>& dataset) {
+  if (!shard_workers_.empty()) {
+    PRIVBASIS_RETURN_NOT_OK(ShardToWorkers(id, dataset));
+  }
+  if (!BatchingEnabled()) return Status::OK();
+  // Wrap whatever the dataset counts through (remote fleet, local
+  // shards, or the direct scan) so same-dataset queries can share scans.
+  // Fused counts merge exactly before any noise draw, so attaching the
+  // batcher never changes a release bit.
+  auto batcher = std::make_shared<BatchingCountExecutor>(
+      dataset->EnsureCountExecutor(),
+      BatchingCountExecutor::Options{.window_us = batch_window_us_,
+                                     .max_batch = max_batch_},
+      batch_stats_);
+  dataset->AttachCountExecutor(batcher);
+  std::lock_guard<std::mutex> lock(batchers_mu_);
+  batchers_[id] = std::move(batcher);
+  return Status::OK();
 }
 
 Status QueryServer::ShardToWorkers(const std::string& id,
@@ -525,6 +493,34 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.queries_admitted;
   }
+
+  // Batching bracket: while this query runs, same-dataset co-arrivals
+  // may share counting scans with it (core/batch_exec.h). The in-flight
+  // count BeginQuery bumps is what sizes batch rounds; the window hint
+  // keeps cheap queries from waiting a full window for co-riders that
+  // would barely help them.
+  std::shared_ptr<BatchingCountExecutor> batcher;
+  if (BatchingEnabled()) {
+    std::lock_guard<std::mutex> lock(batchers_mu_);
+    auto it = batchers_.find(*id);
+    if (it != batchers_.end()) batcher = it->second;
+  }
+  if (batcher != nullptr) {
+    int64_t hint_us = batch_window_us_;
+    if (decision.predicted_ms > 0 && pool_->QueueDepth() == 0) {
+      // Bound the wait to a small fraction of the predicted runtime.
+      hint_us = std::clamp<int64_t>(
+          static_cast<int64_t>(decision.predicted_ms * 1000.0 / 16.0),
+          int64_t{50}, batch_window_us_);
+    }
+    batcher->BeginQuery(hint_us);
+  }
+  struct BatchScope {
+    std::shared_ptr<BatchingCountExecutor> b;
+    ~BatchScope() {
+      if (b != nullptr) b->EndQuery();
+    }
+  } batch_scope{batcher};
 
   // The full in-process path: central validation, budget reservation
   // (429 before any noise on overdraft), mechanism, ledger commit. The
@@ -634,6 +630,12 @@ HttpResponse QueryServer::HandleEvict(const std::string& id) {
   for (const auto& worker : shard_workers_) {
     (void)worker->DropShard(id);
   }
+  {
+    // In-flight queries on the evicted dataset keep their batcher alive
+    // through their own shared_ptr brackets.
+    std::lock_guard<std::mutex> lock(batchers_mu_);
+    batchers_.erase(id);
+  }
   HttpResponse response;
   response.status = 204;
   return response;
@@ -658,6 +660,15 @@ HttpResponse QueryServer::HandleStats() {
   stats.shard_fanout = shard_workers_.empty()
                            ? static_cast<uint64_t>(NumShards())
                            : shard_workers_.size();
+  stats.batch_window_us = batch_window_us_;
+  stats.batch_max = BatchingEnabled() ? max_batch_ : 0;
+  if (batch_stats_ != nullptr) {
+    stats.batches = batch_stats_->batches.load(std::memory_order_relaxed);
+    stats.batched_queries =
+        batch_stats_->batched_queries.load(std::memory_order_relaxed);
+    stats.scans_saved =
+        batch_stats_->scans_saved.load(std::memory_order_relaxed);
+  }
   return JsonResponse(200, StatsToJson(stats));
 }
 

@@ -38,20 +38,32 @@
 //     shard-chunk, answers 408, and charges the full reservation
 //     (fail-closed, engine/accountant.h).
 //
-// Concurrency: one accept thread hands connections to a dedicated
-// ThreadPool (not the global counting pool — a handler blocked on slow
-// client I/O must never hold a compute worker hostage). Each worker owns
-// its connection for the keep-alive duration; Engine::Run inside fans
-// out over the global pool as usual. Budget integrity under contention
-// is the Accountant's reserve/commit protocol — the server adds nothing
-// and therefore can't break it (the 16-client hammer test checks ε
-// conservation end to end).
+// Concurrency: ONE epoll event-loop thread (server/event_loop.h) owns
+// every connection fd — accepts, incremental reads, response flushes,
+// and all per-connection timers. Only a COMPLETE parsed request is
+// handed to the worker ThreadPool, so a parked keep-alive client (or a
+// slow-writing one) costs a file descriptor, never a worker — the
+// thread-per-connection model this replaced let an idle-client storm
+// starve real queries out of the pool. Engine::Run inside a worker fans
+// out over the global counting pool as usual. Budget integrity under
+// contention is the Accountant's reserve/commit protocol — the server
+// adds nothing and therefore can't break it (the 16-client hammer test
+// checks ε conservation end to end).
+//
+// Query batching (core/batch_exec.h): with a batch window configured
+// (--batch-window-us / PRIVBASIS_BATCH_WINDOW_US), concurrent admitted
+// queries against the SAME dataset share their counting scans — each
+// dataset's executor is wrapped in a BatchingCountExecutor whose fused
+// scans merge exact counts before any noise draw, so every release
+// stays bit-identical to its unbatched run at the same seed. ε is
+// reserved and committed per query, never per batch.
 #ifndef PRIVBASIS_SERVER_SERVER_H_
 #define PRIVBASIS_SERVER_SERVER_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -59,9 +71,11 @@
 
 #include "common/net.h"
 #include "common/thread_pool.h"
+#include "core/batch_exec.h"
 #include "server/admission.h"
 #include "shard/remote.h"
 #include "server/dataset_registry.h"
+#include "server/event_loop.h"
 #include "server/http.h"
 #include "store/state_store.h"
 
@@ -101,6 +115,15 @@ struct ServerOptions {
   /// locally; a worker dying mid-query fails that query fail-closed
   /// (full ε charge), never a partial count.
   std::vector<std::string> shard_workers;
+  /// Same-dataset query batching (core/batch_exec.h): how long a batch
+  /// leader waits for co-riders, in microseconds. 0 disables batching;
+  /// −1 (the default) reads the PRIVBASIS_BATCH_WINDOW_US env knob
+  /// (default 0 = off). Batching never changes results — fused scans
+  /// merge exact counts before any noise draw.
+  int64_t batch_window_us = -1;
+  /// Queries per fused scan. 0 (the default) reads PRIVBASIS_MAX_BATCH
+  /// (default 8); 1 disables batching.
+  size_t max_batch = 0;
 };
 
 class QueryServer {
@@ -140,7 +163,7 @@ class QueryServer {
   /// Monotone counters for smoke checks, /healthz, and /v1/stats.
   struct Counters {
     uint64_t connections = 0;
-    uint64_t connections_shed = 0;  ///< refused at accept (queue full)
+    uint64_t connections_shed = 0;  ///< requests shed 503 (queue full)
     uint64_t requests = 0;
     uint64_t queries_ok = 0;
     uint64_t queries_rejected = 0;  ///< non-2xx /v1/query responses
@@ -162,14 +185,30 @@ class QueryServer {
  private:
   enum class RecoveryState { kReady, kRecovering, kFailed };
 
-  void AcceptLoop();
   void RecoverState();
-  void HandleConnection(net::Fd fd);
+  /// Event-loop dispatch hook (loop thread): counts the request and
+  /// hands Route() to the worker pool — or sheds with a 503 when the
+  /// bounded queue is full. The response returns to the loop via
+  /// CompleteRequest.
+  void DispatchRequest(uint64_t conn_id, HttpRequest request);
+  /// Renders the 400/408/413/431 for a protocol-level read failure —
+  /// the same bodies the pre-event-loop per-request contract produced.
+  HttpResponse ProtocolErrorResponse(HttpReadOutcome outcome) const;
   /// Pure request → response routing (no socket I/O), so tests can cover
   /// the routing table without a live connection if needed.
   HttpResponse Route(const HttpRequest& request);
 
-  /// Coordinator attach hook: partitions `dataset` into one slice per
+  /// Registry attach hook: shards to the worker fleet (coordinator
+  /// mode), then wraps the dataset's executor in a
+  /// BatchingCountExecutor when batching is on.
+  Status AttachExecutors(const std::string& id,
+                         const std::shared_ptr<Dataset>& dataset);
+  /// True once Start() resolved the batching knobs to an active config.
+  bool BatchingEnabled() const {
+    return batch_window_us_ > 0 && max_batch_ > 1;
+  }
+
+  /// Coordinator attach: partitions `dataset` into one slice per
   /// worker, ships the slices (LoadShard), and attaches a
   /// RemoteShardExecutor so its queries count through the fleet. A
   /// failure fails the registration — a dataset must not serve locally
@@ -192,9 +231,18 @@ class QueryServer {
   net::Fd listen_fd_;
   uint16_t port_ = 0;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
+  std::unique_ptr<EventLoop> loop_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+
+  /// Batching knobs resolved against the env at Start().
+  int64_t batch_window_us_ = 0;
+  size_t max_batch_ = 8;
+  std::shared_ptr<BatchStats> batch_stats_;
+  /// Per-dataset batchers so HandleQuery can bracket Engine::Run with
+  /// BeginQuery/EndQuery (the live in-flight signal that sizes rounds).
+  mutable std::mutex batchers_mu_;
+  std::map<std::string, std::shared_ptr<BatchingCountExecutor>> batchers_;
 
   std::unique_ptr<store::StateStore> store_;
   std::thread recovery_thread_;
@@ -204,8 +252,6 @@ class QueryServer {
   Status recovery_error_;  // set before kFailed becomes visible
 
   mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  size_t active_connections_ = 0;
   Counters counters_;
 };
 

@@ -397,6 +397,13 @@ json::Value StatsToJson(const StatsSnapshot& stats) {
   shards.Set("workers", stats.shard_workers);
   shards.Set("fanout", stats.shard_fanout);
   body.Set("shards", std::move(shards));
+  json::Value batching;
+  batching.Set("window_us", stats.batch_window_us);
+  batching.Set("max", stats.batch_max);
+  batching.Set("batches", stats.batches);
+  batching.Set("batched_queries", stats.batched_queries);
+  batching.Set("scans_saved", stats.scans_saved);
+  body.Set("batching", std::move(batching));
   return body;
 }
 
@@ -405,7 +412,8 @@ Result<StatsSnapshot> StatsFromJson(const json::Value& value) {
   PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* obj,
                              value.GetObject());
   PRIVBASIS_RETURN_NOT_OK(CheckKeys(
-      *obj, {"queries", "connections", "admission", "shards"}, "stats"));
+      *obj, {"queries", "connections", "admission", "shards", "batching"},
+      "stats"));
   if (const json::Value* queries = value.Find("queries")) {
     PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* q,
                                queries->GetObject());
@@ -463,6 +471,22 @@ Result<StatsSnapshot> StatsFromJson(const json::Value& value) {
                                      &stats.shard_workers));
     PRIVBASIS_RETURN_NOT_OK(ReadUint(*shards, "fanout",
                                      &stats.shard_fanout));
+  }
+  if (const json::Value* batching = value.Find("batching")) {
+    PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Object* b,
+                               batching->GetObject());
+    PRIVBASIS_RETURN_NOT_OK(CheckKeys(
+        *b, {"window_us", "max", "batches", "batched_queries", "scans_saved"},
+        "stats batching"));
+    uint64_t window_us = 0;
+    PRIVBASIS_RETURN_NOT_OK(ReadUint(*batching, "window_us", &window_us));
+    stats.batch_window_us = static_cast<int64_t>(window_us);
+    PRIVBASIS_RETURN_NOT_OK(ReadUint(*batching, "max", &stats.batch_max));
+    PRIVBASIS_RETURN_NOT_OK(ReadUint(*batching, "batches", &stats.batches));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*batching, "batched_queries", &stats.batched_queries));
+    PRIVBASIS_RETURN_NOT_OK(
+        ReadUint(*batching, "scans_saved", &stats.scans_saved));
   }
   return stats;
 }

@@ -84,6 +84,14 @@ struct StatsSnapshot {
   // configured) and the default counting fan-out new datasets get.
   uint64_t shard_workers = 0;
   uint64_t shard_fanout = 1;
+  // Same-dataset query batching (core/batch_exec.h): the configured
+  // window/size (window_us = 0, max = 0 when off) and the monotone
+  // fused-scan counters.
+  int64_t batch_window_us = 0;
+  uint64_t batch_max = 0;
+  uint64_t batches = 0;
+  uint64_t batched_queries = 0;
+  uint64_t scans_saved = 0;
 };
 
 /// Serializes the snapshot in fixed member order (the /v1/stats body).

@@ -294,6 +294,11 @@ TEST(WireStatsTest, GoldenRoundTrip) {
   stats.recent_query_ms = 3.5;
   stats.shard_workers = 2;
   stats.shard_fanout = 2;
+  stats.batch_window_us = 200;
+  stats.batch_max = 8;
+  stats.batches = 6;
+  stats.batched_queries = 15;
+  stats.scans_saved = 9;
 
   const std::string golden =
       "{\"queries\":{\"admitted\":10,\"shed_predicted\":2,"
@@ -302,7 +307,9 @@ TEST(WireStatsTest, GoldenRoundTrip) {
       "\"admission\":{\"slo_ms\":250,\"max_queue_depth\":16,"
       "\"queue_depth\":5,\"ns_per_unit\":57.25,"
       "\"recent_query_ms\":3.5},"
-      "\"shards\":{\"workers\":2,\"fanout\":2}}";
+      "\"shards\":{\"workers\":2,\"fanout\":2},"
+      "\"batching\":{\"window_us\":200,\"max\":8,\"batches\":6,"
+      "\"batched_queries\":15,\"scans_saved\":9}}";
   EXPECT_EQ(StatsToJson(stats).Dump(), golden);
 
   auto parsed = json::Parse(golden);
@@ -323,6 +330,11 @@ TEST(WireStatsTest, GoldenRoundTrip) {
   EXPECT_EQ(back->recent_query_ms, 3.5);
   EXPECT_EQ(back->shard_workers, 2u);
   EXPECT_EQ(back->shard_fanout, 2u);
+  EXPECT_EQ(back->batch_window_us, 200);
+  EXPECT_EQ(back->batch_max, 8u);
+  EXPECT_EQ(back->batches, 6u);
+  EXPECT_EQ(back->batched_queries, 15u);
+  EXPECT_EQ(back->scans_saved, 9u);
   // Re-serialization is the identical byte string.
   EXPECT_EQ(StatsToJson(*back).Dump(), golden);
 }
@@ -334,6 +346,9 @@ TEST(WireStatsTest, RejectsUnknownKeys) {
            "{\"admission\":{\"slo\":250}}",    // wrong key
            "{\"shards\":{\"workers\":1,\"fanout\":1,\"extra\":2}}",
            "{\"shards\":[1,2]}",               // wrong type
+           "{\"batching\":{\"windowus\":1}}",  // typo
+           "{\"batching\":{\"window_us\":1,\"max\":8,\"batches\":0,"
+           "\"batched_queries\":0,\"scans_saved\":0,\"extra\":1}}",
        }) {
     auto parsed = json::Parse(text);
     ASSERT_TRUE(parsed.ok()) << text;

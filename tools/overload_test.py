@@ -24,10 +24,12 @@ stdlib only; reuses the HTTP helpers from privbasis_client.py.
 import argparse
 import os
 import re
+import socket
 import subprocess
 import sys
 import threading
 import time
+import urllib.parse
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import privbasis_client  # noqa: E402
@@ -200,6 +202,34 @@ def run(args):
         check(stats["queries"]["shed_predicted"] +
               stats["queries"]["shed_queue"] == shed_queries,
               "stats: query sheds match")
+
+        # Parked keep-alive storm: under thread-per-connection, every
+        # idle socket pinned a worker, so capacity+1 parked clients
+        # starved the pool outright. The epoll loop prices an idle
+        # connection at one fd — with 4x capacity parked (half silent,
+        # half stalled mid-request-line, so neither ever yields a
+        # complete request), a live query must still reach a worker and
+        # finish promptly.
+        parts = urllib.parse.urlsplit(server.url)
+        parked = []
+        for i in range(4 * capacity):
+            sock = socket.create_connection(
+                (parts.hostname, parts.port), timeout=10)
+            if i % 2 == 1:
+                sock.sendall(b"POST /v1/query HT")
+            parked.append(sock)
+        started = time.monotonic()
+        status, _ = call(server.url, "POST", "/v1/query",
+                         {"dataset": ds, "k": 5, "epsilon": 0.01,
+                          "seed": 424242}, timeout=30)
+        parked_elapsed = time.monotonic() - started
+        check(status == 200,
+              f"live query served past {len(parked)} parked connections")
+        check(parked_elapsed < args.slo_ms / 1000.0,
+              f"parked connections did not starve workers "
+              f"({parked_elapsed * 1000:.0f} ms)")
+        for sock in parked:
+            sock.close()
         print("[overload] PASS")
         return 0
     finally:

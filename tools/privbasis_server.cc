@@ -50,6 +50,7 @@ void PrintUsage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--threads N]\n"
       "          [--deadline-ms MS] [--max-body BYTES]\n"
       "          [--slo-ms MS] [--max-queue N]\n"
+      "          [--batch-window-us US] [--max-batch N]\n"
       "          [--shard-workers H1:P1,H2:P2,...]\n"
       "          [--allow-path-datasets on|off]\n"
       "          [--state-dir DIR] [--fsync always|commit|never]\n"
@@ -68,6 +69,16 @@ void PrintUsage(const char* argv0) {
       "  --max-queue N      bounded worker queue: shed new arrivals once\n"
       "                     N connections are already queued (503 +\n"
       "                     Retry-After; default 0 = unbounded)\n"
+      "  --batch-window-us US\n"
+      "                     same-dataset query batching: concurrent\n"
+      "                     admitted queries on one dataset share their\n"
+      "                     counting scans, waiting up to US microseconds\n"
+      "                     for co-riders. Releases stay bit-identical to\n"
+      "                     unbatched runs at the same seed; epsilon is\n"
+      "                     charged per query (default: the\n"
+      "                     PRIVBASIS_BATCH_WINDOW_US env, else 0 = off)\n"
+      "  --max-batch N      queries per fused scan (default: the\n"
+      "                     PRIVBASIS_MAX_BATCH env, else 8)\n"
       "  --shard-workers L  comma-separated privbasis_shardd addresses\n"
       "                     (host:port or bare port). Turns this server\n"
       "                     into a scatter-gather coordinator: datasets\n"
@@ -122,6 +133,15 @@ std::optional<ServerCliOptions> ParseArgs(int argc, char** argv) {
     } else if (flag == "--max-queue") {
       options.server.admission.max_queue_depth =
           static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--batch-window-us") {
+      options.server.batch_window_us = std::atoll(value);
+    } else if (flag == "--max-batch") {
+      options.server.max_batch =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+      if (options.server.max_batch == 0) {
+        std::fprintf(stderr, "--max-batch must be >= 1\n");
+        return std::nullopt;
+      }
     } else if (flag == "--shard-workers") {
       std::string list = value;
       size_t start = 0;
