@@ -94,7 +94,8 @@ inline void EmitJsonSamples(
     min_s = (i == 0) ? samples[i] : std::min(min_s, samples[i]);
     sum_s += samples[i];
   }
-  const double mean_s = samples.empty() ? 0.0 : sum_s / samples.size();
+  const double mean_s =
+      samples.empty() ? 0.0 : sum_s / static_cast<double>(samples.size());
   std::printf("PRIVBASIS_JSON {\"phase\":\"%s\"", EscapeJson(phase).c_str());
   for (const auto& [key, value] : tags) {
     std::printf(",\"%s\":\"%s\"", EscapeJson(key).c_str(),

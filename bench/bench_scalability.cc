@@ -18,7 +18,8 @@ void Run() {
     for (size_t k : {100, 400}) {
       WallTimer mine_timer;
       TopKResult top = bench::Unwrap(
-          MineTopK(db, static_cast<size_t>(1.1 * k) + 1), "MineTopK");
+          MineTopK(db, static_cast<size_t>(1.1 * static_cast<double>(k)) + 1),
+          "MineTopK");
       double mine_s = mine_timer.ElapsedSeconds();
 
       QuerySpec spec = QuerySpec().WithTopK(k).WithSeed(7);

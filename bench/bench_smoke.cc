@@ -314,7 +314,8 @@ void RunSuite() {
     std::sort(latencies.begin(), latencies.end());
     const double p50 = latencies[latencies.size() / 2];
     const double p99 =
-        latencies[static_cast<size_t>(0.99 * (latencies.size() - 1))];
+        latencies[static_cast<size_t>(
+            0.99 * static_cast<double>(latencies.size() - 1))];
     EmitJsonSamples("server_overload", latencies, {{"dataset", "kosarak"}},
                     {{"p50_ms", p50 * 1e3}, {"p99_ms", p99 * 1e3}});
   }

@@ -8,9 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/env.h"
 
 namespace privbasis::failpoint {
@@ -24,9 +24,9 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Site> sites;
-  bool env_loaded = false;
+  Mutex mu;
+  std::map<std::string, Site> sites PB_GUARDED_BY(mu);
+  bool env_loaded PB_GUARDED_BY(mu) = false;
 };
 
 Registry& registry() {
@@ -52,6 +52,20 @@ Result<int> ParseErrno(const std::string& name) {
   return static_cast<int>(value);
 }
 
+/// Strictly decimal, non-empty. A typo'd count silently parsing as 0
+/// would arm a different fault than the operator asked for (torn:0
+/// writes nothing, @0 skips nothing) — fault injection must be exact.
+Result<size_t> ParseCount(const std::string& text, const char* what,
+                          const std::string& term) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(std::string("failpoint: bad ") + what +
+                                   " \"" + text + "\" in \"" + term + "\"");
+  }
+  return static_cast<size_t>(value);
+}
+
 /// One `site=action[:arg][@skip]` term.
 Result<std::pair<std::string, Site>> ParseTerm(const std::string& term) {
   const size_t eq = term.find('=');
@@ -63,24 +77,33 @@ Result<std::pair<std::string, Site>> ParseTerm(const std::string& term) {
   std::string rest = term.substr(eq + 1);
   Site site;
   if (const size_t at = rest.rfind('@'); at != std::string::npos) {
-    site.skip = std::strtoull(rest.c_str() + at + 1, nullptr, 10);
+    PRIVBASIS_ASSIGN_OR_RETURN(site.skip,
+                               ParseCount(rest.substr(at + 1), "@skip", term));
     rest = rest.substr(0, at);
   }
   std::string arg;
+  bool has_arg = false;
   if (const size_t colon = rest.find(':'); colon != std::string::npos) {
     arg = rest.substr(colon + 1);
     rest = rest.substr(0, colon);
+    has_arg = true;
   }
   if (rest == "error") {
     site.action.kind = Action::Kind::kError;
     PRIVBASIS_ASSIGN_OR_RETURN(site.action.err, ParseErrno(arg));
   } else if (rest == "torn") {
     site.action.kind = Action::Kind::kTorn;
-    site.action.arg = std::strtoull(arg.c_str(), nullptr, 10);
+    PRIVBASIS_ASSIGN_OR_RETURN(site.action.arg,
+                               ParseCount(arg, "torn byte count", term));
   } else if (rest == "sleep") {
     site.action.kind = Action::Kind::kSleep;
-    site.action.arg = std::strtoull(arg.c_str(), nullptr, 10);
+    PRIVBASIS_ASSIGN_OR_RETURN(site.action.arg,
+                               ParseCount(arg, "sleep duration", term));
   } else if (rest == "crash") {
+    if (has_arg) {
+      return Status::InvalidArgument("failpoint: crash takes no argument (\"" +
+                                     term + "\")");
+    }
     site.action.kind = Action::Kind::kCrash;
   } else {
     return Status::InvalidArgument("failpoint: unknown action \"" + rest +
@@ -108,7 +131,7 @@ Result<std::map<std::string, Site>> ParseSpec(const std::string& spec) {
 /// Loads PRIVBASIS_FAILPOINTS once (under the registry lock). A malformed
 /// env spec aborts: an operator who asked for fault injection must not
 /// silently run without it.
-void LoadEnvLocked(Registry& r) {
+void LoadEnvLocked(Registry& r) PB_REQUIRES(r.mu) {
   if (r.env_loaded) return;
   r.env_loaded = true;
   const std::string spec = GetEnvString("PRIVBASIS_FAILPOINTS", "");
@@ -128,7 +151,7 @@ void LoadEnvLocked(Registry& r) {
 Status Configure(const std::string& spec) {
   PRIVBASIS_ASSIGN_OR_RETURN(auto sites, ParseSpec(spec));
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.env_loaded = true;  // programmatic config overrides the environment
   r.sites = std::move(sites);
   g_armed.store(!r.sites.empty(), std::memory_order_release);
@@ -138,7 +161,7 @@ Status Configure(const std::string& spec) {
 
 void Reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.env_loaded = true;
   r.sites.clear();
   g_armed.store(false, std::memory_order_release);
@@ -148,14 +171,14 @@ void Reset() {
 Action Hit(const char* site) {
   Registry& r = registry();
   if (!g_env_checked.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     LoadEnvLocked(r);
     g_env_checked.store(true, std::memory_order_release);
   }
   if (!g_armed.load(std::memory_order_acquire)) return Action{};
   Action action;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     auto it = r.sites.find(site);
     if (it == r.sites.end()) return Action{};
     Site& s = it->second;

@@ -10,7 +10,7 @@
 // Activation, either way:
 //   * environment: PRIVBASIS_FAILPOINTS="wal_append=error:ENOSPC@1,
 //     snapshot_write=torn:12" (read once, at first use);
-//   * programmatic (tests): failpoint::Configure("wal_fsync=error:EIO"),
+//   * programmatic (tests): failpoint::Configure("wal_sync=error:EIO"),
 //     failpoint::Reset().
 //
 // Spec grammar (comma-separated `site=action` terms):

@@ -30,11 +30,16 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
+}
+
+size_t ThreadPool::NumWorkers() const {
+  MutexLock lock(mu_);
+  return workers_.size();
 }
 
 ThreadPool& ThreadPool::Global() {
@@ -48,7 +53,7 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::EnsureWorkers(size_t target) {
   if (!growable_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   target = std::min(target, kMaxThreads - 1);
   while (workers_.size() < target && !stop_) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -59,8 +64,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -94,9 +99,9 @@ void ThreadPool::ParallelFor(
     std::atomic<size_t> done{0};
     size_t begin, end, grain, shards;
     const std::function<void(size_t, size_t, size_t)>* fn;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error PB_GUARDED_BY(mu);
   };
   auto region = std::make_shared<Region>();
   region->begin = begin;
@@ -114,13 +119,13 @@ void ThreadPool::ParallelFor(
       try {
         (*region->fn)(b, std::min(region->end, b + region->grain), s);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(region->mu);
+        MutexLock lock(region->mu);
         if (!region->error) region->error = std::current_exception();
       }
       if (region->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           region->shards) {
-        std::lock_guard<std::mutex> lock(region->mu);
-        region->cv.notify_all();
+        MutexLock lock(region->mu);
+        region->cv.NotifyAll();
       }
     }
     --g_parallel_depth;
@@ -129,44 +134,44 @@ void ThreadPool::ParallelFor(
   const size_t helpers = std::min(parallelism - 1, shards - 1);
   EnsureWorkers(helpers);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < std::min(helpers, workers_.size()); ++i) {
       queue_.push_back(drain);
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   drain();  // the caller always participates
   {
-    std::unique_lock<std::mutex> lock(region->mu);
-    region->cv.wait(lock, [&] {
-      return region->done.load(std::memory_order_acquire) == region->shards;
-    });
+    MutexLock lock(region->mu);
+    while (region->done.load(std::memory_order_acquire) != region->shards) {
+      region->cv.Wait(region->mu);
+    }
     if (region->error) std::rethrow_exception(region->error);
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task,
                            size_t max_queue_depth) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.size() >= max_queue_depth) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

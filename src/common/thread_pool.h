@@ -16,13 +16,13 @@
 #ifndef PRIVBASIS_COMMON_THREAD_POOL_H_
 #define PRIVBASIS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace privbasis {
 
@@ -44,7 +44,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t NumWorkers() const { return workers_.size(); }
+  size_t NumWorkers() const PB_EXCLUDES(mu_);
 
   /// Process-wide pool. Grows its worker set on demand up to
   /// kMaxThreads − 1, so the first caller does not fix the ceiling.
@@ -84,15 +84,16 @@ class ThreadPool {
   size_t QueueDepth() const;
 
  private:
-  void WorkerLoop();
-  void EnsureWorkers(size_t target);
+  void WorkerLoop() PB_EXCLUDES(mu_);
+  void EnsureWorkers(size_t target) PB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ PB_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ PB_GUARDED_BY(mu_);
+  /// Set once by Global() before the pool is shared; immutable after.
   bool growable_ = false;
-  bool stop_ = false;
+  bool stop_ PB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace privbasis

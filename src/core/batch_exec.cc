@@ -102,13 +102,13 @@ Result<Resp> BatchingCountExecutor::RunBatched(Gate<Req, Resp>& gate,
   size_t my_index = 0;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> g(gate.mu);
+    MutexLock g(gate.mu);
     if (gate.current == nullptr) {
       gate.current = std::make_shared<R>();
       leader = true;
     }
     round = gate.current;
-    std::lock_guard<std::mutex> r(round->mu);
+    MutexLock r(round->mu);
     my_index = round->reqs.size();
     round->reqs.push_back(&req);
     round->cancels.push_back(cancel);
@@ -117,7 +117,7 @@ Result<Resp> BatchingCountExecutor::RunBatched(Gate<Req, Resp>& gate,
       round->closed = true;
       gate.current = nullptr;
     }
-    round->cv.notify_all();  // the leader re-evaluates its target
+    round->cv.NotifyAll();  // the leader re-evaluates its target
   }
 
   if (leader) {
@@ -130,7 +130,7 @@ Result<Resp> BatchingCountExecutor::RunBatched(Gate<Req, Resp>& gate,
     const auto close_at = std::chrono::steady_clock::now() +
                           std::chrono::microseconds(window_us);
     {
-      std::unique_lock<std::mutex> r(round->mu);
+      MutexLock r(round->mu);
       for (;;) {
         if (round->closed) break;
         const size_t target = std::clamp<size_t>(
@@ -138,7 +138,8 @@ Result<Resp> BatchingCountExecutor::RunBatched(Gate<Req, Resp>& gate,
                 std::max<int64_t>(1, inflight_.load(std::memory_order_relaxed))),
             size_t{1}, options_.max_batch);
         if (round->reqs.size() >= target) break;
-        if (round->cv.wait_until(r, close_at) == std::cv_status::timeout) {
+        if (round->cv.WaitUntil(round->mu, close_at) ==
+            std::cv_status::timeout) {
           break;
         }
       }
@@ -146,23 +147,31 @@ Result<Resp> BatchingCountExecutor::RunBatched(Gate<Req, Resp>& gate,
     // Close under gate → round lock order (a max_batch joiner may have
     // closed and detached it already).
     {
-      std::lock_guard<std::mutex> g(gate.mu);
-      std::lock_guard<std::mutex> r(round->mu);
+      MutexLock g(gate.mu);
+      MutexLock r(round->mu);
       if (!round->closed) {
         round->closed = true;
         if (gate.current == round) gate.current = nullptr;
       }
     }
-    // The member list is frozen; run the fused scan without any lock.
-    const size_t n = round->reqs.size();
+    // The member list is frozen; snapshot it so the fused scan runs
+    // without any lock held.
+    std::vector<const Req*> member_reqs;
+    std::vector<const CancelToken*> member_cancels;
+    {
+      MutexLock r(round->mu);
+      member_reqs = round->reqs;
+      member_cancels = round->cancels;
+    }
+    const size_t n = member_reqs.size();
     if (n > 1 && stats_ != nullptr) {
       stats_->batches.fetch_add(1, std::memory_order_relaxed);
       stats_->batched_queries.fetch_add(n, std::memory_order_relaxed);
       stats_->scans_saved.fetch_add(n - 1, std::memory_order_relaxed);
     }
-    Result<std::vector<Resp>> fused = fuse(round->reqs, round->cancels);
+    Result<std::vector<Resp>> fused = fuse(member_reqs, member_cancels);
     {
-      std::lock_guard<std::mutex> r(round->mu);
+      MutexLock r(round->mu);
       if (fused.ok()) {
         round->resps = std::move(*fused);
         if (round->resps.size() != n) {
@@ -173,13 +182,13 @@ Result<Resp> BatchingCountExecutor::RunBatched(Gate<Req, Resp>& gate,
       }
       round->done = true;
     }
-    round->cv.notify_all();
+    round->cv.NotifyAll();
   }
 
   Resp mine;
   {
-    std::unique_lock<std::mutex> r(round->mu);
-    round->cv.wait(r, [&] { return round->done; });
+    MutexLock r(round->mu);
+    while (!round->done) round->cv.Wait(round->mu);
     if (!round->status.ok()) return round->status;
     mine = std::move(round->resps[my_index]);
   }

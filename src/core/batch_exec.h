@@ -28,12 +28,11 @@
 #define PRIVBASIS_CORE_BATCH_EXEC_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/count_exec.h"
 #include "data/transaction_db.h"
 #include "data/vertical_index.h"
@@ -127,20 +126,20 @@ class BatchingCountExecutor : public CountExecutor {
   /// gate until `done`.
   template <typename Req, typename Resp>
   struct Round {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool closed = false;  ///< no further joiners
-    bool done = false;    ///< status/resps are valid
-    std::vector<const Req*> reqs;
-    std::vector<const CancelToken*> cancels;
-    Status status = Status::OK();
-    std::vector<Resp> resps;
+    Mutex mu;
+    CondVar cv;
+    bool closed PB_GUARDED_BY(mu) = false;  ///< no further joiners
+    bool done PB_GUARDED_BY(mu) = false;    ///< status/resps are valid
+    std::vector<const Req*> reqs PB_GUARDED_BY(mu);
+    std::vector<const CancelToken*> cancels PB_GUARDED_BY(mu);
+    Status status PB_GUARDED_BY(mu) = Status::OK();
+    std::vector<Resp> resps PB_GUARDED_BY(mu);
   };
 
   template <typename Req, typename Resp>
   struct Gate {
-    std::mutex mu;  ///< guards `current` only
-    std::shared_ptr<Round<Req, Resp>> current;
+    Mutex mu;
+    std::shared_ptr<Round<Req, Resp>> current PB_GUARDED_BY(mu);
   };
 
   /// Joins (or leads) a round on `gate`. `fuse` is called once by the

@@ -14,7 +14,7 @@ Accountant::Accountant(double total_epsilon) : total_(total_epsilon) {
 }
 
 void Accountant::AttachJournal(std::shared_ptr<AccountantJournal> journal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   journal_ = std::move(journal);
 }
 
@@ -22,7 +22,7 @@ Status Accountant::Restore(double spent, std::vector<Entry> entries) {
   if (!(spent >= 0.0) || std::isnan(spent)) {
     return Status::InvalidArgument("restored spend must be >= 0");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spent_ != 0.0 || reserved_ != 0.0 || !entries_.empty()) {
     return Status::FailedPrecondition(
         "Restore() on an accountant that already has activity");
@@ -41,7 +41,7 @@ Result<BudgetLease> Accountant::Acquire(double epsilon, std::string label) {
     return Status::InvalidArgument(
         "budget reservation must be positive and finite: " + label);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spent_ + reserved_ + epsilon > total_ * (1.0 + kBudgetTolerance)) {
     return Status::BudgetExhausted(
         "privacy budget exhausted by '" + label + "': spent " +
@@ -64,22 +64,22 @@ Result<BudgetLease> Accountant::Acquire(double epsilon, std::string label) {
 }
 
 double Accountant::spent_epsilon() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spent_;
 }
 
 double Accountant::remaining_epsilon() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_ - spent_ - reserved_;
 }
 
 double Accountant::reserved_epsilon() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reserved_;
 }
 
 std::vector<Accountant::Entry> Accountant::ledger() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_;
 }
 
@@ -87,7 +87,7 @@ Status Accountant::CommitReservation(double reserved, double actual,
                                      const std::string& label,
                                      std::vector<Entry> breakdown,
                                      uint64_t txn, bool aborted) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Status journal_status = Status::OK();
   if (journal_ != nullptr) {
     if (aborted) {

@@ -31,10 +31,10 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "dp/budget.h"
 
@@ -124,14 +124,14 @@ class Accountant {
   Status CommitReservation(double reserved, double actual,
                            const std::string& label,
                            std::vector<Entry> breakdown, uint64_t txn,
-                           bool aborted);
+                           bool aborted) PB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  double total_;
-  double spent_ = 0.0;
-  double reserved_ = 0.0;
-  std::vector<Entry> entries_;
-  std::shared_ptr<AccountantJournal> journal_;
+  mutable Mutex mu_;
+  const double total_;
+  double spent_ PB_GUARDED_BY(mu_) = 0.0;
+  double reserved_ PB_GUARDED_BY(mu_) = 0.0;
+  std::vector<Entry> entries_ PB_GUARDED_BY(mu_);
+  std::shared_ptr<AccountantJournal> journal_ PB_GUARDED_BY(mu_);
 };
 
 /// RAII handle over one reservation. Move-only. Commit() finalizes the

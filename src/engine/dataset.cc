@@ -51,7 +51,7 @@ std::shared_ptr<Dataset> Dataset::Borrow(const TransactionDatabase& db,
 }
 
 const DatasetStats& Dataset::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_.mu);
+  MutexLock lock(stats_.mu);
   if (!stats_.built) {
     stats_builds_.fetch_add(1, std::memory_order_relaxed);
     stats_.value = ComputeDatasetStats(*db_);
@@ -63,7 +63,7 @@ const DatasetStats& Dataset::Stats() const {
 }
 
 std::shared_ptr<const VerticalIndex> Dataset::Index() const {
-  std::lock_guard<std::mutex> lock(index_.mu);
+  MutexLock lock(index_.mu);
   if (!index_.built) {
     index_builds_.fetch_add(1, std::memory_order_relaxed);
     index_.value = std::make_shared<const VerticalIndex>(
@@ -74,7 +74,7 @@ std::shared_ptr<const VerticalIndex> Dataset::Index() const {
 }
 
 std::shared_ptr<const CountExecutor> Dataset::count_executor() const {
-  std::lock_guard<std::mutex> lock(executor_.mu);
+  MutexLock lock(executor_.mu);
   if (!executor_.built) {
     if (resolved_shards_ <= 1) {
       // Unsharded: mechanisms scan db() directly. Cache the nullptr so
@@ -104,7 +104,7 @@ std::shared_ptr<const CountExecutor> Dataset::EnsureCountExecutor() const {
   // Unsharded: adapt the direct-scan path. Build the index OUTSIDE the
   // executor lock (Index() takes its own cell lock).
   std::shared_ptr<const VerticalIndex> index = Index();
-  std::lock_guard<std::mutex> lock(executor_.mu);
+  MutexLock lock(executor_.mu);
   if (executor_.value == nullptr) {
     executor_.value = std::make_shared<const DirectCountExecutor>(
         db_, std::move(index), options_.num_threads);
@@ -114,14 +114,14 @@ std::shared_ptr<const CountExecutor> Dataset::EnsureCountExecutor() const {
 }
 
 void Dataset::AttachCountExecutor(std::shared_ptr<const CountExecutor> exec) {
-  std::lock_guard<std::mutex> lock(executor_.mu);
+  MutexLock lock(executor_.mu);
   executor_.value = std::move(exec);
   executor_.built = true;
 }
 
 size_t Dataset::shard_fanout() const {
   {
-    std::lock_guard<std::mutex> lock(executor_.mu);
+    MutexLock lock(executor_.mu);
     if (executor_.built) {
       return executor_.value != nullptr ? executor_.value->NumShards() : 1;
     }
@@ -135,7 +135,7 @@ size_t Dataset::shard_fanout() const {
 Result<uint64_t> Dataset::BuildMarginSupport(size_t k1,
                                              const CancelToken* cancel) const {
   auto cell = margins_.CellFor(k1);
-  std::lock_guard<std::mutex> lock(cell->mu);
+  MutexLock lock(cell->mu);
   if (cell->built) return cell->value;
   margin_mines_.fetch_add(1, std::memory_order_relaxed);
   PRIVBASIS_ASSIGN_OR_RETURN(
@@ -157,7 +157,7 @@ Result<uint64_t> Dataset::MarginSupport(size_t k, double eta,
 
 Result<std::shared_ptr<const GroundTruth>> Dataset::Truth(size_t k) const {
   auto cell = truths_.CellFor(k);
-  std::lock_guard<std::mutex> lock(cell->mu);
+  MutexLock lock(cell->mu);
   if (cell->built) return cell->value;
   truth_mines_.fetch_add(1, std::memory_order_relaxed);
 
@@ -181,7 +181,7 @@ Result<std::shared_ptr<const GroundTruth>> Dataset::Truth(size_t k) const {
         {k11, truth.fk1_support_eta11}, {k12, truth.fk1_support_eta12}};
     for (const auto& [k1, support] : warm) {
       auto margin_cell = margins_.CellFor(k1);
-      std::lock_guard<std::mutex> margin_lock(margin_cell->mu);
+      MutexLock margin_lock(margin_cell->mu);
       if (!margin_cell->built) {
         margin_cell->value = support;
         margin_cell->built = true;
@@ -201,7 +201,7 @@ Dataset::TfKey Dataset::MakeTfKey(size_t k, const TfOptions& options) {
 Result<std::shared_ptr<const TfRunner>> Dataset::Tf(
     size_t k, const TfOptions& options, const CancelToken* cancel) const {
   auto cell = tf_runners_.CellFor(MakeTfKey(k, options));
-  std::lock_guard<std::mutex> lock(cell->mu);
+  MutexLock lock(cell->mu);
   if (cell->built) return cell->value;
   tf_builds_.fetch_add(1, std::memory_order_relaxed);
   PRIVBASIS_ASSIGN_OR_RETURN(TfRunner runner,

@@ -27,11 +27,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "baseline/tf.h"
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/count_exec.h"
 #include "data/dataset_stats.h"
@@ -168,9 +168,9 @@ class Dataset {
   /// failed build leaves `built` false so the next caller retries.
   template <typename T>
   struct CacheCell {
-    std::mutex mu;
-    bool built = false;
-    T value{};
+    Mutex mu;
+    bool built PB_GUARDED_BY(mu) = false;
+    T value PB_GUARDED_BY(mu){};
   };
 
   /// Keyed cache entries: a small map mutex guards only the cell table
@@ -179,11 +179,11 @@ class Dataset {
   /// parallel.
   template <typename K, typename V>
   struct KeyedCache {
-    std::mutex map_mu;
-    std::map<K, std::shared_ptr<CacheCell<V>>> cells;
+    Mutex map_mu;
+    std::map<K, std::shared_ptr<CacheCell<V>>> cells PB_GUARDED_BY(map_mu);
 
-    std::shared_ptr<CacheCell<V>> CellFor(const K& key) {
-      std::lock_guard<std::mutex> lock(map_mu);
+    std::shared_ptr<CacheCell<V>> CellFor(const K& key) PB_EXCLUDES(map_mu) {
+      MutexLock lock(map_mu);
       auto& cell = cells[key];
       if (cell == nullptr) cell = std::make_shared<CacheCell<V>>();
       return cell;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/thread_pool.h"
 
 namespace privbasis {
@@ -89,7 +89,7 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
   std::vector<std::vector<FrequentItemset>> per_rank(num_ranks);
   std::atomic<bool> cancelled{false};
   std::atomic<bool> prefix_done{false};
-  std::mutex done_mu;
+  Mutex done_mu;
   std::vector<char> completed(num_ranks, 0);
   size_t next_done = 0;
   uint64_t done_total = 0;
@@ -120,7 +120,7 @@ Result<MiningResult> MineFpGrowth(const TransactionDatabase& db,
             }
           }
           if (cap != 0) {
-            std::lock_guard<std::mutex> lock(done_mu);
+            MutexLock lock(done_mu);
             completed[r] = 1;
             while (next_done < num_ranks && completed[next_done]) {
               done_total += per_rank[next_done].size();

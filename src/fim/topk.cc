@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <unordered_set>
 
+#include "common/annotations.h"
 #include "common/thread_pool.h"
 #include "fim/fptree.h"
 
@@ -59,7 +59,7 @@ struct TopKContext {
   size_t max_length;
   uint64_t floor_support;  // static lower bound on the final threshold
   BestK* best;             // shared across root tasks, guarded by mu
-  std::mutex* mu;
+  Mutex* mu;
   /// Monotone cache of best->Threshold(), readable without the lock. A
   /// stale (lower) value only weakens pruning — never drops a pattern —
   /// so lock-free readers stay exact and deterministic.
@@ -85,7 +85,7 @@ uint64_t CurrentThreshold(const TopKContext& ctx) {
 }
 
 void OfferLocked(const TopKContext& ctx, FrequentItemset candidate) {
-  std::lock_guard<std::mutex> lock(*ctx.mu);
+  MutexLock lock(*ctx.mu);
   ctx.best->Offer(std::move(candidate));
   ctx.threshold_cache->store(ctx.best->Threshold(),
                              std::memory_order_relaxed);
@@ -136,7 +136,7 @@ Result<TopKResult> MineTopK(const TransactionDatabase& db, size_t k,
   if (active >= k) floor_support = std::max<uint64_t>(1, supports[k - 1]);
 
   BestK best(k);
-  std::mutex best_mu;
+  Mutex best_mu;
   std::atomic<uint64_t> threshold_cache{0};
   std::atomic<bool> cancelled{false};
   TopKContext ctx{max_length, floor_support, &best,      &best_mu,

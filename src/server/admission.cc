@@ -50,25 +50,25 @@ double CostModel::WorkUnits(const DatasetStats& stats,
 }
 
 double CostModel::PredictMs(double work_units) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return work_units * ns_per_unit_ * 1e-6;
 }
 
 void CostModel::Observe(double work_units, double actual_ms) {
   if (work_units <= 0.0 || actual_ms < 0.0) return;
   const double observed = actual_ms * 1e6 / work_units;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ns_per_unit_ += kEwmaAlpha * (observed - ns_per_unit_);
   recent_query_ms_ += kEwmaAlpha * (actual_ms - recent_query_ms_);
 }
 
 double CostModel::ns_per_unit() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ns_per_unit_;
 }
 
 double CostModel::recent_query_ms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recent_query_ms_;
 }
 

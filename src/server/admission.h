@@ -35,8 +35,8 @@
 #define PRIVBASIS_SERVER_ADMISSION_H_
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "data/dataset_stats.h"
 #include "engine/query.h"
 
@@ -98,12 +98,12 @@ class CostModel {
   double recent_query_ms() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Seeded from the tracked trajectory: the kosarak-profile
   /// engine_query_warm entry (~216 ms) over its ~3.8M predicted work
   /// units ≈ 57 ns/unit. Self-corrects from the first observation on.
-  double ns_per_unit_ = 57.0;
-  double recent_query_ms_ = 50.0;
+  double ns_per_unit_ PB_GUARDED_BY(mu_) = 57.0;
+  double recent_query_ms_ PB_GUARDED_BY(mu_) = 50.0;
 };
 
 /// The admission decision point: combines the cost model, the SLO, and

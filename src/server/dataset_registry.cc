@@ -73,7 +73,7 @@ bool ValidDatasetName(const std::string& name) {
 Result<std::string> DatasetRegistry::Insert(std::string id,
                                             std::shared_ptr<Dataset> dataset,
                                             bool recovered) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (datasets_.count(id) > 0) {
     return Status::FailedPrecondition("dataset \"" + id +
                                       "\" is already registered");
@@ -99,7 +99,7 @@ Result<std::string> DatasetRegistry::Register(
     std::shared_ptr<Dataset> dataset) {
   std::string id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = "ds-" + std::to_string(next_id_++);
   }
   return Insert(std::move(id), std::move(dataset), /*recovered=*/false);
@@ -130,7 +130,7 @@ Status DatasetRegistry::RegisterRecovered(const std::string& id,
 }
 
 void DatasetRegistry::SetNextId(size_t next_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   next_id_ = std::max(next_id_, next_id);
 }
 
@@ -244,23 +244,23 @@ Result<DatasetRegistry::Registered> DatasetRegistry::RegisterFromJson(
 }
 
 std::shared_ptr<Dataset> DatasetRegistry::Find(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = datasets_.find(id);
   return it == datasets_.end() ? nullptr : it->second;
 }
 
 bool DatasetRegistry::Remove(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return datasets_.erase(id) > 0;
 }
 
 size_t DatasetRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return datasets_.size();
 }
 
 std::vector<std::string> DatasetRegistry::ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(datasets_.size());
   for (const auto& [id, dataset] : datasets_) out.push_back(id);

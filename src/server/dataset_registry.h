@@ -16,10 +16,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/json.h"
 #include "common/status.h"
 #include "engine/dataset.h"
@@ -137,14 +137,18 @@ class DatasetRegistry {
   /// Inserts under mu_, running the hook first unless `recovered`.
   Result<std::string> Insert(std::string id,
                              std::shared_ptr<Dataset> dataset,
-                             bool recovered);
+                             bool recovered) PB_EXCLUDES(mu_);
 
   Limits limits_;
+  /// Both hooks are installed before serving starts (SetRegisterHook /
+  /// SetAttachHook docs) and immutable afterwards, so they are read
+  /// without mu_.
   RegisterHook hook_;
   RegisterHook attach_hook_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Dataset>> datasets_;
-  size_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<Dataset>> datasets_
+      PB_GUARDED_BY(mu_);
+  size_t next_id_ PB_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace privbasis::server

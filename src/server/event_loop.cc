@@ -46,7 +46,7 @@ Status EventLoop::Start(net::Fd listen_fd) {
 
 void EventLoop::CompleteRequest(uint64_t conn_id, HttpResponse response) {
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(completions_mu_);
     completions_.emplace_back(conn_id, std::move(response));
   }
   wakeup_.Signal();
@@ -161,7 +161,7 @@ void EventLoop::DoAccept() {
 void EventLoop::ProcessCompletions(bool force_close) {
   std::vector<std::pair<uint64_t, HttpResponse>> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    MutexLock lock(completions_mu_);
     batch.swap(completions_);
   }
   for (auto& [id, response] : batch) {

@@ -28,13 +28,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/net.h"
 #include "common/status.h"
 #include "server/http.h"
@@ -160,10 +160,13 @@ class EventLoop {
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> shutdown_{false};
 
-  std::mutex completions_mu_;
-  std::vector<std::pair<uint64_t, HttpResponse>> completions_;
+  Mutex completions_mu_;
+  std::vector<std::pair<uint64_t, HttpResponse>> completions_
+      PB_GUARDED_BY(completions_mu_);
 
-  // Loop-thread state.
+  // Loop-thread state: touched only by the single I/O thread (Run() and
+  // the handlers it calls), so no lock guards it — the thread_ join in
+  // Join() is the synchronization point.
   std::unordered_map<uint64_t, Conn> conns_;
   uint64_t next_conn_id_ = 2;  // 0 = listen socket, 1 = wakeup
   bool accepting_ = true;      // listen fd registered with epoll

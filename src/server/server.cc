@@ -129,7 +129,7 @@ Status QueryServer::Start() {
     DispatchRequest(conn_id, std::move(request));
   };
   hooks.on_connection = [this] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.connections;
   };
   hooks.error_response = [this](HttpReadOutcome outcome) {
@@ -172,21 +172,21 @@ void QueryServer::RecoverState() {
     return Status::OK();
   }();
   {
-    std::lock_guard<std::mutex> lock(recovery_mu_);
+    MutexLock lock(recovery_mu_);
     recovery_error_ = status;
     recovery_state_.store(status.ok() ? RecoveryState::kReady
                                       : RecoveryState::kFailed,
                           std::memory_order_release);
   }
-  recovery_cv_.notify_all();
+  recovery_cv_.NotifyAll();
 }
 
 Status QueryServer::WaitUntilReady() {
-  std::unique_lock<std::mutex> lock(recovery_mu_);
-  recovery_cv_.wait(lock, [this] {
-    return recovery_state_.load(std::memory_order_acquire) !=
-           RecoveryState::kRecovering;
-  });
+  MutexLock lock(recovery_mu_);
+  while (recovery_state_.load(std::memory_order_acquire) ==
+         RecoveryState::kRecovering) {
+    recovery_cv_.Wait(recovery_mu_);
+  }
   return recovery_error_;
 }
 
@@ -208,13 +208,13 @@ void QueryServer::Stop() {
 }
 
 QueryServer::Counters QueryServer::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 
 void QueryServer::DispatchRequest(uint64_t conn_id, HttpRequest request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.requests;
   }
   auto task = [this, conn_id, request = std::move(request)]() mutable {
@@ -237,7 +237,7 @@ void QueryServer::DispatchRequest(uint64_t conn_id, HttpRequest request) {
     // worker, and closes afterwards.
     size_t queue_depth;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++counters_.connections_shed;
       queue_depth = pool_->QueueDepth();
     }
@@ -303,7 +303,7 @@ HttpResponse QueryServer::Route(const HttpRequest& request) {
     case RecoveryState::kFailed: {
       // Permanently 503 rather than serving a ledger we could not
       // verify (or, worse, a silently fresh one).
-      std::lock_guard<std::mutex> lock(recovery_mu_);
+      MutexLock lock(recovery_mu_);
       return ErrorResponse(Status::Unavailable(
           "state recovery failed: " + recovery_error_.ToString()));
     }
@@ -388,7 +388,7 @@ Status QueryServer::AttachExecutors(const std::string& id,
                                      .max_batch = max_batch_},
       batch_stats_);
   dataset->AttachCountExecutor(batcher);
-  std::lock_guard<std::mutex> lock(batchers_mu_);
+  MutexLock lock(batchers_mu_);
   batchers_[id] = std::move(batcher);
   return Status::OK();
 }
@@ -410,7 +410,7 @@ Status QueryServer::ShardToWorkers(const std::string& id,
 
 HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   auto finish = [this](HttpResponse response) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (response.status / 100 == 2) {
       ++counters_.queries_ok;
     } else {
@@ -469,7 +469,7 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   if (!decision.admit) {
     const bool queue_full = decision.reason == ShedReason::kQueueFull;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (queue_full) {
         ++counters_.queries_shed_queue;
       } else {
@@ -490,7 +490,7 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
                                  decision.retry_after_s));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.queries_admitted;
   }
 
@@ -501,7 +501,7 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   // would barely help them.
   std::shared_ptr<BatchingCountExecutor> batcher;
   if (BatchingEnabled()) {
-    std::lock_guard<std::mutex> lock(batchers_mu_);
+    MutexLock lock(batchers_mu_);
     auto it = batchers_.find(*id);
     if (it != batchers_.end()) batcher = it->second;
   }
@@ -533,7 +533,7 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   auto release = Engine::Run(dataset, *spec);
   if (!release.ok()) {
     if (release.status().code() == StatusCode::kCancelled) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++counters_.queries_cancelled;
     }
     return finish(ErrorResponse(release.status()));
@@ -545,7 +545,7 @@ HttpResponse QueryServer::HandleQuery(const HttpRequest& request) {
   // Every completed query tightens the cost model's ns-per-unit scale.
   admission_.model().Observe(work_units, elapsed_ms);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.queries_completed;
   }
   return finish(JsonResponse(200, ReleaseToJson(*release)));
@@ -633,7 +633,7 @@ HttpResponse QueryServer::HandleEvict(const std::string& id) {
   {
     // In-flight queries on the evicted dataset keep their batcher alive
     // through their own shared_ptr brackets.
-    std::lock_guard<std::mutex> lock(batchers_mu_);
+    MutexLock lock(batchers_mu_);
     batchers_.erase(id);
   }
   HttpResponse response;

@@ -61,14 +61,13 @@
 #define PRIVBASIS_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/net.h"
 #include "common/thread_pool.h"
 #include "core/batch_exec.h"
@@ -241,18 +240,19 @@ class QueryServer {
   std::shared_ptr<BatchStats> batch_stats_;
   /// Per-dataset batchers so HandleQuery can bracket Engine::Run with
   /// BeginQuery/EndQuery (the live in-flight signal that sizes rounds).
-  mutable std::mutex batchers_mu_;
-  std::map<std::string, std::shared_ptr<BatchingCountExecutor>> batchers_;
+  mutable Mutex batchers_mu_;
+  std::map<std::string, std::shared_ptr<BatchingCountExecutor>> batchers_
+      PB_GUARDED_BY(batchers_mu_);
 
   std::unique_ptr<store::StateStore> store_;
   std::thread recovery_thread_;
   std::atomic<RecoveryState> recovery_state_{RecoveryState::kReady};
-  std::mutex recovery_mu_;
-  std::condition_variable recovery_cv_;
-  Status recovery_error_;  // set before kFailed becomes visible
+  Mutex recovery_mu_;
+  CondVar recovery_cv_;
+  Status recovery_error_ PB_GUARDED_BY(recovery_mu_);
 
-  mutable std::mutex mu_;
-  Counters counters_;
+  mutable Mutex mu_;
+  Counters counters_ PB_GUARDED_BY(mu_);
 };
 
 /// Body for a non-2xx response from `status` (wire's error JSON).

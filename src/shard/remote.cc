@@ -56,7 +56,7 @@ Result<WorkerAddr> ParseWorkerAddr(const std::string& spec) {
 Result<shardwire::Frame> ShardWorkerClient::Call(shardwire::FrameType type,
                                                  std::string payload,
                                                  net::Deadline deadline) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!conn_.valid()) {
     Result<net::Fd> conn = net::ConnectTcp(addr_.host, addr_.port, deadline);
     if (!conn.ok()) return Unavailable(addr_, conn.status());

@@ -17,10 +17,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/cancel.h"
 #include "common/net.h"
 #include "common/status.h"
@@ -81,8 +81,8 @@ class ShardWorkerClient {
   Result<uint32_t> DeadlineMsFor(const CancelToken* cancel) const;
 
   WorkerAddr addr_;
-  std::mutex mu_;
-  net::Fd conn_;
+  Mutex mu_;
+  net::Fd conn_ PB_GUARDED_BY(mu_);
 };
 
 /// CountExecutor over one worker per shard, bound to one dataset id.

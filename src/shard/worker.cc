@@ -65,7 +65,7 @@ void ShardWorker::Stop() {
   listen_fd_.Close();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Tear down live connections: in-flight ops finish their scan but
     // fail on the response write, so the coordinator sees kUnavailable.
     for (int fd : live_conn_fds_) ::shutdown(fd, SHUT_RDWR);
@@ -77,7 +77,7 @@ void ShardWorker::Stop() {
 }
 
 size_t ShardWorker::NumLoadedShards() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shards_.size();
 }
 
@@ -92,7 +92,7 @@ void ShardWorker::AcceptLoop() {
       continue;
     }
     if (!conn->valid()) continue;  // poll slice expired, no connection
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_.load(std::memory_order_relaxed)) return;
     live_conn_fds_.push_back(conn->get());
     conn_threads_.emplace_back(
@@ -116,7 +116,7 @@ void ShardWorker::HandleConnection(net::Fd conn) {
                               net::DeadlineAfterMs(kWriteDeadlineMs));
     if (!written.ok()) break;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   live_conn_fds_.erase(
       std::remove(live_conn_fds_.begin(), live_conn_fds_.end(), raw_fd),
       live_conn_fds_.end());
@@ -134,7 +134,7 @@ shardwire::Frame ShardWorker::HandleFrame(const shardwire::Frame& request) {
 
 Result<std::shared_ptr<ShardWorker::LoadedShard>> ShardWorker::FindShard(
     const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = shards_.find(id);
   if (it == shards_.end()) {
     return Status::NotFound("no shard loaded for dataset '" + id + "'");
@@ -157,14 +157,14 @@ Result<std::string> ShardWorker::HandleOp(const shardwire::Frame& request) {
       PRIVBASIS_ASSIGN_OR_RETURN(TransactionDatabase db,
                                  shardwire::DecodeDatabase(blob));
       auto loaded = std::make_shared<LoadedShard>(std::move(db));
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shards_[id] = std::move(loaded);  // reload replaces (re-registration)
       return std::string();
     }
     case FrameType::kDropShard: {
       PRIVBASIS_ASSIGN_OR_RETURN(std::string id, reader.GetString());
       PRIVBASIS_RETURN_NOT_OK(reader.ExpectEnd());
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shards_.erase(id);  // dropping an unknown id is a no-op, like Evict
       return std::string();
     }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/net.h"
 #include "common/status.h"
 #include "data/transaction_db.h"
@@ -86,10 +87,11 @@ class ShardWorker {
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<LoadedShard>> shards_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> live_conn_fds_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<LoadedShard>> shards_
+      PB_GUARDED_BY(mu_);
+  std::vector<std::thread> conn_threads_ PB_GUARDED_BY(mu_);
+  std::vector<int> live_conn_fds_ PB_GUARDED_BY(mu_);
 };
 
 }  // namespace privbasis

@@ -87,23 +87,30 @@ Result<std::unique_ptr<StateStore>> StateStore::Open(const std::string& dir,
   if (next_id == nullptr) {
     return Status::IoError("manifest missing next_id");
   }
-  PRIVBASIS_ASSIGN_OR_RETURN(store->next_id_, next_id->GetUint());
+  PRIVBASIS_ASSIGN_OR_RETURN(const uint64_t parsed_next_id,
+                             next_id->GetUint());
   const json::Value* datasets = parsed->Find("datasets");
   if (datasets == nullptr) {
     return Status::IoError("manifest missing datasets");
   }
   PRIVBASIS_ASSIGN_OR_RETURN(const json::Value::Array* rows,
                              datasets->GetArray());
+  std::vector<ManifestEntry> parsed_entries;
   for (const json::Value& row : *rows) {
     PRIVBASIS_ASSIGN_OR_RETURN(ParsedEntry entry, ParseManifestEntry(row));
-    store->entries_.push_back(
+    parsed_entries.push_back(
         ManifestEntry{entry.id, entry.snapshot, entry.total_epsilon});
+  }
+  {
+    MutexLock lock(store->mu_);
+    store->next_id_ = parsed_next_id;
+    store->entries_ = std::move(parsed_entries);
   }
   return store;
 }
 
 Result<std::vector<StateStore::Recovered>> StateStore::RecoverDatasets() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Recovered> out;
   out.reserve(entries_.size());
   const auto& replayed = wal_->recovered().ledgers;
@@ -130,13 +137,13 @@ Result<std::vector<StateStore::Recovered>> StateStore::RecoverDatasets() {
 }
 
 uint64_t StateStore::next_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_id_;
 }
 
 Status StateStore::PersistRegistration(
     const std::string& id, const std::shared_ptr<Dataset>& dataset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const ManifestEntry& entry : entries_) {
     if (entry.id == id) {
       return Status::FailedPrecondition("dataset \"" + id +
@@ -182,7 +189,7 @@ Status StateStore::PersistRegistration(
 }
 
 Status StateStore::PersistEviction(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it =
       std::find_if(entries_.begin(), entries_.end(),
                    [&](const ManifestEntry& e) { return e.id == id; });

@@ -30,10 +30,10 @@
 #define PRIVBASIS_STORE_STATE_STORE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "engine/dataset.h"
 #include "store/wal.h"
@@ -92,16 +92,16 @@ class StateStore {
       : dir_(std::move(dir)), mode_(mode), wal_(std::move(wal)) {}
 
   std::string SnapshotPath(const ManifestEntry& entry) const;
-  /// Serializes + atomically rewrites datasets.json. Caller holds mu_.
-  Status WriteManifestLocked();
+  /// Serializes + atomically rewrites datasets.json.
+  Status WriteManifestLocked() PB_REQUIRES(mu_);
 
   const std::string dir_;
   const FsyncMode mode_;
   std::shared_ptr<BudgetWal> wal_;
 
-  mutable std::mutex mu_;
-  std::vector<ManifestEntry> entries_;
-  uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::vector<ManifestEntry> entries_ PB_GUARDED_BY(mu_);
+  uint64_t next_id_ PB_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace privbasis::store

@@ -305,14 +305,11 @@ Result<std::unique_ptr<BudgetWal>> BudgetWal::Open(const std::string& path,
     if (mode != FsyncMode::kNever) PRIVBASIS_RETURN_NOT_OK(file.Sync());
   }
 
-  auto wal = std::unique_ptr<BudgetWal>(
+  return std::unique_ptr<BudgetWal>(
       new BudgetWal(std::move(file), mode, std::move(replay), valid_end));
-  wal->next_txn_ = wal->replay_.next_txn;
-  return wal;
 }
 
 Status BudgetWal::AppendFrame(const std::string& frame, bool is_sync_point) {
-  // Caller holds mu_.
   if (poisoned_) {
     return Status::IoError(
         "WAL disabled: a failed append could not be rolled back");
@@ -340,7 +337,7 @@ Result<uint64_t> BudgetWal::AppendReserve(const std::string& dataset,
   record.epsilon = epsilon;
   record.dataset = dataset;
   record.label = label;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   record.txn = next_txn_++;
   PRIVBASIS_RETURN_NOT_OK(
       AppendFrame(EncodeWalFrame(EncodeWalRecord(record)),
@@ -356,7 +353,7 @@ Status BudgetWal::AppendCommit(uint64_t txn, const std::string& dataset,
   record.epsilon = actual;
   record.dataset = dataset;
   record.label = label;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AppendFrame(EncodeWalFrame(EncodeWalRecord(record)),
                      /*is_sync_point=*/true);
 }
@@ -365,7 +362,7 @@ Status BudgetWal::AppendAbort(uint64_t txn) {
   WalRecord record;
   record.type = WalRecord::Type::kAbort;
   record.txn = txn;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AppendFrame(EncodeWalFrame(EncodeWalRecord(record)),
                      /*is_sync_point=*/true);
 }

@@ -40,11 +40,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "engine/accountant.h"
 #include "store/io.h"
@@ -123,19 +123,23 @@ class BudgetWal {
       : file_(std::move(file)),
         mode_(mode),
         replay_(std::move(replay)),
-        good_size_(good_size) {}
+        good_size_(good_size),
+        next_txn_(replay_.next_txn) {}
 
-  /// Appends one frame under mu_, self-healing a failed write by
-  /// truncating back to the last good offset.
-  Status AppendFrame(const std::string& frame, bool is_sync_point);
+  /// Appends one frame, self-healing a failed write by truncating back
+  /// to the last good offset. Callers hold mu_ across frame encode +
+  /// append so records are assigned and written in txn order.
+  Status AppendFrame(const std::string& frame, bool is_sync_point)
+      PB_REQUIRES(mu_);
 
-  std::mutex mu_;
-  AppendFile file_;
-  FsyncMode mode_;
-  WalReplay replay_;
-  uint64_t good_size_ = 0;  ///< bytes known fully written
-  uint64_t next_txn_ = 1;
-  bool poisoned_ = false;  ///< truncation after a failed append failed too
+  Mutex mu_;
+  AppendFile file_ PB_GUARDED_BY(mu_);
+  const FsyncMode mode_;
+  const WalReplay replay_;
+  uint64_t good_size_ PB_GUARDED_BY(mu_) = 0;  ///< bytes known fully written
+  uint64_t next_txn_ PB_GUARDED_BY(mu_) = 1;
+  bool poisoned_ PB_GUARDED_BY(mu_) =
+      false;  ///< truncation after a failed append failed too
 };
 
 /// The per-dataset AccountantJournal adapter: binds one dataset id to

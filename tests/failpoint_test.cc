@@ -1,0 +1,142 @@
+// Spec-grammar edge cases for common/failpoint.h. The grammar is the
+// interface operators and the crash-recovery harness drive fault
+// injection through (PRIVBASIS_FAILPOINTS / failpoint::Configure), so a
+// term that parses to the WRONG fault is worse than one that fails —
+// these tests pin down that every malformed term is rejected loudly and
+// that a rejected Configure leaves the previous arming untouched.
+#include "common/failpoint.h"
+
+#include <cerrno>
+
+#include <gtest/gtest.h>
+
+namespace privbasis::failpoint {
+namespace {
+
+// Every test leaves the global registry disarmed for the next one.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Reset(); }
+};
+
+TEST_F(FailpointTest, ParsesErrorActionWithSymbolicErrno) {
+  ASSERT_TRUE(Configure("my_site=error:ENOSPC").ok());
+  const Action action = Hit("my_site");
+  EXPECT_EQ(action.kind, Action::Kind::kError);
+  EXPECT_EQ(action.err, ENOSPC);
+}
+
+TEST_F(FailpointTest, ParsesNumericErrno) {
+  ASSERT_TRUE(Configure("my_site=error:28").ok());
+  const Action action = Hit("my_site");
+  EXPECT_EQ(action.kind, Action::Kind::kError);
+  EXPECT_EQ(action.err, 28);
+}
+
+TEST_F(FailpointTest, ParsesTornWithByteCount) {
+  ASSERT_TRUE(Configure("my_site=torn:12").ok());
+  const Action action = Hit("my_site");
+  EXPECT_EQ(action.kind, Action::Kind::kTorn);
+  EXPECT_EQ(action.arg, 12u);
+}
+
+TEST_F(FailpointTest, UnknownSiteNeverTriggers) {
+  ASSERT_TRUE(Configure("armed_site=error:EIO").ok());
+  EXPECT_FALSE(Hit("some_other_site").triggered());
+}
+
+TEST_F(FailpointTest, RejectsTermWithoutEquals) {
+  const Status status = Configure("wal_append");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, RejectsEmptySiteName) {
+  EXPECT_FALSE(Configure("=error:EIO").ok());
+}
+
+TEST_F(FailpointTest, RejectsUnknownAction) {
+  const Status status = Configure("my_site=frobnicate:3");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown action"), std::string::npos);
+}
+
+TEST_F(FailpointTest, RejectsUnknownErrnoName) {
+  EXPECT_FALSE(Configure("my_site=error:EWHATEVER").ok());
+  EXPECT_FALSE(Configure("my_site=error:").ok());
+  EXPECT_FALSE(Configure("my_site=error:0").ok());
+  EXPECT_FALSE(Configure("my_site=error:-5").ok());
+}
+
+TEST_F(FailpointTest, RejectsNonNumericTornAndSleepArgs) {
+  // A typo'd count must not silently arm torn:0 / sleep:0.
+  EXPECT_FALSE(Configure("my_site=torn:abc").ok());
+  EXPECT_FALSE(Configure("my_site=torn:").ok());
+  EXPECT_FALSE(Configure("my_site=torn:12x").ok());
+  EXPECT_FALSE(Configure("my_site=torn").ok());
+  EXPECT_FALSE(Configure("my_site=sleep:fast").ok());
+  EXPECT_FALSE(Configure("my_site=sleep").ok());
+}
+
+TEST_F(FailpointTest, RejectsCrashWithArgument) {
+  EXPECT_FALSE(Configure("my_site=crash:5").ok());
+  // (A bare crash term is valid; not armed here because Hit would _exit.)
+}
+
+TEST_F(FailpointTest, RejectsMalformedSkipSuffix) {
+  EXPECT_FALSE(Configure("my_site=error:EIO@").ok());
+  EXPECT_FALSE(Configure("my_site=error:EIO@two").ok());
+  EXPECT_FALSE(Configure("my_site=error:EIO@3x").ok());
+}
+
+TEST_F(FailpointTest, SkipCountPassesExactlyThatManyHits) {
+  ASSERT_TRUE(Configure("my_site=error:EIO@2").ok());
+  EXPECT_FALSE(Hit("my_site").triggered());  // hit 1: skipped
+  EXPECT_FALSE(Hit("my_site").triggered());  // hit 2: skipped
+  const Action action = Hit("my_site");      // hit 3: fires
+  EXPECT_EQ(action.kind, Action::Kind::kError);
+  EXPECT_EQ(action.err, EIO);
+  // ...and keeps firing (a full disk stays full).
+  EXPECT_TRUE(Hit("my_site").triggered());
+}
+
+TEST_F(FailpointTest, SkipZeroFiresImmediately) {
+  ASSERT_TRUE(Configure("my_site=error:EIO@0").ok());
+  EXPECT_TRUE(Hit("my_site").triggered());
+}
+
+TEST_F(FailpointTest, EmptyTermsAndTrailingCommasAreIgnored) {
+  ASSERT_TRUE(Configure("a=error:EIO,,b=torn:3,").ok());
+  EXPECT_EQ(Hit("a").kind, Action::Kind::kError);
+  EXPECT_EQ(Hit("b").kind, Action::Kind::kTorn);
+}
+
+TEST_F(FailpointTest, EmptySpecDisarmsEverything) {
+  ASSERT_TRUE(Configure("a=error:EIO").ok());
+  ASSERT_TRUE(Configure("").ok());
+  EXPECT_FALSE(Hit("a").triggered());
+}
+
+TEST_F(FailpointTest, DuplicateSiteLastTermWins) {
+  ASSERT_TRUE(Configure("a=error:EIO,a=torn:7").ok());
+  const Action action = Hit("a");
+  EXPECT_EQ(action.kind, Action::Kind::kTorn);
+  EXPECT_EQ(action.arg, 7u);
+}
+
+TEST_F(FailpointTest, FailedConfigureLeavesPreviousArmingIntact) {
+  ASSERT_TRUE(Configure("a=error:ENOSPC").ok());
+  ASSERT_FALSE(Configure("a=bogus").ok());
+  const Action action = Hit("a");  // still the old arming
+  EXPECT_EQ(action.kind, Action::Kind::kError);
+  EXPECT_EQ(action.err, ENOSPC);
+}
+
+TEST_F(FailpointTest, ResetDisarms) {
+  ASSERT_TRUE(Configure("a=error:EIO").ok());
+  Reset();
+  EXPECT_FALSE(Hit("a").triggered());
+}
+
+}  // namespace
+}  // namespace privbasis::failpoint

@@ -111,7 +111,9 @@ TEST(FpTreeTest, CsrLayoutInvariants) {
       children_seen += kids.size();
       for (size_t i = 0; i < kids.size(); ++i) {
         EXPECT_EQ(tree.NodeParent(kids[i]), node);
-        if (node != 0) EXPECT_GT(tree.NodeRank(kids[i]), tree.NodeRank(node));
+        if (node != 0) {
+          EXPECT_GT(tree.NodeRank(kids[i]), tree.NodeRank(node));
+        }
         if (i > 0) {
           EXPECT_LT(tree.NodeRank(kids[i - 1]), tree.NodeRank(kids[i]));
         }

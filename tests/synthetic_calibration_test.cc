@@ -46,9 +46,11 @@ INSTANTIATE_TEST_SUITE_P(
         Band{SyntheticProfile::Retail(0.3), 100, 20, 70, 10.0, 12.5},
         // kosarak at 5% scale: multi-basis with rich pair structure.
         Band{SyntheticProfile::Kosarak(0.05), 200, 25, 80, 7.0, 8.6}),
-    [](const auto& info) { return info.param.profile.name == "pumsb-star"
-                               ? std::string("pumsb_star")
-                               : info.param.profile.name; });
+    [](const auto& param_info) {
+      return param_info.param.profile.name == "pumsb-star"
+                 ? std::string("pumsb_star")
+                 : param_info.param.profile.name;
+    });
 
 TEST(CalibrationTest, MushroomDenseRegimeHasHighOrderTopK) {
   auto db = GenerateDataset(SyntheticProfile::Mushroom(0.5), 42);

@@ -197,11 +197,13 @@ TEST(TfRunnerTest, DiagnosticsConsistent) {
   auto result = runner->Run(0.5, rng);
   ASSERT_TRUE(result.ok());
   double fk =
-      static_cast<double>(runner->fk_count()) / db.NumTransactions();
+      static_cast<double>(runner->fk_count()) /
+      static_cast<double>(db.NumTransactions());
   EXPECT_NEAR(result->truncated_freq, fk - result->gamma, 1e-12);
   EXPECT_EQ(result->degenerate, result->truncated_freq <= 0.0);
   auto eff = runner->Effectiveness(0.5);
-  EXPECT_NEAR(eff.gamma_count, result->gamma * db.NumTransactions(), 1e-6);
+  EXPECT_NEAR(eff.gamma_count,
+              result->gamma * static_cast<double>(db.NumTransactions()), 1e-6);
 }
 
 TEST(TfRunnerTest, ChargesAccountant) {

@@ -1,0 +1,39 @@
+// Negative test for the thread-safety analysis: this file reads a
+// PB_GUARDED_BY field WITHOUT taking its lock, so building this target
+// under PRIVBASIS_ANALYZE (clang, -Wthread-safety -Werror=thread-safety)
+// MUST fail. The static-analysis CI job builds it and asserts the
+// failure — if this file ever compiles under the analyze config, the
+// annotations have silently stopped being checked (wrong compiler,
+// macros defined away, flag dropped) and the job turns red.
+//
+// Never part of `all`; see the analyze_negative target in CMakeLists.txt.
+#include <cstdio>
+
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    privbasis::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without holding mu_. The analysis
+  // must reject this with -Werror=thread-safety.
+  long Get() const { return value_; }
+
+ private:
+  mutable privbasis::Mutex mu_;
+  long value_ PB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  std::printf("%ld\n", counter.Get());
+  return 0;
+}

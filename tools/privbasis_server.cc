@@ -2,9 +2,9 @@
 // facade (server/server.h).
 //
 //   privbasis_server --port 8080 --threads 8
-//   privbasis_server --port 8080 --preload mushroom --preload-scale 0.5 \
+//   privbasis_server --port 8080 --preload mushroom --preload-scale 0.5
 //                    --preload-budget 4.0
-//   privbasis_server --port 8080 --state-dir /var/lib/privbasis \
+//   privbasis_server --port 8080 --state-dir /var/lib/privbasis
 //                    --fsync commit --preload-config datasets.json
 //
 // With --state-dir, the budget ledger and registered datasets survive
